@@ -1,0 +1,29 @@
+//! Figure 17 workload: the three-step mechanism ablation on GoogLeNet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ulayer::{ULayer, ULayerConfig};
+use unn::ModelId;
+use usoc::SocSpec;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_ablation");
+    group.sample_size(10);
+    let spec = SocSpec::exynos_7420();
+    let graph = ModelId::GoogLeNet.build();
+    let steps = [
+        ("ch_dist", ULayerConfig::channel_distribution_only()),
+        ("ch_dist+proc_quant", ULayerConfig::with_proc_quant()),
+        ("full_ulayer", ULayerConfig::full()),
+    ];
+    for (name, cfg) in steps {
+        let runtime = ULayer::with_config(spec.clone(), cfg).expect("ulayer");
+        group.bench_with_input(BenchmarkId::new("googlenet", name), &graph, |b, g| {
+            b.iter(|| runtime.run(black_box(g)).expect("run").latency)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

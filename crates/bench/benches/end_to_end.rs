@@ -1,0 +1,48 @@
+//! Figure 16 workload: every mechanism on every network (high-end SoC).
+//!
+//! The μLayer runtime (predictor training included) is constructed once
+//! per network outside the timing loop, so the numbers isolate plan +
+//! schedule + energy accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ulayer::ULayer;
+use unn::ModelId;
+use uruntime::{run_layer_to_processor, run_single_processor};
+use usoc::SocSpec;
+use utensor::DType;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_end_to_end");
+    group.sample_size(10);
+    let spec = SocSpec::exynos_7420();
+    let runtime = ULayer::new(spec.clone()).expect("ulayer");
+    for id in ModelId::EVALUATED {
+        let graph = id.build();
+        group.bench_with_input(BenchmarkId::new("cpu_quint8", id.name()), &graph, |b, g| {
+            b.iter(|| {
+                run_single_processor(black_box(&spec), g, spec.cpu(), DType::QUInt8)
+                    .expect("run")
+                    .latency
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("layer_to_proc", id.name()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    run_layer_to_processor(black_box(&spec), g, DType::QUInt8)
+                        .expect("run")
+                        .latency
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ulayer", id.name()), &graph, |b, g| {
+            b.iter(|| runtime.run(black_box(g)).expect("run").latency)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 18 workload: energy accounting over complete runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ulayer::ULayer;
+use unn::ModelId;
+use uruntime::run_layer_to_processor;
+use usoc::SocSpec;
+use utensor::DType;
+
+fn bench_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_energy");
+    group.sample_size(10);
+    for spec in SocSpec::evaluated() {
+        let runtime = ULayer::new(spec.clone()).expect("ulayer");
+        let graph = ModelId::MobileNet.build();
+        group.bench_with_input(
+            BenchmarkId::new("mobilenet_l2p", spec.name.clone()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    run_layer_to_processor(black_box(&spec), g, DType::QUInt8)
+                        .expect("run")
+                        .energy
+                        .total_mj()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mobilenet_ulayer", spec.name.clone()),
+            &graph,
+            |b, g| b.iter(|| runtime.run(black_box(g)).expect("run").energy.total_mj()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

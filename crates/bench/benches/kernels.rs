@@ -1,0 +1,73 @@
+//! Host-side throughput of the functional compute kernels.
+//!
+//! These measure the reproduction's own numeric kernels (the simulated
+//! SoC provides *modeled* time; these are real host microbenchmarks used
+//! to keep the functional path fast enough for tests and examples).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ukernels::{conv2d, pool2d, Conv2dParams, PoolKind, PoolParams};
+use utensor::{DType, QuantParams, Shape, Tensor};
+
+fn tensor(shape: Shape, seed: usize) -> Tensor {
+    let n = shape.numel();
+    let data: Vec<f32> = (0..n)
+        .map(|i| ((((i + seed) * 2654435761) % 2000) as f32 - 1000.0) / 1000.0)
+        .collect();
+    Tensor::from_f32(shape, data).expect("sized")
+}
+
+fn bench_gemm_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_conv2d");
+    let input = tensor(Shape::nchw(1, 32, 28, 28), 1);
+    let filters = tensor(Shape::oihw(64, 32, 3, 3), 2);
+    let macs = 64u64 * 28 * 28 * 32 * 9;
+    group.throughput(Throughput::Elements(macs));
+    let params = Conv2dParams {
+        stride: 1,
+        pad: 1,
+        relu: true,
+    };
+    let qp = QuantParams::from_range(-1.0, 1.0).expect("range");
+    let out_qp = QuantParams::from_range(-16.0, 16.0).expect("range");
+
+    for dtype in DType::ALL {
+        let x = input.cast(dtype, Some(qp)).expect("cast");
+        let f = filters.cast(dtype, Some(qp)).expect("cast");
+        let out_params = (dtype == DType::QUInt8).then_some(out_qp);
+        group.bench_with_input(BenchmarkId::new("32x28x28_to_64", dtype), &dtype, |b, _| {
+            b.iter(|| {
+                conv2d(black_box(&x), black_box(&f), None, &params, out_params).expect("conv")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_pool2d");
+    let input = tensor(Shape::nchw(1, 64, 56, 56), 3);
+    let params = PoolParams {
+        kind: PoolKind::Max,
+        k: 3,
+        stride: 2,
+        pad: 1,
+    };
+    for dtype in DType::ALL {
+        let x = input
+            .cast(
+                dtype,
+                Some(QuantParams::from_range(-1.0, 1.0).expect("range")),
+            )
+            .expect("cast");
+        group.bench_with_input(
+            BenchmarkId::new("64x56x56_max3x3", dtype),
+            &dtype,
+            |b, _| b.iter(|| pool2d(black_box(&x), &params).expect("pool")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_conv, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 5 workload: per-layer VGG-16 profiling on each processor.
+//!
+//! Measures the host-side cost of the profiling pass itself (the data it
+//! produces is checked by `repro fig5` and the integration tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn::ModelId;
+use usoc::{profile_graph, DtypePlan, SocSpec};
+use utensor::DType;
+
+fn bench_per_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_per_layer_profile");
+    let graph = ModelId::Vgg16.build();
+    for spec in SocSpec::evaluated() {
+        for (dev, name) in [(spec.cpu(), "cpu"), (spec.gpu(), "gpu")] {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.clone(), name),
+                &dev,
+                |b, &dev| {
+                    b.iter(|| {
+                        let profiles = profile_graph(
+                            black_box(&spec),
+                            dev,
+                            black_box(&graph),
+                            DtypePlan::uniform(DType::F32),
+                        )
+                        .expect("profile");
+                        black_box(usoc::total_latency(&profiles))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_layer);
+criterion_main!(benches);

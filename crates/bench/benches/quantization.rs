@@ -1,0 +1,34 @@
+//! Figure 8 workload: single-processor runs across all three dtypes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn::ModelId;
+use uruntime::run_single_processor;
+use usoc::SocSpec;
+use utensor::DType;
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_quantization");
+    group.sample_size(20);
+    let spec = SocSpec::exynos_7420();
+    let graph = ModelId::AlexNet.build();
+    for dtype in DType::ALL {
+        for (dev, name) in [(spec.cpu(), "cpu"), (spec.gpu(), "gpu")] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("alexnet-{name}"), dtype),
+                &dtype,
+                |b, &dtype| {
+                    b.iter(|| {
+                        run_single_processor(black_box(&spec), black_box(&graph), dev, dtype)
+                            .expect("run")
+                            .latency
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantization);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! Regenerates every table and figure of the μLayer paper.
+//!
+//! ```text
+//! repro [fig5|fig6|fig8|fig10|fig12|fig16|fig17|fig18|table1|npu|all]
+//! ```
+//!
+//! Each subcommand prints paper-style rows; `all` runs everything.
+//! Latency/energy figures run on the simulated Exynos 7420/7880 SoCs and
+//! complete in seconds; `fig10` trains two classifiers from scratch and
+//! takes a few minutes.
+
+use ubench::figures;
+use ubench::report::{geomean, ms, pct, ratio, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `repro --json <dir> [--with-fig10]` exports machine-readable data.
+    if args.first().map(String::as_str) == Some("--json") {
+        let dir = args.get(1).map(String::as_str).unwrap_or("repro-json");
+        let with_fig10 = args.iter().any(|a| a == "--with-fig10");
+        match ubench::export_all(std::path::Path::new(dir), with_fig10) {
+            Ok(files) => {
+                println!(
+                    "wrote {} documents to {dir}/: {}",
+                    files.len(),
+                    files.join(", ")
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let known = [
+        "fig5",
+        "fig6",
+        "fig8",
+        "fig10",
+        "fig12",
+        "fig16",
+        "fig17",
+        "fig18",
+        "table1",
+        "npu",
+        "predictor",
+        "sweeps",
+        "all",
+    ];
+    if !known.contains(&what) {
+        eprintln!(
+            "usage: repro [{}] | repro --json <dir> [--with-fig10]",
+            known.join("|")
+        );
+        std::process::exit(2);
+    }
+    let run = |name: &str| what == name || what == "all";
+
+    if run("table1") {
+        table1();
+    }
+    if run("fig5") {
+        fig5();
+    }
+    if run("fig6") {
+        fig6();
+    }
+    if run("fig8") {
+        fig8();
+    }
+    if run("fig10") {
+        fig10();
+    }
+    if run("fig12") {
+        fig12();
+    }
+    if run("fig16") {
+        fig16();
+    }
+    if run("fig17") {
+        fig17();
+    }
+    if run("fig18") {
+        fig18();
+    }
+    if run("npu") {
+        npu();
+    }
+    if run("predictor") {
+        predictor();
+    }
+    if run("sweeps") {
+        sweeps();
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1() {
+    heading("Table 1: Evaluated NNs and the mechanisms' applicability");
+    let mut t = Table::new(&[
+        "Network",
+        "Ch. Dist. (3.2)",
+        "Proc. Quant. (4.2)",
+        "Br. Dist. (5)",
+    ]);
+    let tick = |b: bool| if b { "yes" } else { "-" }.to_string();
+    for (net, app) in figures::table1() {
+        t.row(vec![
+            net,
+            tick(app.channel_distribution),
+            tick(app.processor_quantization),
+            tick(app.branch_distribution),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn fig5() {
+    heading("Figure 5: Per-layer VGG-16 latency, CPU vs GPU (F32)");
+    for soc in figures::fig5() {
+        println!("\n--- {} ---", soc.soc);
+        let mut t = Table::new(&["Layer", "CPU (ms)", "GPU (ms)", "GPU speedup"]);
+        for (name, cpu, gpu) in soc
+            .layers
+            .iter()
+            .filter(|(n, _, _)| n.starts_with("conv") || n.starts_with("fc"))
+        {
+            t.row(vec![name.clone(), ms(*cpu), ms(*gpu), ratio(cpu / gpu)]);
+        }
+        print!("{}", t.render());
+        println!(
+            "mean GPU speedup over CPU: {:.2}x (paper: 1.40x high-end; CPU 26.1% faster mid-range)",
+            soc.mean_gpu_speedup
+        );
+    }
+}
+
+fn fig6() {
+    heading("Figure 6: NN execution latency, CPU vs GPU (F32)");
+    for soc in figures::fig6() {
+        println!("\n--- {} ---", soc.soc);
+        let mut t = Table::new(&["Network", "CPU (ms)", "GPU (ms)"]);
+        for (net, cpu, gpu) in &soc.rows {
+            t.row(vec![net.clone(), ms(*cpu), ms(*gpu)]);
+        }
+        print!("{}", t.render());
+    }
+}
+
+fn fig8() {
+    heading("Figure 8: Quantization impact on latency (normalized to CPU F32)");
+    for soc in figures::fig8() {
+        println!("\n--- {} ---", soc.soc);
+        let keys: Vec<String> = soc.rows[0].1.keys().cloned().collect();
+        let mut header: Vec<&str> = vec!["Network"];
+        header.extend(keys.iter().map(String::as_str));
+        let mut t = Table::new(&header);
+        for (net, m) in &soc.rows {
+            let mut row = vec![net.clone()];
+            row.extend(keys.iter().map(|k| ratio(m[k])));
+            t.row(row);
+        }
+        print!("{}", t.render());
+    }
+    println!("(expect: CPU QUInt8 fastest on CPU; GPU F16 fastest on GPU; CPU F16 no gain)");
+}
+
+fn fig10() {
+    heading("Figure 10: Top-1 accuracy under quantization (substituted workload)");
+    println!("(training two classifiers from scratch; takes a few minutes)");
+    for (net, rows) in quantlab::run_figure10() {
+        println!("\n--- {net} ---");
+        let mut t = Table::new(&["Variant", "Top-1 accuracy", "Drop vs F32 (pp)"]);
+        for r in rows {
+            t.row(vec![
+                r.variant.to_string(),
+                pct(r.accuracy),
+                format!("{:.1}", r.drop_pp),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    println!("(expect: F16 lossless; naive QUInt8 degrades, more for the deeper net;");
+    println!(" range-calibrated QUInt8 recovers to within a few points — paper max 2.7pp)");
+}
+
+fn fig12() {
+    heading("Figure 12: Branch distribution case study (Inception 3a, high-end SoC)");
+    let d = figures::fig12();
+    let mut t = Table::new(&["Mechanism", "Latency (ms)", "Improvement vs CPU-only"]);
+    t.row(vec![
+        "CPU-Only (QUInt8)".into(),
+        ms(d.cpu_only_ms),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "Cooperative".into(),
+        ms(d.cooperative_ms),
+        pct(1.0 - d.cooperative_ms / d.cpu_only_ms),
+    ]);
+    t.row(vec![
+        "Cooperative (Optimal)".into(),
+        ms(d.optimal_ms),
+        pct(1.0 - d.optimal_ms / d.cpu_only_ms),
+    ]);
+    print!("{}", t.render());
+    println!("(paper: 52.1% and 63.4% over CPU-only)");
+}
+
+fn print_evaluation(metric: &str, get: impl Fn(&figures::MechanismResult) -> f64) {
+    for eval in figures::evaluation() {
+        println!("\n--- {} ---", eval.soc);
+        let labels: Vec<String> = eval.rows[0].1.iter().map(|m| m.label.clone()).collect();
+        let mut header: Vec<&str> = vec!["Network"];
+        header.extend(labels.iter().map(String::as_str));
+        let mut t = Table::new(&header);
+        for (net, mechs) in &eval.rows {
+            let l2p = mechs
+                .iter()
+                .find(|m| m.label == "layer-to-proc QUInt8")
+                .expect("l2p present");
+            let mut row = vec![net.clone()];
+            row.extend(mechs.iter().map(|m| ratio(get(m) / get(l2p))));
+            t.row(row);
+        }
+        print!("{}", t.render());
+        println!("(normalized to layer-to-proc QUInt8; lower is better)");
+        if metric == "latency" {
+            let imps = eval.latency_improvements();
+            let max =
+                imps.iter()
+                    .cloned()
+                    .fold(("".to_string(), 0.0), |a, b| if b.1 > a.1 { b } else { a });
+            let geo = 1.0 - geomean(&imps.iter().map(|(_, v)| 1.0 - v).collect::<Vec<_>>());
+            println!(
+                "uLayer speed improvement: max {} on {}, geomean {}",
+                pct(max.1),
+                max.0,
+                pct(geo)
+            );
+        } else {
+            let factors = eval.energy_factors();
+            let geo = geomean(&factors.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+            let max =
+                factors
+                    .iter()
+                    .cloned()
+                    .fold(("".to_string(), 0.0), |a, b| if b.1 > a.1 { b } else { a });
+            println!(
+                "uLayer energy-efficiency factor: max {:.2}x on {}, geomean {:.2}x",
+                max.1, max.0, geo
+            );
+        }
+    }
+}
+
+fn fig16() {
+    heading("Figure 16: End-to-end latency of all mechanisms");
+    print_evaluation("latency", |m| m.latency_ms);
+    println!("\n(paper: up to 59.9%/69.6% and geomean 30.5%/35.3% over layer-to-proc)");
+}
+
+fn fig17() {
+    heading("Figure 17: Contribution of the three optimizations (ablation)");
+    for soc in figures::fig17() {
+        println!("\n--- {} ---", soc.soc);
+        let mut t = Table::new(&[
+            "Network",
+            "layer-to-proc",
+            "+Ch.Dist",
+            "+Proc.Quant",
+            "+Br.Dist (= uLayer)",
+        ]);
+        for (net, steps) in &soc.rows {
+            let full = steps[3];
+            t.row(vec![
+                net.clone(),
+                ratio(steps[0] / full),
+                ratio(steps[1] / full),
+                ratio(steps[2] / full),
+                ratio(1.0),
+            ]);
+        }
+        print!("{}", t.render());
+        println!("(normalized to the complete uLayer, as in the paper)");
+    }
+}
+
+fn fig18() {
+    heading("Figure 18: Energy consumption of all mechanisms");
+    print_evaluation("energy", |m| m.energy_mj);
+    println!("\n(paper: geomean 1.26x/1.34x energy-efficiency over layer-to-proc)");
+}
+
+fn predictor() {
+    heading("Latency predictor validation (held-out zoo layers)");
+    for spec in usoc::SocSpec::evaluated() {
+        let pred = ulayer::LatencyPredictor::train(&spec).expect("train");
+        let graphs: Vec<unn::Graph> = unn::ModelId::EVALUATED
+            .iter()
+            .map(|id| id.build())
+            .collect();
+        let report = ulayer::evaluate_predictor(&spec, &pred, &graphs).expect("evaluate");
+        println!("\n--- {} ---", spec.name);
+        let mut t = Table::new(&["Device", "Samples", "Mean rel. err", "Max rel. err"]);
+        for d in &report.devices {
+            t.row(vec![
+                d.name.clone(),
+                d.samples.to_string(),
+                pct(d.mean_rel_err),
+                pct(d.max_rel_err),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    println!("(fitted regression, not an oracle: nonzero error propagates into planning)");
+}
+
+fn sweeps() {
+    heading("Design-choice ablations (beyond the paper)");
+    println!("\nsplit-ratio granularity (geomean improvement vs layer-to-proc, high-end):");
+    let mut t = Table::new(&["Candidate set", "# candidates", "Geomean improvement"]);
+    for r in ubench::p_granularity() {
+        t.row(vec![
+            r.label.clone(),
+            r.candidates.len().to_string(),
+            pct(r.geomean_improvement),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nmanagement-overhead sensitivity (issue/wait/map/dispatch scaled):");
+    let mut t = Table::new(&["Overhead scale", "Geomean improvement"]);
+    for r in ubench::overhead_sensitivity() {
+        t.row(vec![format!("{:.2}x", r.scale), pct(r.geomean_improvement)]);
+    }
+    print!("{}", t.render());
+    println!("(the section-3.1 argument: sync overheads erode cooperative gains)");
+}
+
+fn npu() {
+    heading("Section 8.3 extension: channel-wise distribution across CPU+GPU+NPU");
+    let mut t = Table::new(&["Network", "uLayer (ms)", "uLayer+NPU (ms)", "Speedup"]);
+    for r in figures::npu_extension() {
+        t.row(vec![
+            r.network.clone(),
+            ms(r.base_ms),
+            ms(r.npu_ms),
+            ratio(r.base_ms / r.npu_ms),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,295 @@
+//! Machine-readable export of the reproduction results.
+//!
+//! `repro --json <dir>` writes one JSON document per figure so external
+//! plotting (matplotlib, gnuplot, a notebook) can regenerate the paper's
+//! charts from this reproduction's data.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::figures;
+use crate::json::Json;
+
+fn eval_to_json(evals: &[figures::Evaluation], metric: &str) -> Json {
+    Json::Arr(
+        evals
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("soc", Json::s(e.soc.clone())),
+                    (
+                        "networks",
+                        Json::Arr(
+                            e.rows
+                                .iter()
+                                .map(|(net, mechs)| {
+                                    Json::obj(vec![
+                                        ("network", Json::s(net.clone())),
+                                        (
+                                            "mechanisms",
+                                            Json::Arr(
+                                                mechs
+                                                    .iter()
+                                                    .map(|m| {
+                                                        Json::obj(vec![
+                                                            ("label", Json::s(m.label.clone())),
+                                                            (
+                                                                metric,
+                                                                Json::n(
+                                                                    if metric == "latency_ms" {
+                                                                        m.latency_ms
+                                                                    } else {
+                                                                        m.energy_mj
+                                                                    },
+                                                                ),
+                                                            ),
+                                                        ])
+                                                    })
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Writes every latency/energy figure's data as JSON files into `dir`.
+///
+/// Skips the accuracy figure (fig10) unless `include_fig10` is set,
+/// since it trains models for minutes.
+pub fn export_all(dir: &Path, include_fig10: bool) -> io::Result<Vec<String>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut write = |name: &str, value: Json| -> io::Result<()> {
+        let path = dir.join(name);
+        fs::write(&path, value.render() + "\n")?;
+        written.push(name.to_string());
+        Ok(())
+    };
+
+    // Table 1.
+    let table1 = Json::Arr(
+        figures::table1()
+            .into_iter()
+            .map(|(net, app)| {
+                Json::obj(vec![
+                    ("network", Json::s(net)),
+                    ("channel_distribution", Json::Bool(app.channel_distribution)),
+                    (
+                        "processor_quantization",
+                        Json::Bool(app.processor_quantization),
+                    ),
+                    ("branch_distribution", Json::Bool(app.branch_distribution)),
+                ])
+            })
+            .collect(),
+    );
+    write("table1.json", table1)?;
+
+    // Figure 5.
+    let fig5 = Json::Arr(
+        figures::fig5()
+            .into_iter()
+            .map(|soc| {
+                Json::obj(vec![
+                    ("soc", Json::s(soc.soc)),
+                    ("mean_gpu_speedup", Json::n(soc.mean_gpu_speedup)),
+                    (
+                        "layers",
+                        Json::Arr(
+                            soc.layers
+                                .into_iter()
+                                .map(|(name, cpu, gpu)| {
+                                    Json::obj(vec![
+                                        ("layer", Json::s(name)),
+                                        ("cpu_ms", Json::n(cpu)),
+                                        ("gpu_ms", Json::n(gpu)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    write("fig5.json", fig5)?;
+
+    // Figure 6.
+    let fig6 = Json::Arr(
+        figures::fig6()
+            .into_iter()
+            .map(|soc| {
+                Json::obj(vec![
+                    ("soc", Json::s(soc.soc)),
+                    (
+                        "networks",
+                        Json::Arr(
+                            soc.rows
+                                .into_iter()
+                                .map(|(net, cpu, gpu)| {
+                                    Json::obj(vec![
+                                        ("network", Json::s(net)),
+                                        ("cpu_ms", Json::n(cpu)),
+                                        ("gpu_ms", Json::n(gpu)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    write("fig6.json", fig6)?;
+
+    // Figure 8.
+    let fig8 = Json::Arr(
+        figures::fig8()
+            .into_iter()
+            .map(|soc| {
+                Json::obj(vec![
+                    ("soc", Json::s(soc.soc)),
+                    (
+                        "networks",
+                        Json::Arr(
+                            soc.rows
+                                .into_iter()
+                                .map(|(net, m)| {
+                                    let mut pairs = vec![("network", Json::s(net))];
+                                    let entries: Vec<(String, Json)> =
+                                        m.into_iter().map(|(k, v)| (k, Json::n(v))).collect();
+                                    pairs.push(("normalized_latency", Json::Obj(entries)));
+                                    Json::obj(pairs)
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    write("fig8.json", fig8)?;
+
+    if include_fig10 {
+        let fig10 = Json::Arr(
+            quantlab::run_figure10()
+                .into_iter()
+                .map(|(net, rows)| {
+                    Json::obj(vec![
+                        ("network", Json::s(net)),
+                        (
+                            "variants",
+                            Json::Arr(
+                                rows.into_iter()
+                                    .map(|r| {
+                                        Json::obj(vec![
+                                            ("variant", Json::s(r.variant)),
+                                            ("accuracy", Json::n(r.accuracy)),
+                                            ("drop_pp", Json::n(r.drop_pp)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        write("fig10.json", fig10)?;
+    }
+
+    // Figure 12.
+    let d = figures::fig12();
+    write(
+        "fig12.json",
+        Json::obj(vec![
+            ("cpu_only_ms", Json::n(d.cpu_only_ms)),
+            ("cooperative_ms", Json::n(d.cooperative_ms)),
+            ("optimal_ms", Json::n(d.optimal_ms)),
+        ]),
+    )?;
+
+    // Figures 16 and 18 share the evaluation sweep.
+    let evals = figures::evaluation();
+    write("fig16.json", eval_to_json(&evals, "latency_ms"))?;
+    write("fig18.json", eval_to_json(&evals, "energy_mj"))?;
+
+    // Figure 17.
+    let fig17 = Json::Arr(
+        figures::fig17()
+            .into_iter()
+            .map(|soc| {
+                Json::obj(vec![
+                    ("soc", Json::s(soc.soc)),
+                    (
+                        "networks",
+                        Json::Arr(
+                            soc.rows
+                                .into_iter()
+                                .map(|(net, steps)| {
+                                    Json::obj(vec![
+                                        ("network", Json::s(net)),
+                                        ("layer_to_proc_ms", Json::n(steps[0])),
+                                        ("ch_dist_ms", Json::n(steps[1])),
+                                        ("proc_quant_ms", Json::n(steps[2])),
+                                        ("br_dist_ms", Json::n(steps[3])),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    write("fig17.json", fig17)?;
+
+    // NPU extension.
+    let npu = Json::Arr(
+        figures::npu_extension()
+            .into_iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("network", Json::s(r.network)),
+                    ("base_ms", Json::n(r.base_ms)),
+                    ("npu_ms", Json::n(r.npu_ms)),
+                ])
+            })
+            .collect(),
+    );
+    write("npu.json", npu)?;
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_writes_parseable_documents() {
+        let dir = std::env::temp_dir().join("ulayer-export-test");
+        let _ = fs::remove_dir_all(&dir);
+        let written = export_all(&dir, false).expect("export");
+        assert!(written.contains(&"fig16.json".to_string()));
+        assert!(!written.contains(&"fig10.json".to_string()));
+        for name in &written {
+            let body = fs::read_to_string(dir.join(name)).expect("read back");
+            // Cheap structural sanity: balanced braces/brackets and no
+            // trailing garbage.
+            assert!(body.starts_with('[') || body.starts_with('{'), "{name}");
+            let opens = body.matches(['{', '[']).count();
+            let closes = body.matches(['}', ']']).count();
+            assert_eq!(opens, closes, "{name}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

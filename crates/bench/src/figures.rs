@@ -1,0 +1,452 @@
+//! The per-figure reproduction experiments.
+//!
+//! One function per table/figure of the paper's evaluation, each
+//! returning structured data (consumed by the `repro` binary, the
+//! criterion benches, and the integration tests). The index of figures
+//! and the expected shapes are documented in DESIGN.md §4 and
+//! EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+
+use ulayer::{ULayer, ULayerConfig};
+use unn::{Graph, ModelId};
+use uruntime::{run_layer_to_processor, run_single_processor};
+use usoc::{profile_graph, DtypePlan, SocSpec};
+use utensor::DType;
+
+/// Per-layer CPU/GPU latency of VGG-16 (Figure 5).
+#[derive(Clone, Debug)]
+pub struct Fig5 {
+    /// SoC name.
+    pub soc: String,
+    /// `(layer name, cpu ms, gpu ms)` for every layer.
+    pub layers: Vec<(String, f64, f64)>,
+    /// Mean GPU speedup over the CPU across conv/FC layers.
+    pub mean_gpu_speedup: f64,
+}
+
+/// Runs Figure 5 on both SoCs: per-layer VGG-16 latency at F32.
+pub fn fig5() -> Vec<Fig5> {
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let g = ModelId::Vgg16.build();
+            let plan = DtypePlan::uniform(DType::F32);
+            let cpu = profile_graph(&spec, spec.cpu(), &g, plan).expect("cpu profile");
+            let gpu = profile_graph(&spec, spec.gpu(), &g, plan).expect("gpu profile");
+            let layers: Vec<(String, f64, f64)> = cpu
+                .iter()
+                .zip(&gpu)
+                .map(|(c, gp)| {
+                    (
+                        c.name.clone(),
+                        c.latency.as_millis_f64(),
+                        gp.latency.as_millis_f64(),
+                    )
+                })
+                .collect();
+            // Mean speedup over the compute layers (conv/fc), as in §3.1.
+            let speedups: Vec<f64> = cpu
+                .iter()
+                .zip(&gpu)
+                .filter(|(c, _)| c.op == "conv" || c.op == "fc")
+                .map(|(c, gp)| c.latency.as_secs_f64() / gp.latency.as_secs_f64())
+                .collect();
+            Fig5 {
+                soc: spec.name.clone(),
+                layers,
+                mean_gpu_speedup: speedups.iter().sum::<f64>() / speedups.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Whole-network CPU vs GPU latency (Figure 6), at F32.
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// SoC name.
+    pub soc: String,
+    /// `(network, cpu ms, gpu ms)`.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Runs Figure 6: the five networks on CPU and GPU of both SoCs.
+pub fn fig6() -> Vec<Fig6> {
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let rows = ModelId::EVALUATED
+                .iter()
+                .map(|id| {
+                    let g = id.build();
+                    let cpu = run_single_processor(&spec, &g, spec.cpu(), DType::F32)
+                        .expect("cpu run")
+                        .latency_ms();
+                    let gpu = run_single_processor(&spec, &g, spec.gpu(), DType::F32)
+                        .expect("gpu run")
+                        .latency_ms();
+                    (id.name().to_string(), cpu, gpu)
+                })
+                .collect();
+            Fig6 {
+                soc: spec.name.clone(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// Quantization impact on latency (Figure 8): per network, the latency of
+/// each (device, dtype), normalized to CPU-F32.
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// SoC name.
+    pub soc: String,
+    /// Per network: `(name, map from "CPU F16"-style keys to normalized
+    /// latency)`.
+    pub rows: Vec<(String, BTreeMap<String, f64>)>,
+}
+
+/// Runs Figure 8 on both SoCs.
+pub fn fig8() -> Vec<Fig8> {
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let rows = ModelId::EVALUATED
+                .iter()
+                .map(|id| {
+                    let g = id.build();
+                    let mut m = BTreeMap::new();
+                    let base = run_single_processor(&spec, &g, spec.cpu(), DType::F32)
+                        .expect("base run")
+                        .latency
+                        .as_secs_f64();
+                    for (dev, dev_name) in [(spec.cpu(), "CPU"), (spec.gpu(), "GPU")] {
+                        for dtype in DType::ALL {
+                            let lat = run_single_processor(&spec, &g, dev, dtype)
+                                .expect("run")
+                                .latency
+                                .as_secs_f64();
+                            m.insert(format!("{dev_name} {dtype}"), lat / base);
+                        }
+                    }
+                    (id.name().to_string(), m)
+                })
+                .collect();
+            Fig8 {
+                soc: spec.name.clone(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// The Figure 12 Inception-3a case study.
+#[derive(Clone, Debug)]
+pub struct Fig12 {
+    /// CPU-only QUInt8 latency of the module, ms.
+    pub cpu_only_ms: f64,
+    /// Channel-wise cooperative (+ processor-friendly quantization), ms.
+    pub cooperative_ms: f64,
+    /// With branch distribution (the paper's "Cooperative (Optimal)"), ms.
+    pub optimal_ms: f64,
+}
+
+/// Builds a standalone Inception-3a module graph fed by the graph input.
+pub fn inception_3a_graph() -> Graph {
+    let mut g = Graph::new("inception-3a", utensor::Shape::nchw(1, 192, 28, 28));
+    // A pass-through stem gives the module a fork node, like in the full
+    // network where the preceding pool output forks into the branches.
+    let stem = g.add_input_layer("stem", unn::LayerKind::Relu);
+    unn::models::googlenet::inception(&mut g, "inception_3a", stem, (64, 96, 128, 16, 32, 32));
+    g
+}
+
+/// Runs the Figure 12 case study on the high-end SoC.
+pub fn fig12() -> Fig12 {
+    let spec = SocSpec::exynos_7420();
+    let g = inception_3a_graph();
+    let cpu_only = run_single_processor(&spec, &g, spec.cpu(), DType::QUInt8)
+        .expect("cpu run")
+        .latency_ms();
+    let coop = ULayer::with_config(spec.clone(), ULayerConfig::with_proc_quant())
+        .expect("ulayer")
+        .run(&g)
+        .expect("coop run")
+        .latency_ms();
+    let optimal = ULayer::with_config(spec, ULayerConfig::full())
+        .expect("ulayer")
+        .run(&g)
+        .expect("optimal run")
+        .latency_ms();
+    Fig12 {
+        cpu_only_ms: cpu_only,
+        cooperative_ms: coop,
+        optimal_ms: optimal,
+    }
+}
+
+/// One mechanism's end-to-end result for Figures 16 and 18.
+#[derive(Clone, Debug)]
+pub struct MechanismResult {
+    /// Mechanism label (paper legend).
+    pub label: String,
+    /// End-to-end latency, ms.
+    pub latency_ms: f64,
+    /// Total energy, mJ.
+    pub energy_mj: f64,
+}
+
+/// Runs every compared mechanism on one network/SoC: the six
+/// single-processor bars, the layer-to-processor baseline (QUInt8), and
+/// μLayer.
+pub fn run_all_mechanisms(spec: &SocSpec, graph: &Graph) -> Vec<MechanismResult> {
+    let mut out = Vec::new();
+    for (dev, dev_name) in [(spec.cpu(), "CPU"), (spec.gpu(), "GPU")] {
+        for dtype in DType::ALL {
+            let r = run_single_processor(spec, graph, dev, dtype).expect("single run");
+            out.push(MechanismResult {
+                label: format!("{dev_name}-only {dtype}"),
+                latency_ms: r.latency_ms(),
+                energy_mj: r.energy.total_mj(),
+            });
+        }
+    }
+    let l2p = run_layer_to_processor(spec, graph, DType::QUInt8).expect("l2p run");
+    out.push(MechanismResult {
+        label: "layer-to-proc QUInt8".into(),
+        latency_ms: l2p.latency_ms(),
+        energy_mj: l2p.energy.total_mj(),
+    });
+    let u = ULayer::new(spec.clone())
+        .expect("ulayer")
+        .run(graph)
+        .expect("ulayer run");
+    out.push(MechanismResult {
+        label: "uLayer".into(),
+        latency_ms: u.latency_ms(),
+        energy_mj: u.energy.total_mj(),
+    });
+    out
+}
+
+/// Figures 16/18 data: per SoC, per network, all mechanisms.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// SoC name.
+    pub soc: String,
+    /// `(network, mechanism results)`.
+    pub rows: Vec<(String, Vec<MechanismResult>)>,
+}
+
+impl Evaluation {
+    /// μLayer's latency improvement over layer-to-processor per network:
+    /// `1 - t_ulayer / t_l2p`.
+    pub fn latency_improvements(&self) -> Vec<(String, f64)> {
+        self.improvements(|m| m.latency_ms)
+    }
+
+    /// μLayer's energy-efficiency factor over layer-to-processor per
+    /// network: `e_l2p / e_ulayer`.
+    pub fn energy_factors(&self) -> Vec<(String, f64)> {
+        self.rows
+            .iter()
+            .map(|(net, mechs)| {
+                let l2p = find(mechs, "layer-to-proc QUInt8").energy_mj;
+                let u = find(mechs, "uLayer").energy_mj;
+                (net.clone(), l2p / u)
+            })
+            .collect()
+    }
+
+    fn improvements(&self, f: impl Fn(&MechanismResult) -> f64) -> Vec<(String, f64)> {
+        self.rows
+            .iter()
+            .map(|(net, mechs)| {
+                let l2p = f(find(mechs, "layer-to-proc QUInt8"));
+                let u = f(find(mechs, "uLayer"));
+                (net.clone(), 1.0 - u / l2p)
+            })
+            .collect()
+    }
+}
+
+fn find<'a>(mechs: &'a [MechanismResult], label: &str) -> &'a MechanismResult {
+    mechs
+        .iter()
+        .find(|m| m.label == label)
+        .unwrap_or_else(|| panic!("mechanism {label} missing"))
+}
+
+/// Runs the full Figure 16 / Figure 18 evaluation on both SoCs.
+pub fn evaluation() -> Vec<Evaluation> {
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let rows = ModelId::EVALUATED
+                .iter()
+                .map(|id| {
+                    (
+                        id.name().to_string(),
+                        run_all_mechanisms(&spec, &id.build()),
+                    )
+                })
+                .collect();
+            Evaluation {
+                soc: spec.name.clone(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// Figure 17 ablation data: latency per configuration step, per network.
+#[derive(Clone, Debug)]
+pub struct Fig17 {
+    /// SoC name.
+    pub soc: String,
+    /// `(network, [l2p, +ChDist, +ProcQuant, +BrDist] ms)`.
+    pub rows: Vec<(String, [f64; 4])>,
+}
+
+/// Runs the Figure 17 ablation on both SoCs.
+pub fn fig17() -> Vec<Fig17> {
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let configs = [
+                ULayerConfig::channel_distribution_only(),
+                ULayerConfig::with_proc_quant(),
+                ULayerConfig::full(),
+            ];
+            let runtimes: Vec<ULayer> = configs
+                .iter()
+                .map(|c| ULayer::with_config(spec.clone(), c.clone()).expect("ulayer"))
+                .collect();
+            let rows = ModelId::EVALUATED
+                .iter()
+                .map(|id| {
+                    let g = id.build();
+                    let l2p = run_layer_to_processor(&spec, &g, DType::QUInt8)
+                        .expect("l2p")
+                        .latency_ms();
+                    let mut steps = [l2p, 0.0, 0.0, 0.0];
+                    for (i, rt) in runtimes.iter().enumerate() {
+                        steps[i + 1] = rt.run(&g).expect("step run").latency_ms();
+                    }
+                    (id.name().to_string(), steps)
+                })
+                .collect();
+            Fig17 {
+                soc: spec.name.clone(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// Table 1: mechanism applicability per network.
+pub fn table1() -> Vec<(String, unn::Applicability)> {
+    ModelId::EVALUATED
+        .iter()
+        .map(|id| (id.name().to_string(), unn::applicability(&id.build())))
+        .collect()
+}
+
+/// The §8.3 NPU extension experiment: μLayer with and without an NPU.
+#[derive(Clone, Debug)]
+pub struct NpuRow {
+    /// Network name.
+    pub network: String,
+    /// μLayer latency on the plain SoC, ms.
+    pub base_ms: f64,
+    /// μLayer latency with the NPU added, ms.
+    pub npu_ms: f64,
+}
+
+/// Runs the NPU extension on the high-end SoC.
+pub fn npu_extension() -> Vec<NpuRow> {
+    let base_spec = SocSpec::exynos_7420();
+    let npu_spec = SocSpec::exynos_7420().with_npu();
+    let base_rt = ULayer::new(base_spec).expect("ulayer");
+    let npu_rt = ULayer::new(npu_spec).expect("ulayer+npu");
+    ModelId::EVALUATED
+        .iter()
+        .map(|id| {
+            let g = id.build();
+            NpuRow {
+                network: id.name().to_string(),
+                base_ms: base_rt.run(&g).expect("base").latency_ms(),
+                npu_ms: npu_rt.run(&g).expect("npu").latency_ms(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::geomean;
+
+    #[test]
+    fn fig5_reproduces_section_3_1() {
+        let data = fig5();
+        assert_eq!(data.len(), 2);
+        // High-end: GPU ~1.4x faster on average.
+        assert!(
+            (1.2..1.55).contains(&data[0].mean_gpu_speedup),
+            "high-end mean speedup = {}",
+            data[0].mean_gpu_speedup
+        );
+        // Mid-range: the CPU wins (speedup < 1).
+        assert!(
+            data[1].mean_gpu_speedup < 0.95,
+            "mid-range mean speedup = {}",
+            data[1].mean_gpu_speedup
+        );
+    }
+
+    #[test]
+    fn fig12_reproduces_the_case_study_shape() {
+        let d = fig12();
+        // Cooperative beats CPU-only; branch distribution beats plain
+        // cooperative (the paper: 52.1% and 63.4% improvements).
+        assert!(d.cooperative_ms < d.cpu_only_ms);
+        assert!(d.optimal_ms < d.cooperative_ms);
+        let coop_gain = 1.0 - d.cooperative_ms / d.cpu_only_ms;
+        let opt_gain = 1.0 - d.optimal_ms / d.cpu_only_ms;
+        // Smaller absolute gains than the paper's 52.1%/63.4% (our
+        // idealized per-layer latencies are more MAC-proportional than
+        // ACL's; see EXPERIMENTS.md), but the ordering and a double-digit
+        // improvement hold.
+        assert!((0.10..0.75).contains(&coop_gain), "coop gain = {coop_gain}");
+        assert!(opt_gain > coop_gain);
+    }
+
+    #[test]
+    fn evaluation_reproduces_figure_16_shape() {
+        let evals = evaluation();
+        for eval in &evals {
+            let imps: Vec<f64> = eval
+                .latency_improvements()
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            // Every network improves over the state of the art.
+            assert!(imps.iter().all(|&v| v > 0.0), "{}: {imps:?}", eval.soc);
+            // Geomean improvement lands in a band around the paper's
+            // 30.5% / 35.3%.
+            let geo = 1.0 - geomean(&imps.iter().map(|v| 1.0 - v).collect::<Vec<_>>());
+            assert!((0.15..0.60).contains(&geo), "{}: geomean = {geo}", eval.soc);
+        }
+    }
+
+    #[test]
+    fn npu_extension_helps() {
+        let rows = npu_extension();
+        // The NPU adds QUInt8 throughput; at minimum the big networks
+        // must get faster.
+        let improved = rows.iter().filter(|r| r.npu_ms < r.base_ms).count();
+        assert!(improved >= 3, "only {improved}/5 networks improved");
+    }
+}

@@ -1,0 +1,146 @@
+//! A minimal JSON document builder for machine-readable result export.
+//!
+//! Hand-rolled (the workspace's dependency policy keeps external crates
+//! to rand/proptest/criterion); covers exactly what the reproduction
+//! harness emits: numbers, strings, booleans, arrays, and objects with
+//! preserved key order.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn s(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Convenience: a number value.
+    pub fn n(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// Convenience: an object from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Integers render without a fraction for readability.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{}", *v as i64);
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::n(3.0).render(), "3");
+        assert_eq!(Json::n(3.25).render(), "3.25");
+        assert_eq!(Json::n(f64::NAN).render(), "null");
+        assert_eq!(Json::s("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Json::s("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::s("\u{1}").render(), "\"\\u0001\"");
+        // Unicode passes through.
+        assert_eq!(Json::s("μLayer").render(), "\"μLayer\"");
+    }
+
+    #[test]
+    fn containers() {
+        let v = Json::obj(vec![
+            ("name", Json::s("VGG-16")),
+            ("ms", Json::n(12.5)),
+            ("rows", Json::Arr(vec![Json::n(1.0), Json::n(2.0)])),
+        ]);
+        assert_eq!(v.render(), r#"{"name":"VGG-16","ms":12.5,"rows":[1,2]}"#);
+    }
+
+    #[test]
+    fn key_order_preserved() {
+        let v = Json::obj(vec![("z", Json::n(1.0)), ("a", Json::n(2.0))]);
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+}

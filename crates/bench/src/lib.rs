@@ -1,0 +1,24 @@
+//! Benchmark and reproduction harness for the μLayer paper.
+//!
+//! - [`figures`] — one experiment function per table/figure of the
+//!   paper's evaluation (the data producers).
+//! - [`report`] — plain-text table rendering and summary statistics.
+//!
+//! The `repro` binary drives these and prints paper-style rows; the
+//! criterion benches under `benches/` measure the same workloads.
+
+pub mod export;
+pub mod extra;
+pub mod figures;
+pub mod json;
+pub mod report;
+
+pub use export::export_all;
+pub use extra::{overhead_sensitivity, p_granularity, OverheadRow, PGranularityRow};
+pub use figures::{
+    evaluation, fig12, fig17, fig5, fig6, fig8, inception_3a_graph, npu_extension,
+    run_all_mechanisms, table1, Evaluation, Fig12, Fig17, Fig5, Fig6, Fig8, MechanismResult,
+    NpuRow,
+};
+pub use json::Json;
+pub use report::{geomean, ms, pct, ratio, Table};

@@ -1,0 +1,99 @@
+//! μLayer configuration: which of the three mechanisms are active.
+//!
+//! The paper's Figure 17 ablation enables the mechanisms incrementally;
+//! these builders name the same steps.
+
+/// Which μLayer mechanisms to apply, and the split-ratio granularity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ULayerConfig {
+    /// Channel-wise workload distribution (§3.2).
+    pub channel_distribution: bool,
+    /// Processor-friendly quantization (§4.2). When off, both processors
+    /// compute in uniform QUInt8 (μLayer always assumes an 8-bit
+    /// linear-quantized network, §6).
+    pub proc_friendly_quant: bool,
+    /// Branch distribution (§5).
+    pub branch_distribution: bool,
+    /// Candidate CPU shares `p` for the channel split (§6 uses
+    /// {0.25, 0.5, 0.75}).
+    pub p_candidates: Vec<f64>,
+}
+
+impl Default for ULayerConfig {
+    /// The complete μLayer: all three mechanisms.
+    fn default() -> Self {
+        ULayerConfig {
+            channel_distribution: true,
+            proc_friendly_quant: true,
+            branch_distribution: true,
+            p_candidates: vec![0.25, 0.5, 0.75],
+        }
+    }
+}
+
+impl ULayerConfig {
+    /// Ablation step 1: channel-wise distribution only.
+    pub fn channel_distribution_only() -> ULayerConfig {
+        ULayerConfig {
+            channel_distribution: true,
+            proc_friendly_quant: false,
+            branch_distribution: false,
+            ..ULayerConfig::default()
+        }
+    }
+
+    /// Ablation step 2: channel-wise distribution + processor-friendly
+    /// quantization.
+    pub fn with_proc_quant() -> ULayerConfig {
+        ULayerConfig {
+            channel_distribution: true,
+            proc_friendly_quant: true,
+            branch_distribution: false,
+            ..ULayerConfig::default()
+        }
+    }
+
+    /// Ablation step 3 (complete μLayer) — same as [`Default`].
+    pub fn full() -> ULayerConfig {
+        ULayerConfig::default()
+    }
+
+    /// A label for reports.
+    pub fn label(&self) -> String {
+        match (
+            self.channel_distribution,
+            self.proc_friendly_quant,
+            self.branch_distribution,
+        ) {
+            (true, true, true) => "ulayer".into(),
+            (true, true, false) => "ulayer[ch+quant]".into(),
+            (true, false, false) => "ulayer[ch]".into(),
+            (a, b, c) => format!("ulayer[ch={a},quant={b},br={c}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_ladder() {
+        let s1 = ULayerConfig::channel_distribution_only();
+        assert!(s1.channel_distribution && !s1.proc_friendly_quant && !s1.branch_distribution);
+        let s2 = ULayerConfig::with_proc_quant();
+        assert!(s2.channel_distribution && s2.proc_friendly_quant && !s2.branch_distribution);
+        let s3 = ULayerConfig::full();
+        assert!(s3.channel_distribution && s3.proc_friendly_quant && s3.branch_distribution);
+        assert_eq!(s3.p_candidates, vec![0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        assert_ne!(
+            ULayerConfig::full().label(),
+            ULayerConfig::with_proc_quant().label()
+        );
+        assert_eq!(ULayerConfig::full().label(), "ulayer");
+    }
+}

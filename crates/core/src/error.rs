@@ -1,0 +1,51 @@
+//! Error type of the μLayer runtime.
+
+use std::fmt;
+
+use uruntime::RunError;
+use usoc::SocError;
+use utensor::TensorError;
+
+/// Errors from planning or running μLayer.
+#[derive(Debug)]
+pub enum ULayerError {
+    /// Graph/shape/validation failure.
+    Tensor(TensorError),
+    /// SoC model failure.
+    Soc(SocError),
+    /// Execution failure.
+    Run(RunError),
+    /// Planning failure (no feasible placement).
+    Plan(String),
+}
+
+impl fmt::Display for ULayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ULayerError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ULayerError::Soc(e) => write!(f, "soc error: {e}"),
+            ULayerError::Run(e) => write!(f, "run error: {e}"),
+            ULayerError::Plan(msg) => write!(f, "planning error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ULayerError {}
+
+impl From<TensorError> for ULayerError {
+    fn from(e: TensorError) -> Self {
+        ULayerError::Tensor(e)
+    }
+}
+
+impl From<SocError> for ULayerError {
+    fn from(e: SocError) -> Self {
+        ULayerError::Soc(e)
+    }
+}
+
+impl From<RunError> for ULayerError {
+    fn from(e: RunError) -> Self {
+        ULayerError::Run(e)
+    }
+}

@@ -1,0 +1,50 @@
+//! μLayer: low-latency on-device inference via cooperative single-layer
+//! acceleration and processor-friendly quantization.
+//!
+//! This crate is the paper's primary contribution (Kim et al., EuroSys
+//! 2019), reproduced on the simulated SoC substrate of the sibling
+//! crates. The three mechanisms:
+//!
+//! 1. **Channel-wise workload distribution** (§3.2) — a single layer's
+//!    output channels are split between the CPU and the GPU in a ratio
+//!    `p : (1-p)` with no redundant computation; implemented as `Split`
+//!    placements consumed by the shared execution engine.
+//! 2. **Processor-friendly quantization** (§4) — activations live in
+//!    memory as QUInt8; the CPU computes on them directly with i32
+//!    accumulation and fixed-point requantization, the GPU dequantizes
+//!    loads to F16 on the fly and requantizes its outputs.
+//! 3. **Branch distribution** (§5) — divergent branch groups (Inception,
+//!    Fire) are assigned branch-per-processor via exhaustive mapping
+//!    search when that beats per-layer splitting.
+//!
+//! Components (Figure 13): the [`predictor`] (Neurosurgeon-style fitted
+//! latency models), the [`partitioner`] (chooses `p` per layer), the
+//! [`branch`] distributor, and the [`runtime::ULayer`] facade that plans
+//! and executes.
+//!
+//! # Examples
+//!
+//! ```
+//! use ulayer::ULayer;
+//! use usoc::SocSpec;
+//!
+//! let rt = ULayer::new(SocSpec::exynos_7420()).unwrap();
+//! let net = unn::ModelId::SqueezeNet.build();
+//! let result = rt.run(&net).unwrap();
+//! println!("SqueezeNet v1.1: {:.2} ms", result.latency_ms());
+//! ```
+
+pub mod branch;
+pub mod config;
+pub mod error;
+pub mod partitioner;
+pub mod predictor;
+pub mod predictor_eval;
+pub mod runtime;
+
+pub use branch::BranchMapping;
+pub use config::ULayerConfig;
+pub use error::ULayerError;
+pub use predictor::{FittedModel, LatencyPredictor};
+pub use predictor_eval::{evaluate_predictor, DeviceAccuracy, PredictorReport};
+pub use runtime::{PlanReport, ULayer};

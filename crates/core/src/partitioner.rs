@@ -1,0 +1,405 @@
+//! The NN partitioner (§6): chooses each layer's execution configuration.
+//!
+//! For every layer the partitioner enumerates candidate placements —
+//! CPU-only, GPU-only, and channel-wise splits at the configured `p`
+//! values — estimates each candidate's latency with the [`crate::predictor`],
+//! adds the §6 management overheads the runtime would pay, and keeps the
+//! cheapest. With more than two processors (the §8.3 NPU extension) it
+//! additionally considers n-way splits with throughput-proportional
+//! shares.
+
+use usoc::{DeviceId, DeviceKind, DtypePlan, SocSpec};
+use utensor::{DType, Shape};
+
+use simcore::SimSpan;
+use unn::{Graph, LayerKind, NodeId};
+use uruntime::NodePlacement;
+
+use crate::config::ULayerConfig;
+use crate::error::ULayerError;
+use crate::predictor::LatencyPredictor;
+
+/// The dtype plan a device uses under the active configuration.
+pub(crate) fn device_dtypes(spec: &SocSpec, device: DeviceId, cfg: &ULayerConfig) -> DtypePlan {
+    if !cfg.proc_friendly_quant {
+        return DtypePlan::uniform(DType::QUInt8);
+    }
+    match spec.devices[device.0].kind {
+        DeviceKind::CpuCluster | DeviceKind::Npu => DtypePlan::proc_friendly_cpu(),
+        DeviceKind::Gpu => DtypePlan::proc_friendly_gpu(),
+    }
+}
+
+/// Per-layer candidate costing shared by the partitioner and the branch
+/// distributor.
+pub struct LayerCoster<'a> {
+    pub spec: &'a SocSpec,
+    pub predictor: &'a LatencyPredictor,
+    pub cfg: &'a ULayerConfig,
+}
+
+impl<'a> LayerCoster<'a> {
+    /// Predicted latency of running the whole layer on one device,
+    /// including the host-side costs of a single-device execution.
+    pub fn single_cost(
+        &self,
+        device: DeviceId,
+        kind: &LayerKind,
+        in_shape: &Shape,
+        out_shape: &Shape,
+    ) -> Option<SimSpan> {
+        let dtypes = device_dtypes(self.spec, device, self.cfg);
+        let work = usoc::layer_work(kind, in_shape, out_shape, dtypes, 1.0);
+        let kernel = self.predictor.predict(device, &work).ok()?;
+        let host = match self.spec.devices[device.0].kind {
+            DeviceKind::CpuCluster => self.spec.cpu_dispatch_span(),
+            DeviceKind::Gpu | DeviceKind::Npu => {
+                self.spec.gpu_issue_span() + self.spec.gpu_wait_span()
+            }
+        };
+        Some(kernel + host)
+    }
+
+    /// Predicted latency of a channel-wise split across `parts`
+    /// (`(device, fraction)`), including issue/merge overheads.
+    pub fn split_cost(
+        &self,
+        parts: &[(DeviceId, f64)],
+        kind: &LayerKind,
+        in_shape: &Shape,
+        out_shape: &Shape,
+    ) -> Option<SimSpan> {
+        let mut slowest = SimSpan::ZERO;
+        let mut issue_total = SimSpan::ZERO;
+        for &(device, frac) in parts {
+            let dtypes = device_dtypes(self.spec, device, self.cfg);
+            let work = usoc::layer_work(kind, in_shape, out_shape, dtypes, frac);
+            let kernel = self.predictor.predict(device, &work).ok()?;
+            let part = match self.spec.devices[device.0].kind {
+                DeviceKind::CpuCluster => kernel + self.spec.cpu_dispatch_span(),
+                DeviceKind::Gpu | DeviceKind::Npu => {
+                    // The issue precedes the CPU-side work on the host
+                    // timeline (§6), delaying every part of the layer.
+                    issue_total += self.spec.gpu_issue_span();
+                    kernel
+                }
+            };
+            slowest = slowest.max(part);
+        }
+        let merge = if issue_total.is_zero() {
+            self.spec.cpu_dispatch_span()
+        } else {
+            self.spec.gpu_wait_span() + self.spec.map_span()
+        };
+        Some(issue_total + slowest + merge)
+    }
+
+    /// The best placement for one layer, with its predicted cost.
+    pub fn best_placement(
+        &self,
+        kind: &LayerKind,
+        in_shape: &Shape,
+        out_shape: &Shape,
+    ) -> Result<(NodePlacement, SimSpan), ULayerError> {
+        let mut best: Option<(NodePlacement, SimSpan)> = None;
+        let mut consider = |placement: NodePlacement, cost: SimSpan| {
+            if best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
+                best = Some((placement, cost));
+            }
+        };
+
+        // Single-device candidates.
+        for device in self.spec.device_ids() {
+            if let Some(cost) = self.single_cost(device, kind, in_shape, out_shape) {
+                consider(
+                    NodePlacement::Single {
+                        device,
+                        dtypes: device_dtypes(self.spec, device, self.cfg),
+                    },
+                    cost,
+                );
+            }
+        }
+
+        // Channel-wise split candidates.
+        if self.cfg.channel_distribution && kind.is_distributable() {
+            let cpu = self.spec.cpu();
+            let accels: Vec<DeviceId> = self
+                .spec
+                .device_ids()
+                .into_iter()
+                .filter(|d| self.spec.devices[d.0].kind != DeviceKind::CpuCluster)
+                .collect();
+            // Two-way CPU+accelerator splits at the configured p values.
+            for &accel in &accels {
+                for &p in &self.cfg.p_candidates {
+                    let parts = [(cpu, p), (accel, 1.0 - p)];
+                    if let Some(cost) = self.split_cost(&parts, kind, in_shape, out_shape) {
+                        consider(
+                            NodePlacement::Split {
+                                parts: parts
+                                    .iter()
+                                    .map(|&(d, f)| (d, device_dtypes(self.spec, d, self.cfg), f))
+                                    .collect(),
+                            },
+                            cost,
+                        );
+                    }
+                }
+            }
+            // N-way split with throughput-proportional shares (NPU
+            // extension): shares proportional to predicted speed.
+            if accels.len() >= 2 {
+                let devices: Vec<DeviceId> =
+                    std::iter::once(cpu).chain(accels.iter().copied()).collect();
+                let speeds: Option<Vec<f64>> = devices
+                    .iter()
+                    .map(|&d| {
+                        self.single_cost(d, kind, in_shape, out_shape)
+                            .map(|c| 1.0 / c.as_secs_f64().max(1e-12))
+                    })
+                    .collect();
+                if let Some(speeds) = speeds {
+                    let total: f64 = speeds.iter().sum();
+                    if total > 0.0 {
+                        let mut parts: Vec<(DeviceId, f64)> = devices
+                            .iter()
+                            .zip(&speeds)
+                            .map(|(&d, &s)| (d, s / total))
+                            .collect();
+                        // Re-normalize exactly.
+                        let sum: f64 = parts.iter().map(|p| p.1).sum();
+                        for p in &mut parts {
+                            p.1 /= sum;
+                        }
+                        if parts.iter().all(|p| p.1 > 0.01) {
+                            if let Some(cost) = self.split_cost(&parts, kind, in_shape, out_shape) {
+                                consider(
+                                    NodePlacement::Split {
+                                        parts: parts
+                                            .iter()
+                                            .map(|&(d, f)| {
+                                                (d, device_dtypes(self.spec, d, self.cfg), f)
+                                            })
+                                            .collect(),
+                                    },
+                                    cost,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        best.ok_or_else(|| {
+            ULayerError::Plan(format!(
+                "no feasible placement for {} layer",
+                kind.op_name()
+            ))
+        })
+    }
+}
+
+/// Plans every layer independently (channel distribution + quantization;
+/// branch distribution is applied on top by [`crate::branch`]).
+pub fn partition(
+    spec: &SocSpec,
+    predictor: &LatencyPredictor,
+    cfg: &ULayerConfig,
+    graph: &Graph,
+) -> Result<(Vec<NodePlacement>, Vec<SimSpan>), ULayerError> {
+    let shapes = graph.infer_shapes()?;
+    let coster = LayerCoster {
+        spec,
+        predictor,
+        cfg,
+    };
+    let mut placements = Vec::with_capacity(graph.len());
+    let mut costs = Vec::with_capacity(graph.len());
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let in_shape = graph.node_input_shape(NodeId(i), &shapes);
+        let (placement, cost) = coster.best_placement(&node.kind, in_shape, &shapes[i])?;
+        placements.push(placement);
+        costs.push(cost);
+    }
+    Ok((placements, costs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SocSpec, LatencyPredictor) {
+        let spec = SocSpec::exynos_7420();
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        (spec, pred)
+    }
+
+    #[test]
+    fn big_conv_gets_split() {
+        let (spec, pred) = setup();
+        let cfg = ULayerConfig::full();
+        let coster = LayerCoster {
+            spec: &spec,
+            predictor: &pred,
+            cfg: &cfg,
+        };
+        let kind = LayerKind::Conv {
+            oc: 256,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 256, 28, 28);
+        let out_shape = Shape::nchw(1, 256, 28, 28);
+        let (placement, _) = coster.best_placement(&kind, &in_shape, &out_shape).unwrap();
+        assert!(
+            matches!(placement, NodePlacement::Split { .. }),
+            "expected split, got {placement:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_layer_stays_single() {
+        // Sync overheads dwarf a tiny layer's compute: single processor
+        // wins (the §5 motivation).
+        let (spec, pred) = setup();
+        let cfg = ULayerConfig::full();
+        let coster = LayerCoster {
+            spec: &spec,
+            predictor: &pred,
+            cfg: &cfg,
+        };
+        let kind = LayerKind::Conv {
+            oc: 16,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 16, 7, 7);
+        let out_shape = Shape::nchw(1, 16, 7, 7);
+        let (placement, _) = coster.best_placement(&kind, &in_shape, &out_shape).unwrap();
+        assert!(
+            matches!(placement, NodePlacement::Single { .. }),
+            "expected single, got {placement:?}"
+        );
+    }
+
+    #[test]
+    fn split_shares_respect_processor_balance() {
+        // With proc-friendly quantization the CPU (30.8 GMAC/s QUInt8)
+        // and GPU (36.2 GMAC/s F16) are nearly balanced: p = 0.5 should
+        // beat p = 0.25 and p = 0.75 on a big compute-bound layer.
+        let (spec, pred) = setup();
+        let cfg = ULayerConfig::full();
+        let coster = LayerCoster {
+            spec: &spec,
+            predictor: &pred,
+            cfg: &cfg,
+        };
+        let kind = LayerKind::Conv {
+            oc: 512,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 512, 28, 28);
+        let out_shape = Shape::nchw(1, 512, 28, 28);
+        let cost_at = |p: f64| {
+            coster
+                .split_cost(
+                    &[(spec.cpu(), p), (spec.gpu(), 1.0 - p)],
+                    &kind,
+                    &in_shape,
+                    &out_shape,
+                )
+                .unwrap()
+        };
+        assert!(cost_at(0.5) < cost_at(0.25));
+        assert!(cost_at(0.5) < cost_at(0.75));
+    }
+
+    #[test]
+    fn without_channel_distribution_everything_is_single() {
+        let (spec, pred) = setup();
+        let mut cfg = ULayerConfig::full();
+        cfg.channel_distribution = false;
+        let g = unn::ModelId::SqueezeNet.build();
+        let (placements, _) = partition(&spec, &pred, &cfg, &g).unwrap();
+        assert!(placements
+            .iter()
+            .all(|p| matches!(p, NodePlacement::Single { .. })));
+    }
+
+    #[test]
+    fn proc_quant_selects_mixed_dtypes() {
+        let (spec, pred) = setup();
+        let cfg = ULayerConfig::full();
+        let g = unn::ModelId::Vgg16.build();
+        let (placements, _) = partition(&spec, &pred, &cfg, &g).unwrap();
+        let mut saw_gpu_f16 = false;
+        for p in &placements {
+            if let NodePlacement::Split { parts } = p {
+                for (d, dtypes, _) in parts {
+                    if spec.devices[d.0].kind == DeviceKind::Gpu {
+                        assert_eq!(dtypes.compute, DType::F16);
+                        assert_eq!(dtypes.storage, DType::QUInt8);
+                        saw_gpu_f16 = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_gpu_f16, "VGG-16 should have split conv layers");
+    }
+
+    #[test]
+    fn without_proc_quant_everything_is_quint8() {
+        let (spec, pred) = setup();
+        let cfg = ULayerConfig::channel_distribution_only();
+        let g = unn::ModelId::AlexNet.build();
+        let (placements, _) = partition(&spec, &pred, &cfg, &g).unwrap();
+        for p in &placements {
+            match p {
+                NodePlacement::Single { dtypes, .. } => {
+                    assert_eq!(dtypes.compute, DType::QUInt8)
+                }
+                NodePlacement::Split { parts } => {
+                    for (_, dtypes, _) in parts {
+                        assert_eq!(dtypes.compute, DType::QUInt8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn npu_participates_in_nway_split() {
+        let spec = SocSpec::exynos_7420().with_npu();
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        let cfg = ULayerConfig::full();
+        let coster = LayerCoster {
+            spec: &spec,
+            predictor: &pred,
+            cfg: &cfg,
+        };
+        let kind = LayerKind::Conv {
+            oc: 512,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 512, 56, 56);
+        let out_shape = Shape::nchw(1, 512, 56, 56);
+        let (placement, _) = coster.best_placement(&kind, &in_shape, &out_shape).unwrap();
+        if let NodePlacement::Split { parts } = &placement {
+            assert_eq!(parts.len(), 3, "expected a 3-way split, got {placement:?}");
+        } else {
+            panic!("expected split, got {placement:?}");
+        }
+    }
+}

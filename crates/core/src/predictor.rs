@@ -1,0 +1,354 @@
+//! The latency predictor (§6).
+//!
+//! μLayer's NN partitioner consults a latency predictor to choose split
+//! ratios. Following the paper, the predictor extends Neurosurgeon's
+//! regression approach: per (device, kernel class, compute dtype) it fits
+//! a regression model to *profiled* samples and at planning time predicts
+//! the latency of a layer (or a `p`-fraction of one).
+//!
+//! The predictor is deliberately *not* an oracle: it is trained by
+//! sampling the simulated SoC through the same profiling interface a real
+//! phone would expose (run a kernel, read a timer), and it fits both a
+//! linear model (`a·macs + b·bytes + c`) and a Neurosurgeon-style
+//! logarithmic model (`a·macs·log2(macs) + b`), keeping whichever has the
+//! lower residual. Prediction error therefore propagates into μLayer's
+//! planning decisions, as it does on real hardware.
+
+use std::collections::HashMap;
+
+use simcore::SimSpan;
+use usoc::{DeviceId, KernelWork, SocError, SocSpec, WorkClass};
+use utensor::DType;
+
+/// A fitted regression model over (macs, bytes) → seconds.
+#[derive(Clone, Copy, Debug)]
+pub enum FittedModel {
+    /// `a·macs + b·bytes + c`.
+    Linear {
+        /// Seconds per MAC.
+        a: f64,
+        /// Seconds per byte.
+        b: f64,
+        /// Fixed seconds.
+        c: f64,
+    },
+    /// `a·macs·log2(1+macs) + b` (the Neurosurgeon-style form).
+    LogLinear {
+        /// Seconds per MAC·log2(MAC).
+        a: f64,
+        /// Fixed seconds.
+        b: f64,
+    },
+}
+
+impl FittedModel {
+    /// Predicted latency in seconds (clamped at zero).
+    pub fn predict_secs(&self, macs: f64, bytes: f64) -> f64 {
+        let v = match self {
+            FittedModel::Linear { a, b, c } => a * macs + b * bytes + c,
+            FittedModel::LogLinear { a, b } => a * macs * (1.0 + macs).log2() + b,
+        };
+        v.max(0.0)
+    }
+}
+
+/// Solves the 3×3 linear system `m · x = v` by Gaussian elimination with
+/// partial pivoting. Returns `None` for singular systems.
+fn solve3(mut m: [[f64; 3]; 3], mut v: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let piv = (col..3).max_by(|&a, &b| {
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[b][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if m[piv][col].abs() < 1e-30 {
+            return None;
+        }
+        m.swap(col, piv);
+        v.swap(col, piv);
+        for row in 0..3 {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                let pivot_row = m[col];
+                for (cell, pivot) in m[row].iter_mut().zip(pivot_row) {
+                    *cell -= f * pivot;
+                }
+                v[row] -= f * v[col];
+            }
+        }
+    }
+    Some([v[0] / m[0][0], v[1] / m[1][1], v[2] / m[2][2]])
+}
+
+/// Least-squares fit of the linear model.
+fn fit_linear(samples: &[(f64, f64, f64)]) -> Option<FittedModel> {
+    // Normal equations over features [macs, bytes, 1].
+    let mut m = [[0.0f64; 3]; 3];
+    let mut v = [0.0f64; 3];
+    for &(macs, bytes, y) in samples {
+        let x = [macs, bytes, 1.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                m[i][j] += x[i] * x[j];
+            }
+            v[i] += x[i] * y;
+        }
+    }
+    let s = solve3(m, v)?;
+    Some(FittedModel::Linear {
+        a: s[0],
+        b: s[1],
+        c: s[2],
+    })
+}
+
+/// Least-squares fit of the logarithmic model (2 parameters).
+fn fit_log(samples: &[(f64, f64, f64)]) -> Option<FittedModel> {
+    let (mut sxx, mut sx, mut sxy, mut sy, mut n) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(macs, _, y) in samples {
+        let x = macs * (1.0 + macs).log2();
+        sxx += x * x;
+        sx += x;
+        sxy += x * y;
+        sy += y;
+        n += 1.0;
+    }
+    let det = sxx * n - sx * sx;
+    if det.abs() < 1e-30 {
+        return None;
+    }
+    let a = (sxy * n - sx * sy) / det;
+    let b = (sxx * sy - sx * sxy) / det;
+    Some(FittedModel::LogLinear { a, b })
+}
+
+fn residual(model: &FittedModel, samples: &[(f64, f64, f64)]) -> f64 {
+    samples
+        .iter()
+        .map(|&(m, b, y)| {
+            let e = model.predict_secs(m, b) - y;
+            e * e
+        })
+        .sum()
+}
+
+/// The trained latency predictor.
+#[derive(Clone, Debug)]
+pub struct LatencyPredictor {
+    models: HashMap<(DeviceId, WorkClass, DType), FittedModel>,
+}
+
+/// The kernel classes the predictor trains models for.
+const CLASSES: [WorkClass; 6] = [
+    WorkClass::Gemm,
+    WorkClass::Depthwise,
+    WorkClass::Pool,
+    WorkClass::Elementwise,
+    WorkClass::Norm,
+    WorkClass::Copy,
+];
+
+impl LatencyPredictor {
+    /// Trains the predictor by profiling synthetic kernels on every
+    /// device of `spec`, across all supported dtypes and kernel classes.
+    pub fn train(spec: &SocSpec) -> Result<LatencyPredictor, SocError> {
+        let mut models = HashMap::new();
+        for dev_id in spec.device_ids() {
+            let dev = spec.device(dev_id)?;
+            for &dtype in &dev.supported {
+                for class in CLASSES {
+                    let mut samples = Vec::new();
+                    // Sweep arithmetic intensity and size together, like
+                    // profiling a ladder of real layer configurations.
+                    for mexp in 0..14 {
+                        let macs: u64 = 1u64 << (10 + mexp); // 1K .. 8G MACs
+                        for &ratio in &[4.0f64, 32.0, 256.0] {
+                            let bytes = (macs as f64 / ratio).max(64.0) as u64;
+                            let work = KernelWork {
+                                class,
+                                macs,
+                                bytes_in: bytes / 2,
+                                bytes_weights: bytes / 4,
+                                bytes_out: bytes - bytes / 2 - bytes / 4,
+                                compute_dtype: dtype,
+                            };
+                            let lat = spec.kernel_latency(dev_id, &work)?;
+                            samples.push((macs as f64, bytes as f64, lat.as_secs_f64()));
+                        }
+                    }
+                    let lin = fit_linear(&samples);
+                    let log = fit_log(&samples);
+                    let model = match (lin, log) {
+                        (Some(a), Some(b)) => {
+                            if residual(&a, &samples) <= residual(&b, &samples) {
+                                a
+                            } else {
+                                b
+                            }
+                        }
+                        (Some(a), None) => a,
+                        (None, Some(b)) => b,
+                        (None, None) => FittedModel::Linear {
+                            a: 0.0,
+                            b: 0.0,
+                            c: 0.0,
+                        },
+                    };
+                    models.insert((dev_id, class, dtype), model);
+                }
+            }
+        }
+        Ok(LatencyPredictor { models })
+    }
+
+    /// Predicts the latency of `work` on `device`.
+    ///
+    /// Returns an error for (device, dtype) pairs that were never
+    /// profiled (e.g. float work on an NPU) — the partitioner treats
+    /// those as infeasible placements.
+    pub fn predict(&self, device: DeviceId, work: &KernelWork) -> Result<SimSpan, SocError> {
+        let model = self
+            .models
+            .get(&(device, work.class, work.compute_dtype))
+            .ok_or_else(|| SocError::UnsupportedDtype {
+                device: format!("{device}"),
+                dtype: work.compute_dtype,
+            })?;
+        Ok(SimSpan::from_secs_f64(
+            model.predict_secs(work.macs as f64, work.total_bytes() as f64),
+        ))
+    }
+
+    /// Number of fitted models (diagnostics).
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usoc::DtypePlan;
+    use utensor::Shape;
+
+    #[test]
+    fn solve3_known_system() {
+        // 2x + y = 4; x + 3y + z = 10; y + 2z = 8 -> x=1, y=2, z=3.
+        let m = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
+        let v = [4.0, 10.0, 8.0];
+        let s = solve3(m, v).unwrap();
+        assert!((s[0] - 1.0).abs() < 1e-9);
+        assert!((s[1] - 2.0).abs() < 1e-9);
+        assert!((s[2] - 3.0).abs() < 1e-9);
+        // Singular system.
+        assert!(solve3([[1.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 0.0]], v).is_none());
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_model() {
+        let truth = |m: f64, b: f64| 2e-10 * m + 5e-11 * b + 1e-5;
+        let samples: Vec<(f64, f64, f64)> = (1..30)
+            .map(|i| {
+                let m = (i * i * 1000) as f64;
+                let b = (i * 500) as f64;
+                (m, b, truth(m, b))
+            })
+            .collect();
+        let model = fit_linear(&samples).unwrap();
+        for &(m, b, y) in &samples {
+            let p = model.predict_secs(m, b);
+            assert!((p - y).abs() < 1e-12 + y * 1e-6, "p={p}, y={y}");
+        }
+    }
+
+    #[test]
+    fn trained_predictor_tracks_the_soc_within_tolerance() {
+        let spec = SocSpec::exynos_7420();
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        // Predict a realistic conv work item and compare to ground truth.
+        let kind = unn::LayerKind::Conv {
+            oc: 128,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 64, 28, 28);
+        let out_shape = Shape::nchw(1, 128, 28, 28);
+        for dev in [spec.cpu(), spec.gpu()] {
+            for dtypes in [
+                DtypePlan::uniform(DType::F32),
+                DtypePlan::proc_friendly_cpu(),
+            ] {
+                let work = usoc::layer_work(&kind, &in_shape, &out_shape, dtypes, 1.0);
+                let predicted = pred.predict(dev, &work).unwrap().as_secs_f64();
+                let actual = spec.kernel_latency(dev, &work).unwrap().as_secs_f64();
+                let rel = (predicted - actual).abs() / actual;
+                assert!(rel < 0.30, "dev {dev}: rel err {rel:.3}");
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_scales_with_p() {
+        // Half the output channels ≈ half the predicted compute.
+        let spec = SocSpec::exynos_7420();
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        let kind = unn::LayerKind::Conv {
+            oc: 256,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 128, 28, 28);
+        let out_shape = Shape::nchw(1, 256, 28, 28);
+        let full = usoc::layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::proc_friendly_cpu(),
+            1.0,
+        );
+        let half = usoc::layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::proc_friendly_cpu(),
+            0.5,
+        );
+        let p_full = pred.predict(spec.cpu(), &full).unwrap().as_secs_f64();
+        let p_half = pred.predict(spec.cpu(), &half).unwrap().as_secs_f64();
+        let ratio = p_half / p_full;
+        assert!((0.4..0.65).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn unsupported_dtype_is_an_error() {
+        let spec = SocSpec::exynos_7420().with_npu();
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        let npu = spec.find(usoc::DeviceKind::Npu).unwrap();
+        let work = KernelWork {
+            class: WorkClass::Gemm,
+            macs: 1_000_000,
+            bytes_in: 1000,
+            bytes_weights: 1000,
+            bytes_out: 1000,
+            compute_dtype: DType::F16,
+        };
+        assert!(pred.predict(npu, &work).is_err());
+        let mut q = work;
+        q.compute_dtype = DType::QUInt8;
+        assert!(pred.predict(npu, &q).is_ok());
+    }
+
+    #[test]
+    fn model_count_covers_devices_classes_dtypes() {
+        let spec = SocSpec::exynos_7420();
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        // 2 devices x 3 dtypes x 6 classes.
+        assert_eq!(pred.model_count(), 36);
+    }
+}

@@ -1,0 +1,130 @@
+//! Standalone activation functions.
+//!
+//! Most ReLUs are fused into the preceding convolution/FC (the deployment
+//! path); the standalone [`relu`] exists for graphs that keep them as
+//! separate layers and for tests. [`softmax_f32`] is used by the accuracy
+//! experiments and the example classifiers.
+
+use utensor::{Tensor, TensorData, TensorError, F16};
+
+/// Elementwise ReLU.
+///
+/// For `QUInt8` tensors, clamps codes at the zero point (the quantized
+/// image of real zero), matching the fused path in the GEMM kernels.
+pub fn relu(input: &Tensor) -> Result<Tensor, TensorError> {
+    let data = match input.data() {
+        TensorData::F32(v) => TensorData::F32(v.iter().map(|&x| x.max(0.0)).collect()),
+        TensorData::F16(v) => TensorData::F16(
+            v.iter()
+                .map(|&x| if x < F16::ZERO { F16::ZERO } else { x })
+                .collect(),
+        ),
+        TensorData::QUInt8 { data, params } => TensorData::QUInt8 {
+            data: data.iter().map(|&q| q.max(params.zero_point)).collect(),
+            params: *params,
+        },
+    };
+    Tensor::new(input.shape().clone(), data)
+}
+
+/// Numerically-stable softmax over the last axis of a flattened f32
+/// tensor (a `[n, classes]`-style logits tensor).
+///
+/// Returns a probability vector per batch row.
+pub fn softmax_f32(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|v| v / sum).collect()
+}
+
+/// Index of the maximum element (the predicted class).
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Indices of the `k` largest elements, in descending value order.
+pub fn top_k(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utensor::{DType, QuantParams, Shape};
+
+    #[test]
+    fn relu_f32() {
+        let t = Tensor::from_f32(Shape::new(vec![4]), vec![-1.0, 0.0, 2.0, -0.5]).unwrap();
+        let r = relu(&t).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_f16() {
+        let t = Tensor::from_f32(Shape::new(vec![3]), vec![-1.0, 0.5, 3.0])
+            .unwrap()
+            .cast(DType::F16, None)
+            .unwrap();
+        let r = relu(&t).unwrap();
+        assert_eq!(r.to_f32_vec(), vec![0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn relu_quint8_clamps_at_zero_point() {
+        let p = QuantParams::from_range(-2.0, 2.0).unwrap();
+        let t = Tensor::from_f32_quantized(Shape::new(vec![3]), &[-1.5, 0.0, 1.5], p).unwrap();
+        let r = relu(&t).unwrap();
+        let vals = r.to_f32_vec();
+        assert_eq!(vals[0], 0.0);
+        assert_eq!(vals[1], 0.0);
+        assert!((vals[2] - 1.5).abs() <= p.scale);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax_f32(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax_f32(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert!(softmax_f32(&[]).is_empty());
+    }
+
+    #[test]
+    fn argmax_and_top_k() {
+        let v = [0.1f32, 0.7, 0.2, 0.05];
+        assert_eq!(argmax(&v), Some(1));
+        assert_eq!(top_k(&v, 2), vec![1, 2]);
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(top_k(&v, 10).len(), 4);
+    }
+}

@@ -1,0 +1,570 @@
+//! 2-D convolution (standard and depthwise) over [`Tensor`]s.
+//!
+//! The deployment path lowers convolution to im2col + GEMM per batch
+//! element, matching how ACL/gemmlowp execute it on the paper's SoCs. A
+//! naive direct convolution ([`conv2d_naive_f32`]) serves as the
+//! independent oracle for the test suites.
+//!
+//! Channel-wise workload distribution (§3.2) does not need special kernel
+//! support: the executor slices the *filter* tensor along output channels
+//! (axis 0) and calls the same [`conv2d`] on each part.
+
+use utensor::{DType, QuantParams, Shape, Tensor, TensorError, F16};
+
+use crate::gemm::{gemm_f16, gemm_f32, gemm_quint8};
+use crate::im2col::im2col;
+use crate::out_dim;
+
+/// Geometry and fusion options of a convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both spatial dimensions.
+    pub pad: usize,
+    /// Fused ReLU on the output.
+    pub relu: bool,
+}
+
+impl Conv2dParams {
+    /// A unit-stride, unpadded convolution without ReLU.
+    pub fn unit() -> Conv2dParams {
+        Conv2dParams {
+            stride: 1,
+            pad: 0,
+            relu: false,
+        }
+    }
+}
+
+fn conv_output_shape(
+    input: &Shape,
+    filters: &Shape,
+    p: &Conv2dParams,
+) -> Result<Shape, TensorError> {
+    if input.rank() != 4 || filters.rank() != 4 {
+        return Err(TensorError::BadConcat(format!(
+            "conv2d expects rank-4 input/filters, got {input} and {filters}"
+        )));
+    }
+    if input.c() != filters.dim(1) {
+        return Err(TensorError::ShapeMismatch {
+            expected: input.with_dim(1, filters.dim(1)),
+            found: input.clone(),
+        });
+    }
+    let oh = out_dim(input.h(), filters.dim(2), p.stride, p.pad);
+    let ow = out_dim(input.w(), filters.dim(3), p.stride, p.pad);
+    match (oh, ow) {
+        (Some(oh), Some(ow)) => Ok(Shape::nchw(input.n(), filters.dim(0), oh, ow)),
+        _ => Err(TensorError::BadConcat(format!(
+            "conv window {filters} does not fit input {input} with stride {} pad {}",
+            p.stride, p.pad
+        ))),
+    }
+}
+
+/// 2-D convolution: `input` NCHW × `filters` OIHW → NCHW.
+///
+/// `input` and `filters` must share a dtype. For `QUInt8`, `out_params`
+/// (the pre-trained output quantization range, §4.2) is required; for the
+/// float types it must be `None`. The f32 `bias` has one entry per output
+/// channel.
+pub fn conv2d(
+    input: &Tensor,
+    filters: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    out_params: Option<QuantParams>,
+) -> Result<Tensor, TensorError> {
+    if filters.dtype() != input.dtype() {
+        return Err(TensorError::DTypeMismatch {
+            expected: input.dtype(),
+            found: filters.dtype(),
+        });
+    }
+    let out_shape = conv_output_shape(input.shape(), filters.shape(), params)?;
+    if let Some(bias) = bias {
+        if bias.len() != out_shape.c() {
+            return Err(TensorError::LengthMismatch {
+                shape: Shape::new(vec![out_shape.c()]),
+                len: bias.len(),
+            });
+        }
+    }
+
+    let (n, ic, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let (oc, kh, kw) = (
+        filters.shape().dim(0),
+        filters.shape().dim(2),
+        filters.shape().dim(3),
+    );
+    let (oh, ow) = (out_shape.h(), out_shape.w());
+    let k = ic * kh * kw;
+    let cols = oh * ow;
+    let plane = ic * h * w;
+
+    match input.dtype() {
+        DType::F32 => {
+            if out_params.is_some() {
+                return Err(TensorError::BadQuantParams(
+                    "out_params given for a float convolution".into(),
+                ));
+            }
+            let x = input.as_f32()?;
+            let f = filters.as_f32()?;
+            let mut out = Vec::with_capacity(out_shape.numel());
+            for b in 0..n {
+                let patches = im2col(
+                    &x[b * plane..(b + 1) * plane],
+                    ic,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    params.stride,
+                    params.pad,
+                    0.0f32,
+                );
+                out.extend(gemm_f32(oc, k, cols, f, &patches, bias, params.relu));
+            }
+            Tensor::from_f32(out_shape, out)
+        }
+        DType::F16 => {
+            if out_params.is_some() {
+                return Err(TensorError::BadQuantParams(
+                    "out_params given for a float convolution".into(),
+                ));
+            }
+            let x = input.as_f16()?;
+            let f = filters.as_f16()?;
+            let mut out: Vec<F16> = Vec::with_capacity(out_shape.numel());
+            for b in 0..n {
+                let patches = im2col(
+                    &x[b * plane..(b + 1) * plane],
+                    ic,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    params.stride,
+                    params.pad,
+                    F16::ZERO,
+                );
+                out.extend(gemm_f16(oc, k, cols, f, &patches, bias, params.relu));
+            }
+            Tensor::new(out_shape, utensor::TensorData::F16(out))
+        }
+        DType::QUInt8 => {
+            let out_params = out_params.ok_or_else(|| {
+                TensorError::BadQuantParams("QUInt8 conv needs output quantization params".into())
+            })?;
+            let (x, x_p) = input.as_quint8()?;
+            let (f, f_p) = filters.as_quint8()?;
+            let mut out: Vec<u8> = Vec::with_capacity(out_shape.numel());
+            for b in 0..n {
+                let patches = im2col(
+                    &x[b * plane..(b + 1) * plane],
+                    ic,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    params.stride,
+                    params.pad,
+                    x_p.zero_point,
+                );
+                out.extend(gemm_quint8(
+                    oc,
+                    k,
+                    cols,
+                    f,
+                    f_p,
+                    &patches,
+                    x_p,
+                    bias,
+                    out_params,
+                    params.relu,
+                )?);
+            }
+            Tensor::from_quantized(out_shape, out, out_params)
+        }
+    }
+}
+
+/// Naive direct f32 convolution: the independent test oracle.
+///
+/// Deliberately written as the textbook seven-deep loop with no lowering
+/// so that bugs in `im2col`/GEMM cannot hide.
+pub fn conv2d_naive_f32(
+    input: &Tensor,
+    filters: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let out_shape = conv_output_shape(input.shape(), filters.shape(), params)?;
+    let x = input.as_f32()?;
+    let f = filters.as_f32()?;
+    let (n, ic, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let (oc, kh, kw) = (
+        filters.shape().dim(0),
+        filters.shape().dim(2),
+        filters.shape().dim(3),
+    );
+    let (oh, ow) = (out_shape.h(), out_shape.w());
+
+    let mut out = vec![0.0f32; out_shape.numel()];
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..ic {
+                        for ky in 0..kh {
+                            let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((b * ic + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((o * ic + ci) * kh + ky) * kw + kx;
+                                acc += x[xi] * f[fi];
+                            }
+                        }
+                    }
+                    if let Some(bias) = bias {
+                        acc += bias[o];
+                    }
+                    if params.relu && acc < 0.0 {
+                        acc = 0.0;
+                    }
+                    out[((b * oc + o) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_f32(out_shape, out)
+}
+
+/// Depthwise 2-D convolution: `input` NCHW × `filters` `[c,1,kh,kw]` →
+/// NCHW with the same channel count (MobileNet v1's dw layers).
+///
+/// For channel-wise distribution the executor slices *both* the input
+/// channels and the filters, since each output channel depends only on
+/// its own input channel.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    filters: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    out_params: Option<QuantParams>,
+) -> Result<Tensor, TensorError> {
+    if filters.dtype() != input.dtype() {
+        return Err(TensorError::DTypeMismatch {
+            expected: input.dtype(),
+            found: filters.dtype(),
+        });
+    }
+    let fs = filters.shape();
+    if fs.rank() != 4 || fs.dim(1) != 1 || fs.dim(0) != input.shape().c() {
+        return Err(TensorError::BadConcat(format!(
+            "depthwise filters must be [c,1,kh,kw] with c = input channels; got {fs} for input {}",
+            input.shape()
+        )));
+    }
+    let c = input.shape().c();
+    if let Some(bias) = bias {
+        if bias.len() != c {
+            return Err(TensorError::LengthMismatch {
+                shape: Shape::new(vec![c]),
+                len: bias.len(),
+            });
+        }
+    }
+
+    // Implemented by running a 1-input-channel standard convolution per
+    // channel and concatenating: correctness-first, and it reuses the
+    // already-tested conv2d path for every dtype.
+    let mut parts: Vec<Tensor> = Vec::with_capacity(c);
+    for ci in 0..c {
+        let xin = input.slice_axis(1, ci, ci + 1)?;
+        let fil = filters.slice_axis(0, ci, ci + 1)?;
+        let b = bias.map(|b| &b[ci..ci + 1]);
+        parts.push(conv2d(&xin, &fil, b, params, out_params)?);
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Tensor::concat_axis(1, &refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_from(shape: Shape, f: impl Fn(usize) -> f32) -> Tensor {
+        let n = shape.numel();
+        Tensor::from_f32(shape, (0..n).map(f).collect()).unwrap()
+    }
+
+    fn pseudo(i: usize) -> f32 {
+        (((i * 2654435761) % 1000) as f32 - 500.0) / 500.0
+    }
+
+    #[test]
+    fn im2col_gemm_matches_naive() {
+        for (ic, oc, h, w, kh, stride, pad) in [
+            (1usize, 1usize, 5usize, 5usize, 3usize, 1usize, 0usize),
+            (3, 4, 7, 6, 3, 1, 1),
+            (2, 5, 9, 9, 5, 2, 2),
+            (4, 2, 8, 8, 1, 1, 0),
+            (2, 3, 6, 6, 3, 3, 0),
+        ] {
+            let input = tensor_from(Shape::nchw(2, ic, h, w), pseudo);
+            let filters = tensor_from(Shape::oihw(oc, ic, kh, kh), |i| pseudo(i + 77));
+            let bias: Vec<f32> = (0..oc).map(|i| pseudo(i + 999)).collect();
+            let p = Conv2dParams {
+                stride,
+                pad,
+                relu: false,
+            };
+            let fast = conv2d(&input, &filters, Some(&bias), &p, None).unwrap();
+            let slow = conv2d_naive_f32(&input, &filters, Some(&bias), &p).unwrap();
+            assert_eq!(fast.shape(), slow.shape());
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "mismatch for ic={ic} oc={oc} k={kh} s={stride} p={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_fusion_matches_naive() {
+        let input = tensor_from(Shape::nchw(1, 2, 5, 5), pseudo);
+        let filters = tensor_from(Shape::oihw(3, 2, 3, 3), |i| pseudo(i + 13));
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let fast = conv2d(&input, &filters, None, &p, None).unwrap();
+        let slow = conv2d_naive_f32(&input, &filters, None, &p).unwrap();
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+        assert!(fast.as_f32().unwrap().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn f16_conv_tracks_f32() {
+        let input = tensor_from(Shape::nchw(1, 3, 6, 6), pseudo);
+        let filters = tensor_from(Shape::oihw(4, 3, 3, 3), |i| pseudo(i + 5));
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 1,
+            relu: false,
+        };
+        let f32_out = conv2d(&input, &filters, None, &p, None).unwrap();
+        let h_in = input.cast(DType::F16, None).unwrap();
+        let h_fil = filters.cast(DType::F16, None).unwrap();
+        let f16_out = conv2d(&h_in, &h_fil, None, &p, None).unwrap();
+        assert_eq!(f16_out.dtype(), DType::F16);
+        // 27-term accumulations of O(1) values: a loose but meaningful bound.
+        assert!(f16_out.max_abs_diff(&f32_out) < 0.06);
+    }
+
+    #[test]
+    fn quint8_conv_tracks_f32() {
+        let input = tensor_from(Shape::nchw(1, 3, 6, 6), pseudo);
+        let filters = tensor_from(Shape::oihw(4, 3, 3, 3), |i| pseudo(i + 5));
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 1,
+            relu: false,
+        };
+        let f32_out = conv2d(&input, &filters, None, &p, None).unwrap();
+        let out_range = QuantParams::from_data(f32_out.as_f32().unwrap()).unwrap();
+        let q_in = input
+            .cast(
+                DType::QUInt8,
+                Some(QuantParams::from_range(-1.0, 1.0).unwrap()),
+            )
+            .unwrap();
+        let q_fil = filters
+            .cast(
+                DType::QUInt8,
+                Some(QuantParams::from_range(-1.0, 1.0).unwrap()),
+            )
+            .unwrap();
+        let q_out = conv2d(&q_in, &q_fil, None, &p, Some(out_range)).unwrap();
+        assert_eq!(q_out.dtype(), DType::QUInt8);
+        // 27 accumulations; each input/filter has <= scale/2 error.
+        assert!(
+            q_out.max_abs_diff(&f32_out) < 0.25,
+            "diff = {}",
+            q_out.max_abs_diff(&f32_out)
+        );
+    }
+
+    #[test]
+    fn channel_split_merge_equals_whole_conv() {
+        // THE μLayer invariant: conv with filters split along output
+        // channels, then concatenated, is bit-identical to the whole conv.
+        let input = tensor_from(Shape::nchw(1, 3, 8, 8), pseudo);
+        let filters = tensor_from(Shape::oihw(8, 3, 3, 3), |i| pseudo(i + 31));
+        let bias: Vec<f32> = (0..8).map(|i| pseudo(i + 400)).collect();
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let whole = conv2d(&input, &filters, Some(&bias), &p, None).unwrap();
+        for cut in [0usize, 2, 4, 6, 8] {
+            let f_lo = filters.slice_axis(0, 0, cut).unwrap();
+            let f_hi = filters.slice_axis(0, cut, 8).unwrap();
+            let mut parts = Vec::new();
+            if cut > 0 {
+                parts.push(conv2d(&input, &f_lo, Some(&bias[..cut]), &p, None).unwrap());
+            }
+            if cut < 8 {
+                parts.push(conv2d(&input, &f_hi, Some(&bias[cut..]), &p, None).unwrap());
+            }
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            let merged = Tensor::concat_axis(1, &refs).unwrap();
+            assert!(merged.bit_equal(&whole), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn channel_split_merge_equals_whole_conv_quint8() {
+        let input = tensor_from(Shape::nchw(1, 2, 6, 6), pseudo)
+            .cast(
+                DType::QUInt8,
+                Some(QuantParams::from_range(-1.0, 1.0).unwrap()),
+            )
+            .unwrap();
+        let filters = tensor_from(Shape::oihw(6, 2, 3, 3), |i| pseudo(i + 3))
+            .cast(
+                DType::QUInt8,
+                Some(QuantParams::from_range(-1.0, 1.0).unwrap()),
+            )
+            .unwrap();
+        let out_p = QuantParams::from_range(-4.0, 4.0).unwrap();
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 0,
+            relu: false,
+        };
+        let whole = conv2d(&input, &filters, None, &p, Some(out_p)).unwrap();
+        let f_lo = filters.slice_axis(0, 0, 2).unwrap();
+        let f_hi = filters.slice_axis(0, 2, 6).unwrap();
+        let lo = conv2d(&input, &f_lo, None, &p, Some(out_p)).unwrap();
+        let hi = conv2d(&input, &f_hi, None, &p, Some(out_p)).unwrap();
+        let merged = Tensor::concat_axis(1, &[&lo, &hi]).unwrap();
+        assert!(merged.bit_equal(&whole));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let input = tensor_from(Shape::nchw(1, 3, 5, 5), pseudo);
+        // Channel mismatch.
+        let bad_filters = tensor_from(Shape::oihw(2, 4, 3, 3), pseudo);
+        assert!(conv2d(&input, &bad_filters, None, &Conv2dParams::unit(), None).is_err());
+        // Window larger than input.
+        let big = tensor_from(Shape::oihw(2, 3, 9, 9), pseudo);
+        assert!(conv2d(&input, &big, None, &Conv2dParams::unit(), None).is_err());
+        // Bias length.
+        let filters = tensor_from(Shape::oihw(2, 3, 3, 3), pseudo);
+        assert!(conv2d(
+            &input,
+            &filters,
+            Some(&[0.0; 5]),
+            &Conv2dParams::unit(),
+            None
+        )
+        .is_err());
+        // dtype mismatch between input and filters.
+        let h_fil = filters.cast(DType::F16, None).unwrap();
+        assert!(conv2d(&input, &h_fil, None, &Conv2dParams::unit(), None).is_err());
+        // QUInt8 without out_params.
+        let q_in = input.cast(DType::QUInt8, None).unwrap();
+        let q_fil = filters.cast(DType::QUInt8, None).unwrap();
+        assert!(conv2d(&q_in, &q_fil, None, &Conv2dParams::unit(), None).is_err());
+        // Float with out_params.
+        assert!(conv2d(
+            &input,
+            &filters,
+            None,
+            &Conv2dParams::unit(),
+            Some(QuantParams::default())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn depthwise_matches_per_channel_naive() {
+        let c = 4;
+        let input = tensor_from(Shape::nchw(1, c, 6, 6), pseudo);
+        let filters = tensor_from(Shape::new(vec![c, 1, 3, 3]), |i| pseudo(i + 9));
+        let bias: Vec<f32> = (0..c).map(pseudo).collect();
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 1,
+            relu: false,
+        };
+        let out = depthwise_conv2d(&input, &filters, Some(&bias), &p, None).unwrap();
+        assert_eq!(out.shape().dims(), &[1, c, 6, 6]);
+        // Oracle: each channel is an independent 1-channel conv.
+        for ci in 0..c {
+            let xin = input.slice_axis(1, ci, ci + 1).unwrap();
+            let fil = filters.slice_axis(0, ci, ci + 1).unwrap();
+            let want = conv2d_naive_f32(&xin, &fil, Some(&bias[ci..ci + 1]), &p).unwrap();
+            let got = out.slice_axis(1, ci, ci + 1).unwrap();
+            assert!(got.max_abs_diff(&want) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn depthwise_rejects_bad_filter_shape() {
+        let input = tensor_from(Shape::nchw(1, 4, 6, 6), pseudo);
+        let filters = tensor_from(Shape::new(vec![4, 2, 3, 3]), pseudo);
+        assert!(depthwise_conv2d(&input, &filters, None, &Conv2dParams::unit(), None).is_err());
+        let wrong_c = tensor_from(Shape::new(vec![3, 1, 3, 3]), pseudo);
+        assert!(depthwise_conv2d(&input, &wrong_c, None, &Conv2dParams::unit(), None).is_err());
+    }
+
+    #[test]
+    fn batch_dimension_is_independent() {
+        // Running batch 2 equals running each batch element separately.
+        let input = tensor_from(Shape::nchw(2, 2, 5, 5), pseudo);
+        let filters = tensor_from(Shape::oihw(3, 2, 3, 3), |i| pseudo(i + 21));
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 0,
+            relu: false,
+        };
+        let both = conv2d(&input, &filters, None, &p, None).unwrap();
+        for b in 0..2 {
+            let single = conv2d(
+                &input.slice_axis(0, b, b + 1).unwrap(),
+                &filters,
+                None,
+                &p,
+                None,
+            )
+            .unwrap();
+            let part = both.slice_axis(0, b, b + 1).unwrap();
+            assert!(part.bit_equal(&single), "batch {b}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Functional NN compute kernels for the μLayer reproduction.
+//!
+//! These kernels stand in for ARM Compute Library's NEON/OpenCL kernels and
+//! for gemmlowp (§6 of the paper): they compute *real numerics* for every
+//! layer type the five evaluated networks need, in all three data types of
+//! processor-friendly quantization (§4):
+//!
+//! - **F32** — the unoptimized baseline.
+//! - **F16** — every arithmetic operation rounds to binary16, as on a Mali
+//!   GPU's `half` ALUs.
+//! - **QUInt8** — u8×u8→i32 GEMM with gemmlowp-style fixed-point
+//!   requantization, as on NEON vector ALUs.
+//!
+//! The GPU path of processor-friendly quantization (load QUInt8,
+//! dequantize on the fly, compute in F16, requantize the output) is
+//! composed by the executor from these primitives: a QUInt8→F16 cast, the
+//! F16 kernel, and an F16→QUInt8 cast.
+//!
+//! Convolution is implemented as im2col + GEMM (the deployment path) with
+//! an independent naive direct convolution used as the test oracle.
+//! Kernels are correctness-first: the simulated SoC provides timing, so
+//! the host-side speed of these loops never affects reported results.
+
+pub mod activation;
+pub mod conv;
+pub mod eltwise;
+pub mod fc;
+pub mod gemm;
+pub mod im2col;
+pub mod norm;
+pub mod pool;
+
+pub use activation::{relu, softmax_f32};
+pub use conv::{conv2d, conv2d_naive_f32, depthwise_conv2d, Conv2dParams};
+pub use eltwise::add;
+pub use fc::fully_connected;
+pub use norm::{lrn, LrnParams};
+pub use pool::{global_avg_pool, pool2d, PoolKind, PoolParams};
+
+/// Computes the output spatial dimension of a sliding-window op.
+///
+/// `floor((in + 2*pad - k) / stride) + 1`; returns `None` when the window
+/// does not fit or the stride is zero.
+pub fn out_dim(input: usize, k: usize, stride: usize, pad: usize) -> Option<usize> {
+    let padded = input + 2 * pad;
+    if padded < k || stride == 0 {
+        return None;
+    }
+    Some((padded - k) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_basics() {
+        assert_eq!(out_dim(224, 3, 1, 1), Some(224));
+        assert_eq!(out_dim(224, 11, 4, 2), Some(55));
+        assert_eq!(out_dim(28, 3, 2, 0), Some(13));
+        assert_eq!(out_dim(2, 5, 1, 0), None);
+        assert_eq!(out_dim(8, 2, 0, 0), None);
+        assert_eq!(out_dim(1, 1, 1, 0), Some(1));
+    }
+}

@@ -1,0 +1,446 @@
+//! Max and average pooling.
+//!
+//! Pooling applies a spatial window function per channel (§2.1), so the
+//! channel-wise workload distribution splits pooling layers by *input*
+//! channels (§3.2, Figure 7b) — the executor slices the input along axis 1
+//! and calls the same [`pool2d`] on each part.
+//!
+//! Semantics: max pooling ignores padding positions entirely; average
+//! pooling divides by the number of *valid* (non-padding) positions
+//! (exclude-pad, the Caffe/ACL default). Quantized max pooling operates
+//! directly on the u8 codes (the affine map is monotonic); quantized
+//! average pooling accumulates codes in `i32` and rounds the division.
+
+use utensor::{Shape, Tensor, TensorData, TensorError, F16};
+
+use crate::out_dim;
+
+/// The window function of a pooling layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Average over the valid positions of the window.
+    Avg,
+}
+
+/// Geometry of a pooling layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolParams {
+    /// The window function.
+    pub kind: PoolKind,
+    /// Square window side.
+    pub k: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric padding in both spatial dimensions.
+    pub pad: usize,
+}
+
+/// Applies 2-D pooling to an NCHW tensor.
+pub fn pool2d(input: &Tensor, params: &PoolParams) -> Result<Tensor, TensorError> {
+    let s = input.shape();
+    if s.rank() != 4 {
+        return Err(TensorError::BadConcat(format!(
+            "pool2d expects a rank-4 input, got {s}"
+        )));
+    }
+    let (n, c, h, w) = (s.n(), s.c(), s.h(), s.w());
+    let oh = out_dim(h, params.k, params.stride, params.pad);
+    let ow = out_dim(w, params.k, params.stride, params.pad);
+    let (oh, ow) = match (oh, ow) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(TensorError::BadConcat(format!(
+                "pool window {}x{} stride {} pad {} does not fit {s}",
+                params.k, params.k, params.stride, params.pad
+            )))
+        }
+    };
+    let out_shape = Shape::nchw(n, c, oh, ow);
+
+    /// Visits the valid positions of each window, folding with `f`.
+    #[allow(clippy::too_many_arguments)]
+    fn pool_plane<T: Copy, A>(
+        plane: &[T],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        p: &PoolParams,
+        init: A,
+        mut f: impl FnMut(A, T) -> A,
+        mut finish: impl FnMut(A, usize) -> T,
+        out: &mut Vec<T>,
+    ) where
+        A: Copy,
+    {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = init;
+                let mut count = 0usize;
+                for ky in 0..p.k {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..p.k {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        acc = f(acc, plane[iy as usize * w + ix as usize]);
+                        count += 1;
+                    }
+                }
+                out.push(finish(acc, count));
+            }
+        }
+    }
+
+    let planes = n * c;
+    let plane_len = h * w;
+    match input.data() {
+        TensorData::F32(x) => {
+            let mut out = Vec::with_capacity(out_shape.numel());
+            for pl in 0..planes {
+                let plane = &x[pl * plane_len..(pl + 1) * plane_len];
+                match params.kind {
+                    PoolKind::Max => pool_plane(
+                        plane,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        params,
+                        f32::NEG_INFINITY,
+                        f32::max,
+                        |a, _| a,
+                        &mut out,
+                    ),
+                    PoolKind::Avg => pool_plane(
+                        plane,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        params,
+                        0.0f32,
+                        |a, v| a + v,
+                        |a, count| if count == 0 { 0.0 } else { a / count as f32 },
+                        &mut out,
+                    ),
+                }
+            }
+            Tensor::from_f32(out_shape, out)
+        }
+        TensorData::F16(x) => {
+            let mut out: Vec<F16> = Vec::with_capacity(out_shape.numel());
+            for pl in 0..planes {
+                let plane = &x[pl * plane_len..(pl + 1) * plane_len];
+                match params.kind {
+                    PoolKind::Max => pool_plane(
+                        plane,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        params,
+                        F16::NEG_INFINITY,
+                        |a, v| a.max(v),
+                        |a, _| a,
+                        &mut out,
+                    ),
+                    PoolKind::Avg => pool_plane(
+                        plane,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        params,
+                        F16::ZERO,
+                        |a, v| a + v,
+                        |a, count| {
+                            if count == 0 {
+                                F16::ZERO
+                            } else {
+                                a / F16::from_f32(count as f32)
+                            }
+                        },
+                        &mut out,
+                    ),
+                }
+            }
+            Tensor::new(out_shape, TensorData::F16(out))
+        }
+        TensorData::QUInt8 {
+            data: x,
+            params: qp,
+        } => {
+            let qp = *qp;
+            let mut out: Vec<u8> = Vec::with_capacity(out_shape.numel());
+            for pl in 0..planes {
+                let plane = &x[pl * plane_len..(pl + 1) * plane_len];
+                match params.kind {
+                    PoolKind::Max => pool_plane(
+                        plane,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        params,
+                        u8::MIN,
+                        // Monotonic affine map: max of codes = code of max.
+                        |a: u8, v: u8| a.max(v),
+                        |a, count| if count == 0 { qp.zero_point } else { a },
+                        &mut out,
+                    ),
+                    PoolKind::Avg => pool_plane(
+                        plane,
+                        h,
+                        w,
+                        oh,
+                        ow,
+                        params,
+                        0i32,
+                        |a, v| a + v as i32,
+                        |a, count| {
+                            if count == 0 {
+                                qp.zero_point
+                            } else {
+                                // Rounded integer mean of the codes equals
+                                // the quantized mean (same affine map).
+                                ((a + count as i32 / 2) / count as i32).clamp(0, 255) as u8
+                            }
+                        },
+                        &mut out,
+                    ),
+                }
+            }
+            Tensor::from_quantized(out_shape, out, qp)
+        }
+    }
+}
+
+/// Global average pooling: NCHW → `[n, c, 1, 1]`.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor, TensorError> {
+    let s = input.shape();
+    if s.rank() != 4 {
+        return Err(TensorError::BadConcat(format!(
+            "global_avg_pool expects rank-4 input, got {s}"
+        )));
+    }
+    pool2d(
+        input,
+        &PoolParams {
+            kind: PoolKind::Avg,
+            k: s.h().max(s.w()),
+            stride: 1,
+            pad: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utensor::{DType, QuantParams};
+
+    fn t(shape: Shape, v: Vec<f32>) -> Tensor {
+        Tensor::from_f32(shape, v).unwrap()
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let input = t(Shape::nchw(1, 1, 4, 4), (0..16).map(|i| i as f32).collect());
+        let out = pool2d(
+            &input,
+            &PoolParams {
+                kind: PoolKind::Max,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_f32().unwrap(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let input = t(Shape::nchw(1, 1, 4, 4), (0..16).map(|i| i as f32).collect());
+        let out = pool2d(
+            &input,
+            &PoolParams {
+                kind: PoolKind::Avg,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.as_f32().unwrap(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_padding() {
+        // 2x2 input, 3x3 window, pad 1, stride 2: the window at (0,0)
+        // covers 4 valid positions.
+        let input = t(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let out = pool2d(
+            &input,
+            &PoolParams {
+                kind: PoolKind::Avg,
+                k: 3,
+                stride: 2,
+                pad: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_f32().unwrap(), &[2.5]);
+    }
+
+    #[test]
+    fn max_pool_ignores_padding() {
+        let input = t(Shape::nchw(1, 1, 2, 2), vec![-5.0, -2.0, -3.0, -4.0]);
+        let out = pool2d(
+            &input,
+            &PoolParams {
+                kind: PoolKind::Max,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+        )
+        .unwrap();
+        // Every window max must be a real input value, never pad-zero.
+        assert!(out.as_f32().unwrap().iter().all(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn f16_pooling_matches_f32() {
+        let data: Vec<f32> = (0..36).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+        let input = t(Shape::nchw(1, 1, 6, 6), data);
+        let hin = input.cast(DType::F16, None).unwrap();
+        for kind in [PoolKind::Max, PoolKind::Avg] {
+            let p = PoolParams {
+                kind,
+                k: 3,
+                stride: 2,
+                pad: 1,
+            };
+            let f = pool2d(&input, &p).unwrap();
+            let h = pool2d(&hin, &p).unwrap();
+            assert!(h.max_abs_diff(&f) < 0.01, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn quint8_max_pool_exact() {
+        let qp = QuantParams::from_range(-8.0, 8.0).unwrap();
+        let data: Vec<f32> = (0..16).map(|i| (i as f32) - 8.0).collect();
+        let input = Tensor::from_f32_quantized(Shape::nchw(1, 1, 4, 4), &data, qp).unwrap();
+        let out = pool2d(
+            &input,
+            &PoolParams {
+                kind: PoolKind::Max,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+        )
+        .unwrap();
+        let f_out = pool2d(
+            &input.cast(DType::F32, None).unwrap(),
+            &PoolParams {
+                kind: PoolKind::Max,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+        )
+        .unwrap();
+        // Max over codes == quantized max over reals: exact.
+        assert_eq!(out.to_f32_vec(), f_out.as_f32().unwrap());
+    }
+
+    #[test]
+    fn quint8_avg_pool_within_one_step() {
+        let qp = QuantParams::from_range(0.0, 16.0).unwrap();
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let input = Tensor::from_f32_quantized(Shape::nchw(1, 1, 4, 4), &data, qp).unwrap();
+        let q_out = pool2d(
+            &input,
+            &PoolParams {
+                kind: PoolKind::Avg,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+        )
+        .unwrap();
+        let f_out = pool2d(
+            &input.cast(DType::F32, None).unwrap(),
+            &PoolParams {
+                kind: PoolKind::Avg,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+        )
+        .unwrap();
+        assert!(q_out.max_abs_diff(&f_out) <= qp.scale);
+    }
+
+    #[test]
+    fn channel_split_merge_equals_whole_pool() {
+        // μLayer's pooling distribution: splitting input channels and
+        // merging outputs is bit-identical to pooling the whole tensor.
+        let data: Vec<f32> = (0..(6 * 6 * 6)).map(|i| ((i * 31) % 17) as f32).collect();
+        let input = t(Shape::nchw(1, 6, 6, 6), data);
+        let p = PoolParams {
+            kind: PoolKind::Max,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let whole = pool2d(&input, &p).unwrap();
+        for cut in [0usize, 1, 3, 6] {
+            let mut parts = Vec::new();
+            if cut > 0 {
+                parts.push(pool2d(&input.slice_axis(1, 0, cut).unwrap(), &p).unwrap());
+            }
+            if cut < 6 {
+                parts.push(pool2d(&input.slice_axis(1, cut, 6).unwrap(), &p).unwrap());
+            }
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            let merged = Tensor::concat_axis(1, &refs).unwrap();
+            assert!(merged.bit_equal(&whole), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_shape_and_value() {
+        let input = t(Shape::nchw(1, 2, 3, 3), (0..18).map(|i| i as f32).collect());
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 1, 1]);
+        assert_eq!(out.as_f32().unwrap(), &[4.0, 13.0]);
+    }
+
+    #[test]
+    fn window_that_does_not_fit_errors() {
+        let input = t(Shape::nchw(1, 1, 2, 2), vec![0.0; 4]);
+        assert!(pool2d(
+            &input,
+            &PoolParams {
+                kind: PoolKind::Max,
+                k: 5,
+                stride: 1,
+                pad: 0
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz (DOT) export of NN graphs.
+//!
+//! `dot -Tpng` on the output renders the network's DAG with per-node
+//! operator, name, and output shape — handy for inspecting the zoo
+//! architectures and for documenting custom graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Falls back to `?` shapes if shape inference fails (the structure is
+/// still drawable).
+pub fn to_dot(graph: &Graph) -> String {
+    let shapes = graph.infer_shapes().ok();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    let _ = writeln!(
+        out,
+        "  input [label=\"input\\n{}\", shape=ellipse];",
+        graph.input_shape()
+    );
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let shape = shapes
+            .as_ref()
+            .map(|s| s[i].to_string())
+            .unwrap_or_else(|| "?".into());
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}\\n{}\\n{}\"];",
+            escape(&node.name),
+            node.kind.op_name(),
+            shape
+        );
+        if node.inputs.is_empty() {
+            let _ = writeln!(out, "  input -> n{i};");
+        }
+        for dep in &node.inputs {
+            let _ = writeln!(out, "  n{} -> n{i};", dep.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelId;
+
+    #[test]
+    fn dot_renders_structure() {
+        let g = ModelId::LeNet.build();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("input ->"));
+        assert!(dot.contains("conv1"));
+        assert!(dot.contains("softmax"));
+        // One node statement per layer plus the input ellipse.
+        let nodes = dot.matches("[label=").count();
+        assert_eq!(nodes, g.len() + 1);
+        // Edge count: one per node input plus the source edges.
+        let edges = dot.matches("->").count();
+        let expected: usize = g.nodes().iter().map(|n| n.inputs.len().max(1)).sum();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn branchy_graphs_have_fan_out_edges() {
+        let g = ModelId::SqueezeNet.build_miniature();
+        let dot = to_dot(&g);
+        // A fire module's squeeze output feeds two expand nodes.
+        let squeeze_idx = g
+            .nodes()
+            .iter()
+            .position(|n| n.name == "fire2/squeeze1x1")
+            .unwrap();
+        let fan_out = dot.matches(&format!("n{squeeze_idx} -> ")).count();
+        assert_eq!(fan_out, 2);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut g = Graph::new("with\"quote", utensor::Shape::nchw(1, 1, 4, 4));
+        g.add_input_layer("layer\"x", crate::layer::LayerKind::Relu);
+        let dot = to_dot(&g);
+        assert!(dot.contains("with\\\"quote"));
+        assert!(dot.contains("layer\\\"x"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The baseline on-device inference mechanisms (§2.2, Figure 4).
+//!
+//! - **Single-processor** — the whole network on one processor, in any
+//!   of the three dtypes (Figure 16's `CPU-Only`/`GPU-Only` bars).
+//! - **Layer-to-processor** — each layer on whichever processor runs it
+//!   faster (DeepX-style), the paper's state-of-the-art comparison
+//!   point; evaluated with QUInt8 as §7.2 specifies.
+//! - **Network-to-processor** — different *inputs* to different
+//!   processors (MCDNN-style); improves throughput, not single-input
+//!   latency.
+
+use simcore::SimSpan;
+use usoc::{single_layer_latency, DeviceId, DtypePlan, SocSpec};
+use utensor::{DType, TensorError};
+
+use unn::{Graph, NodeId};
+
+use crate::engine::{execute_plan, RunError, RunResult};
+use crate::plan::{ExecutionPlan, NodePlacement};
+
+/// The dtype plan a device uses for a requested storage dtype under the
+/// *baseline* mechanisms: uniform (no processor-friendly mixing).
+fn uniform_plan(dtype: DType) -> DtypePlan {
+    DtypePlan::uniform(dtype)
+}
+
+/// Builds the single-processor plan: every layer on `device` in `dtype`.
+pub fn single_processor_plan(
+    graph: &Graph,
+    spec: &SocSpec,
+    device: DeviceId,
+    dtype: DType,
+) -> Result<ExecutionPlan, TensorError> {
+    let label = format!(
+        "single-{}-{dtype}",
+        spec.device(device).map(|d| d.kind.name()).unwrap_or("?")
+    );
+    ExecutionPlan::new(
+        graph,
+        spec,
+        (0..graph.len())
+            .map(|_| NodePlacement::Single {
+                device,
+                dtypes: uniform_plan(dtype),
+            })
+            .collect(),
+        label,
+    )
+}
+
+/// Builds the layer-to-processor plan: each layer goes to the processor
+/// with the lower profiled single-layer latency (Figure 4b), all in
+/// `dtype`.
+///
+/// Only CPU and GPU participate (the mechanism predates NPUs); crossing
+/// costs are paid at runtime by the engine, exactly as on the phone.
+pub fn layer_to_processor_plan(
+    graph: &Graph,
+    spec: &SocSpec,
+    dtype: DType,
+) -> Result<ExecutionPlan, TensorError> {
+    let shapes = graph.infer_shapes()?;
+    let cpu = spec.cpu();
+    let gpu = spec.gpu();
+    let plan = uniform_plan(dtype);
+    let placements = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let in_shape = graph.node_input_shape(NodeId(i), &shapes);
+            let lat = |dev: DeviceId| {
+                single_layer_latency(spec, dev, &node.kind, in_shape, &shapes[i], plan)
+                    .map(|s| s.as_nanos())
+                    .unwrap_or(u64::MAX)
+            };
+            let device = if lat(cpu) <= lat(gpu) { cpu } else { gpu };
+            NodePlacement::Single {
+                device,
+                dtypes: plan,
+            }
+        })
+        .collect();
+    ExecutionPlan::new(graph, spec, placements, format!("layer-to-proc-{dtype}"))
+}
+
+/// Runs the single-processor mechanism end to end.
+pub fn run_single_processor(
+    spec: &SocSpec,
+    graph: &Graph,
+    device: DeviceId,
+    dtype: DType,
+) -> Result<RunResult, RunError> {
+    let plan = single_processor_plan(graph, spec, device, dtype)?;
+    execute_plan(spec, graph, &plan)
+}
+
+/// Runs the layer-to-processor mechanism end to end.
+pub fn run_layer_to_processor(
+    spec: &SocSpec,
+    graph: &Graph,
+    dtype: DType,
+) -> Result<RunResult, RunError> {
+    let plan = layer_to_processor_plan(graph, spec, dtype)?;
+    execute_plan(spec, graph, &plan)
+}
+
+/// Outcome of the network-to-processor (throughput) mechanism.
+#[derive(Clone, Debug)]
+pub struct ThroughputResult {
+    /// Inputs processed.
+    pub inputs: usize,
+    /// Wall-clock for the whole batch.
+    pub makespan: SimSpan,
+    /// Inferences per second.
+    pub throughput: f64,
+    /// Single-input latency (each input still runs on one processor).
+    pub per_input_latency: SimSpan,
+}
+
+/// Models the network-to-processor mechanism (Figure 4a): `inputs`
+/// independent inferences distributed round-robin over the CPU and GPU.
+///
+/// Each processor pipelines its assigned inputs serially; the batch
+/// finishes when the slower processor drains. Single-input latency stays
+/// bounded by single-processor performance — the mechanism's defining
+/// limitation (§2.2).
+pub fn run_network_to_processor(
+    spec: &SocSpec,
+    graph: &Graph,
+    dtype: DType,
+    inputs: usize,
+) -> Result<ThroughputResult, RunError> {
+    let cpu_lat = run_single_processor(spec, graph, spec.cpu(), dtype)?.latency;
+    let gpu_lat = run_single_processor(spec, graph, spec.gpu(), dtype)?.latency;
+
+    // Greedy assignment: each next input goes to the processor that
+    // would finish it sooner.
+    let mut cpu_done = SimSpan::ZERO;
+    let mut gpu_done = SimSpan::ZERO;
+    for _ in 0..inputs {
+        if (cpu_done + cpu_lat) <= (gpu_done + gpu_lat) {
+            cpu_done += cpu_lat;
+        } else {
+            gpu_done += gpu_lat;
+        }
+    }
+    let makespan = cpu_done.max(gpu_done);
+    let throughput = if makespan.is_zero() {
+        0.0
+    } else {
+        inputs as f64 / makespan.as_secs_f64()
+    };
+    Ok(ThroughputResult {
+        inputs,
+        makespan,
+        throughput,
+        per_input_latency: cpu_lat.min(gpu_lat),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn::ModelId;
+
+    #[test]
+    fn layer_to_processor_never_worse_than_worst_single() {
+        for spec in SocSpec::evaluated() {
+            let g = ModelId::SqueezeNet.build();
+            let l2p = run_layer_to_processor(&spec, &g, DType::QUInt8).unwrap();
+            let cpu = run_single_processor(&spec, &g, spec.cpu(), DType::QUInt8).unwrap();
+            let gpu = run_single_processor(&spec, &g, spec.gpu(), DType::QUInt8).unwrap();
+            let worst = cpu.latency.max(gpu.latency);
+            assert!(
+                l2p.latency <= worst,
+                "{}: l2p {} > worst {}",
+                spec.name,
+                l2p.latency,
+                worst
+            );
+        }
+    }
+
+    #[test]
+    fn quint8_l2p_mostly_picks_cpu() {
+        // With QUInt8, the CPU outruns the GPU on both SoCs (Figure 8),
+        // so the layer-to-processor plan should mostly stay on the CPU.
+        let spec = SocSpec::exynos_7420();
+        let g = ModelId::AlexNet.build();
+        let plan = layer_to_processor_plan(&g, &spec, DType::QUInt8).unwrap();
+        let on_cpu = plan
+            .placements
+            .iter()
+            .filter(|p| p.devices() == vec![spec.cpu()])
+            .count();
+        assert!(
+            on_cpu * 2 > g.len(),
+            "only {on_cpu}/{} layers on CPU",
+            g.len()
+        );
+    }
+
+    #[test]
+    fn f32_l2p_uses_gpu_on_high_end() {
+        // At F32 the high-end GPU is 1.4x the CPU, so big conv layers
+        // should route to it.
+        let spec = SocSpec::exynos_7420();
+        let g = ModelId::Vgg16.build();
+        let plan = layer_to_processor_plan(&g, &spec, DType::F32).unwrap();
+        let on_gpu = plan
+            .placements
+            .iter()
+            .filter(|p| p.devices() == vec![spec.gpu()])
+            .count();
+        assert!(on_gpu > 10, "only {on_gpu} layers on GPU");
+    }
+
+    #[test]
+    fn network_to_processor_raises_throughput_not_latency() {
+        let spec = SocSpec::exynos_7420();
+        let g = ModelId::SqueezeNet.build();
+        let single = run_single_processor(&spec, &g, spec.cpu(), DType::F32).unwrap();
+        let n2p = run_network_to_processor(&spec, &g, DType::F32, 8).unwrap();
+        // Throughput beats one processor alone...
+        let single_tput = 1.0 / single.latency.as_secs_f64();
+        assert!(n2p.throughput > single_tput);
+        // ...but per-input latency is still single-processor-bound.
+        assert!(
+            n2p.per_input_latency
+                >= single.latency.min(
+                    run_single_processor(&spec, &g, spec.gpu(), DType::F32)
+                        .unwrap()
+                        .latency
+                )
+        );
+        assert_eq!(n2p.inputs, 8);
+    }
+
+    #[test]
+    fn single_processor_plans_run_on_all_models() {
+        let spec = SocSpec::exynos_7880();
+        for id in ModelId::EVALUATED {
+            let g = id.build();
+            for dtype in DType::ALL {
+                let r = run_single_processor(&spec, &g, spec.cpu(), dtype).unwrap();
+                assert!(r.latency > SimSpan::ZERO, "{} {dtype}", id.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,758 @@
+//! The scheduling engine: executes an [`ExecutionPlan`] on a simulated
+//! SoC, producing latency, a task trace, energy, and memory statistics.
+//!
+//! The engine realizes the §6 runtime behaviours for *any* mechanism:
+//!
+//! - **Asynchronous GPU command issue** — every GPU kernel is preceded by
+//!   a host-side issue task with no dependencies, so issuing overlaps
+//!   with CPU work exactly as the paper's framework arranges.
+//! - **Zero-copy shared memory** — tensors are never copied between
+//!   processors; crossing the CPU↔GPU boundary costs only map/unmap and
+//!   completion-wait tasks on the host timeline.
+//! - **Cooperative merge** — a split layer's partial outputs join at a
+//!   host-side merge task that synchronizes with the GPU and maps the
+//!   output region.
+
+use simcore::{ResourcePool, SimSpan, SimTime, TaskGraph, TaskId, Trace};
+use usoc::{
+    layer_work, DeviceId, DeviceKind, EnergyAccumulator, EnergyBreakdown, KernelWork, MapMode,
+    MemoryStats, SharedMemory, SocError, SocSpec,
+};
+use utensor::TensorError;
+
+use unn::{Graph, NodeId};
+
+use crate::plan::{ExecutionPlan, NodePlacement};
+
+/// Payload attached to every scheduled task.
+#[derive(Clone, Debug)]
+pub struct TaskMeta {
+    /// The device the task occupies.
+    pub device: DeviceId,
+    /// Cost summary (zero for pure-overhead tasks).
+    pub work: KernelWork,
+    /// The graph node this task belongs to, if any.
+    pub node: Option<NodeId>,
+}
+
+/// Errors from executing a plan.
+#[derive(Debug)]
+pub enum RunError {
+    /// Shape/validation failure.
+    Tensor(TensorError),
+    /// Device/timing-model failure.
+    Soc(SocError),
+    /// Scheduling failure (should not happen for valid plans).
+    Schedule(simcore::ScheduleError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Tensor(e) => write!(f, "tensor error: {e}"),
+            RunError::Soc(e) => write!(f, "soc error: {e}"),
+            RunError::Schedule(e) => write!(f, "schedule error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TensorError> for RunError {
+    fn from(e: TensorError) -> Self {
+        RunError::Tensor(e)
+    }
+}
+
+impl From<SocError> for RunError {
+    fn from(e: SocError) -> Self {
+        RunError::Soc(e)
+    }
+}
+
+impl From<simcore::ScheduleError> for RunError {
+    fn from(e: simcore::ScheduleError) -> Self {
+        RunError::Schedule(e)
+    }
+}
+
+/// The timing/energy outcome of one planned inference.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The mechanism label from the plan.
+    pub label: String,
+    /// End-to-end single-input latency.
+    pub latency: SimSpan,
+    /// Itemized energy.
+    pub energy: EnergyBreakdown,
+    /// The realized schedule.
+    pub trace: Trace<TaskMeta>,
+    /// Device names in resource order (for Gantt rendering).
+    pub resource_names: Vec<String>,
+    /// Per-node `(first task start, last task end)`.
+    pub node_spans: Vec<(SimTime, SimTime)>,
+    /// Shared-memory statistics of the run.
+    pub memory: MemoryStats,
+}
+
+impl RunResult {
+    /// Latency in milliseconds (the paper's unit).
+    pub fn latency_ms(&self) -> f64 {
+        self.latency.as_millis_f64()
+    }
+
+    /// ASCII Gantt chart of the schedule.
+    pub fn gantt(&self) -> String {
+        let names: Vec<(simcore::ResourceId, String)> = self
+            .resource_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (simcore::ResourceId(i), n.clone()))
+            .collect();
+        self.trace
+            .render_gantt(&names, simcore::GanttOptions::default())
+    }
+}
+
+/// Where a node's output resides after production.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Residency {
+    /// CPU-written (or merged) — mapped host memory.
+    Cpu,
+    /// Produced by an accelerator's queue and not yet synchronized.
+    Accel(DeviceId),
+}
+
+/// The tasks created for one inference instance.
+pub(crate) struct InstanceTasks {
+    /// Per node: the task producing its output and the output residency.
+    pub producers: Vec<(TaskId, Residency)>,
+    /// Per node: the first task belonging to the node.
+    pub node_first_task: Vec<TaskId>,
+    /// The task after which the inference's output is CPU-visible.
+    pub completion: TaskId,
+}
+
+/// Allocates the long-lived weight buffers of a plan (uploaded once at
+/// plan load, outside the inference-latency window, per §6).
+pub(crate) fn alloc_weight_buffers(
+    memory: &mut SharedMemory,
+    graph: &Graph,
+    shapes: &[utensor::Shape],
+    plan: &ExecutionPlan,
+) {
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let in_shape = graph.node_input_shape(NodeId(i), shapes);
+        let weight_elems = node.kind.weight_count(in_shape) + node.kind.bias_count(in_shape);
+        if weight_elems > 0 {
+            match &plan.placements[i] {
+                NodePlacement::Single { dtypes, .. } => {
+                    memory.alloc(weight_elems * dtypes.weights.size_bytes());
+                }
+                NodePlacement::Split { parts } => {
+                    for (_, dtypes, frac) in parts {
+                        memory.alloc(
+                            (weight_elems as f64 * frac) as usize * dtypes.weights.size_bytes(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the task DAG of one inference instance of `plan` into `tg`.
+///
+/// `prefix` namespaces task labels (used by the pipeline executor);
+/// `arrival` — when given — gates the source layers (the input is not
+/// available before that task completes, e.g. a camera frame arriving).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn schedule_instance(
+    tg: &mut TaskGraph<TaskMeta>,
+    memory: &mut SharedMemory,
+    spec: &SocSpec,
+    graph: &Graph,
+    shapes: &[utensor::Shape],
+    plan: &ExecutionPlan,
+    prefix: &str,
+    arrival: Option<TaskId>,
+) -> Result<InstanceTasks, RunError> {
+    let cpu = spec.cpu();
+    let res = |d: DeviceId| simcore::ResourceId(d.0);
+    let meta_overhead = |device: DeviceId, node: Option<NodeId>| TaskMeta {
+        device,
+        work: KernelWork::nop(),
+        node,
+    };
+
+    // Per node: the task producing its output, and where that output
+    // resides.
+    let mut producers: Vec<(TaskId, Residency)> = Vec::with_capacity(graph.len());
+    let mut node_first_task: Vec<TaskId> = Vec::with_capacity(graph.len());
+
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let id = NodeId(i);
+        let in_shape = graph.node_input_shape(id, shapes).clone();
+        let out_shape = shapes[i].clone();
+        let name = format!("{prefix}{}", node.name);
+
+        // Dependencies of this node's compute: the producers of each
+        // input, adjusted for residency crossings; source layers wait for
+        // the instance's arrival gate instead.
+        let input_producers: Vec<(TaskId, Residency)> =
+            node.inputs.iter().map(|d| producers[d.0]).collect();
+
+        // Output buffer for this node (zero-copy shared memory).
+        let out_buf =
+            memory.alloc(out_shape.numel() * plan.placements[i].storage_dtype().size_bytes());
+
+        // Builds the dependency list for a consumer on `consumer_dev`,
+        // inserting host-side sync/map tasks as required.
+        let deps_for = |tg: &mut TaskGraph<TaskMeta>, consumer_dev: DeviceId| -> Vec<TaskId> {
+            let consumer_kind = spec.devices[consumer_dev.0].kind;
+            let mut deps = Vec::with_capacity(input_producers.len() + 1);
+            if node.inputs.is_empty() {
+                if let Some(a) = arrival {
+                    deps.push(a);
+                }
+            }
+            for &(ptask, res_where) in &input_producers {
+                match (consumer_kind, res_where) {
+                    // CPU reading accelerator output: wait for the queue,
+                    // then map the buffer for reading.
+                    (DeviceKind::CpuCluster, Residency::Accel(_)) => {
+                        let sync = tg.add_with_priority(
+                            format!("{name}::sync"),
+                            res(cpu),
+                            spec.gpu_wait_span() + spec.map_span(),
+                            &[ptask],
+                            -1,
+                            meta_overhead(cpu, Some(id)),
+                        );
+                        deps.push(sync);
+                    }
+                    // Accelerator reading CPU-written data: the host must
+                    // unmap the region first.
+                    (DeviceKind::Gpu | DeviceKind::Npu, Residency::Cpu) => {
+                        let unmap = tg.add_with_priority(
+                            format!("{name}::unmap"),
+                            res(cpu),
+                            spec.map_span(),
+                            &[ptask],
+                            -1,
+                            meta_overhead(cpu, Some(id)),
+                        );
+                        deps.push(unmap);
+                    }
+                    // Accelerator reading another accelerator's output:
+                    // host-mediated synchronization.
+                    (DeviceKind::Gpu | DeviceKind::Npu, Residency::Accel(other))
+                        if other != consumer_dev =>
+                    {
+                        let sync = tg.add_with_priority(
+                            format!("{name}::xsync"),
+                            res(cpu),
+                            spec.gpu_wait_span(),
+                            &[ptask],
+                            -1,
+                            meta_overhead(cpu, Some(id)),
+                        );
+                        deps.push(sync);
+                    }
+                    // Same residency: direct dependency.
+                    _ => deps.push(ptask),
+                }
+            }
+            deps
+        };
+
+        let placement = &plan.placements[i];
+        let (final_task, residency, first_task) = match placement {
+            NodePlacement::Single { device, dtypes } => {
+                let work = layer_work(&node.kind, &in_shape, &out_shape, *dtypes, 1.0);
+                let span = spec.kernel_latency(*device, &work)?;
+                match spec.devices[device.0].kind {
+                    DeviceKind::CpuCluster => {
+                        let deps = deps_for(tg, *device);
+                        memory.map(out_buf, MapMode::WriteInvalidate)?;
+                        let k = tg.add(
+                            format!("{name}@CPU"),
+                            res(*device),
+                            span + spec.cpu_dispatch_span(),
+                            &deps,
+                            TaskMeta {
+                                device: *device,
+                                work,
+                                node: Some(id),
+                            },
+                        );
+                        memory.unmap(out_buf)?;
+                        (k, Residency::Cpu, k)
+                    }
+                    DeviceKind::Gpu | DeviceKind::Npu => {
+                        let issue = tg.add_with_priority(
+                            format!("{name}::issue"),
+                            res(cpu),
+                            spec.gpu_issue_span(),
+                            &[],
+                            -1,
+                            meta_overhead(cpu, Some(id)),
+                        );
+                        let mut deps = deps_for(tg, *device);
+                        deps.push(issue);
+                        let k = tg.add(
+                            format!("{name}@{}", spec.devices[device.0].kind),
+                            res(*device),
+                            span,
+                            &deps,
+                            TaskMeta {
+                                device: *device,
+                                work,
+                                node: Some(id),
+                            },
+                        );
+                        (k, Residency::Accel(*device), issue)
+                    }
+                }
+            }
+            NodePlacement::Split { parts } => {
+                let mut part_tasks = Vec::with_capacity(parts.len());
+                let mut any_accel = false;
+                let mut first: Option<TaskId> = None;
+                // §6 ordering: issue the asynchronous accelerator commands
+                // (and any unmap they need) *before* starting the CPU-side
+                // work, so the accelerator parts overlap the CPU part
+                // instead of queuing behind it on the host timeline.
+                let ordered: Vec<&(DeviceId, usoc::DtypePlan, f64)> = parts
+                    .iter()
+                    .filter(|p| spec.devices[p.0 .0].kind != DeviceKind::CpuCluster)
+                    .chain(
+                        parts
+                            .iter()
+                            .filter(|p| spec.devices[p.0 .0].kind == DeviceKind::CpuCluster),
+                    )
+                    .collect();
+                for (device, dtypes, frac) in ordered {
+                    let work = layer_work(&node.kind, &in_shape, &out_shape, *dtypes, *frac);
+                    let span = spec.kernel_latency(*device, &work)?;
+                    match spec.devices[device.0].kind {
+                        DeviceKind::CpuCluster => {
+                            let deps = deps_for(tg, *device);
+                            let k = tg.add(
+                                format!("{name}@CPU[{frac:.2}]"),
+                                res(*device),
+                                span + spec.cpu_dispatch_span(),
+                                &deps,
+                                TaskMeta {
+                                    device: *device,
+                                    work,
+                                    node: Some(id),
+                                },
+                            );
+                            first.get_or_insert(k);
+                            part_tasks.push(k);
+                        }
+                        DeviceKind::Gpu | DeviceKind::Npu => {
+                            any_accel = true;
+                            let issue = tg.add_with_priority(
+                                format!("{name}::issue"),
+                                res(cpu),
+                                spec.gpu_issue_span(),
+                                &[],
+                                -1,
+                                meta_overhead(cpu, Some(id)),
+                            );
+                            let mut deps = deps_for(tg, *device);
+                            deps.push(issue);
+                            let k = tg.add(
+                                format!("{name}@{}[{frac:.2}]", spec.devices[device.0].kind),
+                                res(*device),
+                                span,
+                                &deps,
+                                TaskMeta {
+                                    device: *device,
+                                    work,
+                                    node: Some(id),
+                                },
+                            );
+                            first.get_or_insert(issue);
+                            part_tasks.push(k);
+                        }
+                    }
+                }
+                // Merge: the host waits for the accelerator parts and maps
+                // the (already channel-interleaved, zero-copy) output.
+                let merge_span = if any_accel {
+                    spec.gpu_wait_span() + spec.map_span()
+                } else {
+                    spec.cpu_dispatch_span()
+                };
+                memory.map(out_buf, MapMode::Read)?;
+                memory.unmap(out_buf)?;
+                let merge = tg.add_with_priority(
+                    format!("{name}::merge"),
+                    res(cpu),
+                    merge_span,
+                    &part_tasks,
+                    -1,
+                    meta_overhead(cpu, Some(id)),
+                );
+                (merge, Residency::Cpu, first.unwrap_or(merge))
+            }
+        };
+        producers.push((final_task, residency));
+        node_first_task.push(first_task);
+    }
+
+    // The inference completes when the output is CPU-visible: if the last
+    // node's output lives on an accelerator, the host pays one final sync.
+    let completion = match producers.last() {
+        Some(&(last, Residency::Accel(_))) => tg.add_with_priority(
+            format!("{prefix}final::sync"),
+            res(cpu),
+            spec.gpu_wait_span() + spec.map_span(),
+            &[last],
+            -1,
+            meta_overhead(cpu, None),
+        ),
+        Some(&(last, Residency::Cpu)) => last,
+        None => {
+            return Err(RunError::Tensor(TensorError::BadConcat(
+                "cannot execute an empty graph".into(),
+            )))
+        }
+    };
+
+    Ok(InstanceTasks {
+        producers,
+        node_first_task,
+        completion,
+    })
+}
+
+/// Executes `plan` over `graph` on `spec`, returning timing and energy.
+///
+/// This is the *timing* half of the co-simulation; numeric evaluation of
+/// the same plan lives in [`crate::functional`] and shares the plan
+/// semantics.
+pub fn execute_plan(
+    spec: &SocSpec,
+    graph: &Graph,
+    plan: &ExecutionPlan,
+) -> Result<RunResult, RunError> {
+    let shapes = graph.infer_shapes()?;
+
+    let mut pool = ResourcePool::new();
+    for dev in &spec.devices {
+        pool.add(dev.name.clone());
+    }
+
+    let mut tg: TaskGraph<TaskMeta> = TaskGraph::new();
+    let mut memory = SharedMemory::new();
+    alloc_weight_buffers(&mut memory, graph, &shapes, plan);
+
+    let inst = schedule_instance(&mut tg, &mut memory, spec, graph, &shapes, plan, "", None)?;
+
+    let trace = tg.run(&mut pool)?;
+
+    let mut energy = EnergyAccumulator::new(spec);
+    for rec in trace.records() {
+        energy.add_task(
+            rec.payload.device,
+            rec.span(),
+            rec.payload.work.total_bytes(),
+        )?;
+    }
+    let energy = energy.finish(trace.makespan());
+
+    let node_spans: Vec<(SimTime, SimTime)> = (0..graph.len())
+        .map(|i| {
+            (
+                trace.start_of(inst.node_first_task[i]),
+                trace.end_of(inst.producers[i].0),
+            )
+        })
+        .collect();
+
+    Ok(RunResult {
+        label: plan.label.clone(),
+        latency: trace.makespan(),
+        energy,
+        trace,
+        resource_names: spec.devices.iter().map(|d| d.name.clone()).collect(),
+        node_spans,
+        memory: memory.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NodePlacement;
+    use unn::LayerKind;
+    use usoc::DtypePlan;
+    use utensor::{DType, Shape};
+
+    fn two_conv_graph() -> Graph {
+        // Large enough that cooperative splitting clearly amortizes the
+        // CPU-GPU synchronization overheads.
+        let mut g = Graph::new("two-conv", Shape::nchw(1, 64, 56, 56));
+        let a = g.add_input_layer(
+            "conv_a",
+            LayerKind::Conv {
+                oc: 128,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+            },
+        );
+        g.add(
+            "conv_b",
+            LayerKind::Conv {
+                oc: 128,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+            },
+            a,
+        );
+        g
+    }
+
+    fn single_plan(g: &Graph, spec: &SocSpec, dev: DeviceId, dtype: DType) -> ExecutionPlan {
+        ExecutionPlan::new(
+            g,
+            spec,
+            (0..g.len())
+                .map(|_| NodePlacement::single(dev, dtype))
+                .collect(),
+            "test",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cpu_only_runs_serially() {
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let plan = single_plan(&g, &spec, spec.cpu(), DType::F32);
+        let r = execute_plan(&spec, &g, &plan).unwrap();
+        // Two kernels, no GPU tasks.
+        assert!(r
+            .trace
+            .records()
+            .iter()
+            .all(|t| t.payload.device == spec.cpu()));
+        assert!(r.latency > SimSpan::ZERO);
+        // Node spans are ordered.
+        assert!(r.node_spans[0].1 <= r.node_spans[1].0);
+    }
+
+    #[test]
+    fn gpu_only_pays_final_sync() {
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let cpu_r =
+            execute_plan(&spec, &g, &single_plan(&g, &spec, spec.cpu(), DType::F32)).unwrap();
+        let gpu_r =
+            execute_plan(&spec, &g, &single_plan(&g, &spec, spec.gpu(), DType::F32)).unwrap();
+        // GPU is 1.4x faster at F32 on the high-end SoC; even with issue
+        // and sync overheads it wins on these large layers.
+        assert!(gpu_r.latency < cpu_r.latency);
+        // There is a final sync task on the CPU.
+        assert!(gpu_r
+            .trace
+            .records()
+            .iter()
+            .any(|t| t.label == "final::sync"));
+    }
+
+    #[test]
+    fn split_beats_both_singles_on_big_layers() {
+        // The headline §3 result: cooperative execution of a large conv
+        // beats either processor alone.
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let cpu_lat = execute_plan(
+            &spec,
+            &g,
+            &single_plan(&g, &spec, spec.cpu(), DType::QUInt8),
+        )
+        .unwrap()
+        .latency;
+        let mk_split = || NodePlacement::Split {
+            parts: vec![
+                (spec.cpu(), DtypePlan::proc_friendly_cpu(), 0.5),
+                (spec.gpu(), DtypePlan::proc_friendly_gpu(), 0.5),
+            ],
+        };
+        let plan = ExecutionPlan::new(&g, &spec, vec![mk_split(), mk_split()], "coop").unwrap();
+        let coop = execute_plan(&spec, &g, &plan).unwrap();
+        assert!(
+            coop.latency < cpu_lat,
+            "coop {} !< cpu {}",
+            coop.latency,
+            cpu_lat
+        );
+        // Both devices did real work.
+        let busy = coop.trace.busy_per_resource();
+        assert_eq!(busy.len(), 2);
+    }
+
+    #[test]
+    fn issue_overlaps_with_cpu_work() {
+        // In a split layer, the GPU issue happens while (or before) the
+        // CPU computes its part — the issue must not serialize after it.
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let mk_split = || NodePlacement::Split {
+            parts: vec![
+                (spec.cpu(), DtypePlan::proc_friendly_cpu(), 0.5),
+                (spec.gpu(), DtypePlan::proc_friendly_gpu(), 0.5),
+            ],
+        };
+        let plan = ExecutionPlan::new(&g, &spec, vec![mk_split(), mk_split()], "coop").unwrap();
+        let r = execute_plan(&spec, &g, &plan).unwrap();
+        let recs = r.trace.records();
+        let issue_start = recs
+            .iter()
+            .filter(|t| t.label.contains("conv_a::issue"))
+            .map(|t| t.start)
+            .min()
+            .unwrap();
+        let cpu_kernel = recs
+            .iter()
+            .find(|t| t.label.starts_with("conv_a@CPU"))
+            .unwrap();
+        assert!(issue_start <= cpu_kernel.start);
+    }
+
+    #[test]
+    fn cross_device_transitions_insert_sync_tasks() {
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        // Layer 0 on GPU, layer 1 on CPU: the CPU consumer must sync.
+        let plan = ExecutionPlan::new(
+            &g,
+            &spec,
+            vec![
+                NodePlacement::single(spec.gpu(), DType::F32),
+                NodePlacement::single(spec.cpu(), DType::F32),
+            ],
+            "mixed",
+        )
+        .unwrap();
+        let r = execute_plan(&spec, &g, &plan).unwrap();
+        assert!(r.trace.records().iter().any(|t| t.label == "conv_b::sync"));
+        // And the reverse direction needs an unmap.
+        let plan = ExecutionPlan::new(
+            &g,
+            &spec,
+            vec![
+                NodePlacement::single(spec.cpu(), DType::F32),
+                NodePlacement::single(spec.gpu(), DType::F32),
+            ],
+            "mixed2",
+        )
+        .unwrap();
+        let r = execute_plan(&spec, &g, &plan).unwrap();
+        assert!(r.trace.records().iter().any(|t| t.label == "conv_b::unmap"));
+    }
+
+    #[test]
+    fn energy_accounts_all_tasks() {
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let r = execute_plan(
+            &spec,
+            &g,
+            &single_plan(&g, &spec, spec.cpu(), DType::QUInt8),
+        )
+        .unwrap();
+        assert!(r.energy.total_j() > 0.0);
+        assert!(r.energy.static_j > 0.0);
+        assert!(r.energy.dram_j > 0.0);
+    }
+
+    #[test]
+    fn memory_is_zero_copy() {
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let r = execute_plan(
+            &spec,
+            &g,
+            &single_plan(&g, &spec, spec.cpu(), DType::QUInt8),
+        )
+        .unwrap();
+        assert_eq!(r.memory.copied_bytes, 0);
+        assert!(r.memory.peak_bytes > 0);
+        assert!(r.memory.allocations >= g.len());
+    }
+
+    #[test]
+    fn node_spans_are_consistent() {
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let r = execute_plan(&spec, &g, &single_plan(&g, &spec, spec.gpu(), DType::F16)).unwrap();
+        assert_eq!(r.node_spans.len(), g.len());
+        for (start, end) in &r.node_spans {
+            assert!(start <= end);
+        }
+        // Data dependence: node 1 finishes after node 0.
+        assert!(r.node_spans[1].1 >= r.node_spans[0].1);
+    }
+
+    #[test]
+    fn accelerator_to_accelerator_crossing_syncs_via_host() {
+        // GPU -> NPU handoff must insert a host-mediated xsync task.
+        let spec = SocSpec::exynos_7420().with_npu();
+        let npu = spec.find(usoc::DeviceKind::Npu).unwrap();
+        let g = two_conv_graph();
+        let plan = ExecutionPlan::new(
+            &g,
+            &spec,
+            vec![
+                NodePlacement::single(spec.gpu(), DType::QUInt8),
+                NodePlacement::single(npu, DType::QUInt8),
+            ],
+            "gpu-npu",
+        )
+        .unwrap();
+        let r = execute_plan(&spec, &g, &plan).unwrap();
+        assert!(r
+            .trace
+            .records()
+            .iter()
+            .any(|t| t.label.ends_with("::xsync")));
+        // The NPU actually ran its kernel.
+        assert!(r
+            .trace
+            .records()
+            .iter()
+            .any(|t| t.payload.device == npu && t.payload.work.macs > 0));
+    }
+
+    #[test]
+    fn quint8_plan_moves_fewer_bytes_than_f32() {
+        let spec = SocSpec::exynos_7420();
+        let g = two_conv_graph();
+        let f32_r =
+            execute_plan(&spec, &g, &single_plan(&g, &spec, spec.cpu(), DType::F32)).unwrap();
+        let q_r = execute_plan(
+            &spec,
+            &g,
+            &single_plan(&g, &spec, spec.cpu(), DType::QUInt8),
+        )
+        .unwrap();
+        let bytes = |r: &RunResult| -> u64 {
+            r.trace
+                .records()
+                .iter()
+                .map(|t| t.payload.work.total_bytes())
+                .sum()
+        };
+        assert_eq!(bytes(&f32_r), 4 * bytes(&q_r));
+    }
+}

@@ -1,0 +1,400 @@
+//! Functional (numeric) evaluation of an execution plan.
+//!
+//! The timing engine and this evaluator share the plan semantics: a
+//! `Split` placement slices filters along output channels (conv/FC),
+//! slices input channels (pooling, depthwise), computes each part in the
+//! part's dtypes — including the GPU's dequantize-to-F16 path — and
+//! merges the partial outputs by channel concatenation. Running both
+//! halves of the co-simulation over one plan yields the latency *and* the
+//! actual output tensor, so tests can assert the μLayer correctness
+//! invariant: a split layer's merged output equals the whole-layer
+//! output.
+
+use usoc::DtypePlan;
+use utensor::{DType, QuantParams, Tensor, TensorError};
+
+use unn::{Calibration, Graph, LayerKind, NodeId, Weights};
+
+use crate::plan::{ExecutionPlan, NodePlacement};
+
+/// Computes one layer in a part's dtypes.
+///
+/// `input` is in the plan's storage dtype; the result is returned in the
+/// *compute* dtype of the part (the caller converts to storage and
+/// merges).
+fn compute_part(
+    kind: &LayerKind,
+    input: &Tensor,
+    filter: Option<&Tensor>,
+    bias: Option<&[f32]>,
+    dtypes: DtypePlan,
+    act_params: QuantParams,
+) -> Result<Tensor, TensorError> {
+    // Dequantize/convert the input to the compute dtype if they differ
+    // (the §4.2 GPU path: QUInt8 loads converted to F16 on the fly).
+    let x;
+    let x_ref = if input.dtype() == dtypes.compute {
+        input
+    } else {
+        x = input.cast(dtypes.compute, Some(act_params))?;
+        &x
+    };
+    let out_params = (dtypes.compute == DType::QUInt8).then_some(act_params);
+    unn::run_layer(kind, &[x_ref], filter, bias, out_params)
+}
+
+/// How a layer kind is split channel-wise (§3.2).
+enum SplitAxis {
+    /// Filters sliced along output channels; input shared (Figure 7a).
+    Filters,
+    /// Input sliced along channels (Figure 7b); filters sliced alongside
+    /// for depthwise convolutions.
+    InputChannels,
+}
+
+fn split_axis(kind: &LayerKind) -> Option<SplitAxis> {
+    match kind {
+        LayerKind::Conv { .. } | LayerKind::FullyConnected { .. } => Some(SplitAxis::Filters),
+        LayerKind::DepthwiseConv { .. } | LayerKind::Pool { .. } | LayerKind::GlobalAvgPool => {
+            Some(SplitAxis::InputChannels)
+        }
+        _ => None,
+    }
+}
+
+/// Evaluates the plan numerically, returning every node's output in the
+/// plan's storage dtype (the final softmax is always f32).
+pub fn evaluate_plan(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    weights: &Weights,
+    calib: &Calibration,
+    input: &Tensor,
+) -> Result<Vec<Tensor>, TensorError> {
+    let storage = plan.storage_dtype();
+    let x0 = input.cast(storage, Some(calib.input_params))?;
+
+    let mut outputs: Vec<Tensor> = Vec::with_capacity(graph.len());
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let id = NodeId(i);
+        let act = calib.act_params[i];
+        let inputs: Vec<&Tensor> = if node.inputs.is_empty() {
+            vec![&x0]
+        } else {
+            node.inputs.iter().map(|d| &outputs[d.0]).collect()
+        };
+        // Quantization-preserving layers (pooling, ReLU, LRN) keep their
+        // input's parameters on the integer path, so every part of a
+        // split — including F16-computed GPU parts — must requantize to
+        // those, not to the calibrated range, for the merge to agree.
+        let store_params = match node.kind {
+            LayerKind::Pool { .. }
+            | LayerKind::GlobalAvgPool
+            | LayerKind::Relu
+            | LayerKind::Lrn { .. } => inputs[0].quant_params().unwrap_or(act),
+            _ => act,
+        };
+        let master_filter = &weights.of(id).filter;
+        let bias = weights.of(id).bias.as_deref();
+
+        let out = match &plan.placements[i] {
+            NodePlacement::Single { dtypes, .. } => {
+                let filter = master_filter
+                    .as_ref()
+                    .map(|f| f.cast(dtypes.compute, calib.weight_params[i]))
+                    .transpose()?;
+                let raw = if matches!(node.kind, LayerKind::Concat | LayerKind::Add) {
+                    // Multi-input joins consume stored tensors directly
+                    // (requantizing QUInt8 inputs to the node's range).
+                    unn::run_layer(&node.kind, &inputs, None, None, Some(act))?
+                } else {
+                    compute_part(&node.kind, inputs[0], filter.as_ref(), bias, *dtypes, act)?
+                };
+                finish(raw, &node.kind, storage, store_params)?
+            }
+            NodePlacement::Split { parts } => {
+                let axis = split_axis(&node.kind).ok_or_else(|| {
+                    TensorError::BadConcat(format!(
+                        "{} cannot be channel-split",
+                        node.kind.op_name()
+                    ))
+                })?;
+                let x = inputs[0];
+                // Split points over the channel axis.
+                let channels = match axis {
+                    SplitAxis::Filters => master_filter
+                        .as_ref()
+                        .map(|f| f.shape().dim(0))
+                        .unwrap_or(0),
+                    SplitAxis::InputChannels => x.shape().c(),
+                };
+                let mut cuts = vec![0usize];
+                let mut acc = 0.0f64;
+                for (_, _, frac) in parts {
+                    acc += frac;
+                    cuts.push(((channels as f64) * acc).round() as usize);
+                }
+                *cuts.last_mut().expect("nonempty") = channels;
+
+                let mut part_outputs: Vec<Tensor> = Vec::with_capacity(parts.len());
+                for (p, (_, dtypes, _)) in parts.iter().enumerate() {
+                    let (lo, hi) = (cuts[p], cuts[p + 1]);
+                    if lo == hi {
+                        continue; // empty share (rounding on tiny layers)
+                    }
+                    let raw = match axis {
+                        SplitAxis::Filters => {
+                            let f = master_filter.as_ref().ok_or_else(|| {
+                                TensorError::BadConcat(format!(
+                                    "{} has no filter to split",
+                                    node.name
+                                ))
+                            })?;
+                            let f_part = f
+                                .slice_axis(0, lo, hi)?
+                                .cast(dtypes.compute, calib.weight_params[i])?;
+                            let b_part = bias.map(|b| &b[lo..hi]);
+                            compute_part(&node.kind, x, Some(&f_part), b_part, *dtypes, act)?
+                        }
+                        SplitAxis::InputChannels => {
+                            let x_part = x.slice_axis(1, lo, hi)?;
+                            let f_part = master_filter
+                                .as_ref()
+                                .map(|f| {
+                                    f.slice_axis(0, lo, hi).and_then(|t| {
+                                        t.cast(dtypes.compute, calib.weight_params[i])
+                                    })
+                                })
+                                .transpose()?;
+                            let b_part = bias.map(|b| &b[lo..hi]);
+                            compute_part(
+                                &node.kind,
+                                &x_part,
+                                f_part.as_ref(),
+                                b_part,
+                                *dtypes,
+                                act,
+                            )?
+                        }
+                    };
+                    part_outputs.push(finish(raw, &node.kind, storage, store_params)?);
+                }
+                let refs: Vec<&Tensor> = part_outputs.iter().collect();
+                Tensor::concat_axis(1, &refs)?
+            }
+        };
+        outputs.push(out);
+    }
+    Ok(outputs)
+}
+
+/// Converts a computed part/layer output to the plan's storage dtype
+/// (requantization at the store, §4.2). The softmax head stays f32.
+fn finish(
+    raw: Tensor,
+    kind: &LayerKind,
+    storage: DType,
+    target: QuantParams,
+) -> Result<Tensor, TensorError> {
+    if matches!(kind, LayerKind::Softmax) || raw.dtype() == storage {
+        return Ok(raw);
+    }
+    raw.cast(storage, Some(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usoc::SocSpec;
+    use utensor::Shape;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new("g", Shape::nchw(1, 4, 10, 10));
+        let c1 = g.add_input_layer(
+            "conv1",
+            LayerKind::Conv {
+                oc: 8,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+            },
+        );
+        let p1 = g.add(
+            "pool1",
+            LayerKind::Pool {
+                func: unn::PoolFunc::Max,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+            c1,
+        );
+        let c2 = g.add(
+            "conv2",
+            LayerKind::Conv {
+                oc: 6,
+                k: 1,
+                stride: 1,
+                pad: 0,
+                relu: false,
+            },
+            p1,
+        );
+        g.add(
+            "fc",
+            LayerKind::FullyConnected {
+                out: 4,
+                relu: false,
+            },
+            c2,
+        );
+        g
+    }
+
+    fn sample() -> Tensor {
+        let shape = Shape::nchw(1, 4, 10, 10);
+        let data: Vec<f32> = (0..shape.numel())
+            .map(|i| (((i * 37) % 100) as f32) / 100.0 - 0.5)
+            .collect();
+        Tensor::from_f32(shape, data).unwrap()
+    }
+
+    fn setup() -> (Graph, Weights, Calibration, Tensor) {
+        let g = graph();
+        let w = Weights::random(&g, 11).unwrap();
+        let calib = unn::calibrate(&g, &w, &[sample()]).unwrap();
+        (g, w, calib, sample())
+    }
+
+    #[test]
+    fn all_cpu_f32_plan_matches_reference_forward() {
+        let (g, w, calib, x) = setup();
+        let spec = SocSpec::exynos_7420();
+        let plan = ExecutionPlan::new(
+            &g,
+            &spec,
+            (0..g.len())
+                .map(|_| NodePlacement::single(spec.cpu(), DType::F32))
+                .collect(),
+            "cpu-f32",
+        )
+        .unwrap();
+        let got = evaluate_plan(&g, &plan, &w, &calib, &x).unwrap();
+        let want = unn::forward(&g, &w, &calib, &x, DType::F32).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            assert!(a.bit_equal(b));
+        }
+    }
+
+    #[test]
+    fn split_plan_is_bit_identical_to_single_for_uniform_dtypes() {
+        // THE correctness theorem of channel-wise distribution: identical
+        // arithmetic on both processors => identical merged output.
+        let (g, w, calib, x) = setup();
+        let spec = SocSpec::exynos_7420();
+        for dtype in [DType::F32, DType::QUInt8] {
+            let single = ExecutionPlan::new(
+                &g,
+                &spec,
+                (0..g.len())
+                    .map(|_| NodePlacement::single(spec.cpu(), dtype))
+                    .collect(),
+                "single",
+            )
+            .unwrap();
+            let splits = ExecutionPlan::new(
+                &g,
+                &spec,
+                g.nodes()
+                    .iter()
+                    .map(|n| {
+                        if n.kind.is_distributable() {
+                            NodePlacement::Split {
+                                parts: vec![
+                                    (spec.cpu(), DtypePlan::uniform(dtype), 0.25),
+                                    (spec.gpu(), DtypePlan::uniform(dtype), 0.75),
+                                ],
+                            }
+                        } else {
+                            NodePlacement::single(spec.cpu(), dtype)
+                        }
+                    })
+                    .collect(),
+                "split",
+            )
+            .unwrap();
+            let a = evaluate_plan(&g, &single, &w, &calib, &x).unwrap();
+            let b = evaluate_plan(&g, &splits, &w, &calib, &x).unwrap();
+            assert!(
+                a.last().unwrap().bit_equal(b.last().unwrap()),
+                "dtype {dtype}"
+            );
+        }
+    }
+
+    #[test]
+    fn proc_friendly_split_tracks_f32() {
+        // Mixed CPU-QUInt8 / GPU-F16 cooperative execution stays close to
+        // the float reference (the §4.3 accuracy argument).
+        let (g, w, calib, x) = setup();
+        let spec = SocSpec::exynos_7420();
+        let coop = ExecutionPlan::new(
+            &g,
+            &spec,
+            g.nodes()
+                .iter()
+                .map(|n| {
+                    if n.kind.is_distributable() {
+                        NodePlacement::Split {
+                            parts: vec![
+                                (spec.cpu(), DtypePlan::proc_friendly_cpu(), 0.5),
+                                (spec.gpu(), DtypePlan::proc_friendly_gpu(), 0.5),
+                            ],
+                        }
+                    } else {
+                        NodePlacement::single(spec.cpu(), DType::QUInt8)
+                    }
+                })
+                .collect(),
+            "ulayer",
+        )
+        .unwrap();
+        let got = evaluate_plan(&g, &coop, &w, &calib, &x).unwrap();
+        let want = unn::forward(&g, &w, &calib, &x, DType::F32).unwrap();
+        let diff = got.last().unwrap().max_abs_diff(want.last().unwrap());
+        assert!(diff < 0.35, "diff = {diff}");
+    }
+
+    #[test]
+    fn empty_share_is_tolerated() {
+        // A 0.95/0.05 split of a 6-channel layer rounds one share to zero
+        // channels; the evaluator must still produce the full output.
+        let (g, w, calib, x) = setup();
+        let spec = SocSpec::exynos_7420();
+        let plan = ExecutionPlan::new(
+            &g,
+            &spec,
+            g.nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    if i == 2 && n.kind.is_distributable() {
+                        NodePlacement::Split {
+                            parts: vec![
+                                (spec.cpu(), DtypePlan::uniform(DType::F32), 0.97),
+                                (spec.gpu(), DtypePlan::uniform(DType::F32), 0.03),
+                            ],
+                        }
+                    } else {
+                        NodePlacement::single(spec.cpu(), DType::F32)
+                    }
+                })
+                .collect(),
+            "uneven",
+        )
+        .unwrap();
+        let out = evaluate_plan(&g, &plan, &w, &calib, &x).unwrap();
+        assert_eq!(out[2].shape().c(), 6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Execution mechanisms and the plan-execution engine.
+//!
+//! This crate turns an NN graph plus an [`ExecutionPlan`] into a
+//! scheduled, timed, energy-accounted run on a simulated SoC:
+//!
+//! - [`plan`] — the placement language (single-processor vs channel-wise
+//!   split) shared by the baselines and μLayer.
+//! - [`engine`] — the timing half of the co-simulation: builds the task
+//!   DAG (kernels, async GPU issues, syncs, zero-copy map/unmaps,
+//!   cooperative merges), schedules it, and integrates energy.
+//! - [`functional`] — the numeric half: evaluates the same plan on real
+//!   tensors, slicing filters/channels exactly as §3.2 describes.
+//! - [`pipeline`] — streaming execution: many inputs through one plan
+//!   with paced arrivals, reporting sustained throughput and per-input
+//!   latency.
+//! - [`baselines`] — the §2.2 mechanisms μLayer is compared against:
+//!   single-processor, layer-to-processor, network-to-processor.
+//!
+//! # Examples
+//!
+//! ```
+//! use uruntime::{run_layer_to_processor, run_single_processor};
+//! use usoc::SocSpec;
+//! use utensor::DType;
+//!
+//! let spec = SocSpec::exynos_7420();
+//! let net = unn::ModelId::SqueezeNet.build();
+//! let cpu = run_single_processor(&spec, &net, spec.cpu(), DType::QUInt8).unwrap();
+//! let l2p = run_layer_to_processor(&spec, &net, DType::QUInt8).unwrap();
+//! assert!(l2p.latency <= cpu.latency.max(l2p.latency));
+//! ```
+
+pub mod baselines;
+pub mod engine;
+pub mod functional;
+pub mod pipeline;
+pub mod plan;
+
+pub use baselines::{
+    layer_to_processor_plan, run_layer_to_processor, run_network_to_processor,
+    run_single_processor, single_processor_plan, ThroughputResult,
+};
+pub use engine::{execute_plan, RunError, RunResult, TaskMeta};
+pub use functional::evaluate_plan;
+pub use pipeline::{execute_pipeline, PipelineResult};
+pub use plan::{ExecutionPlan, NodePlacement};

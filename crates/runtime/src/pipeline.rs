@@ -1,0 +1,229 @@
+//! Streaming (pipelined) execution: many inputs through one plan.
+//!
+//! The figures of the paper measure single-input latency; real services
+//! (continuous vision, §1) stream inputs. This executor chains `n`
+//! inference instances of the same plan through the shared device
+//! timelines: instance `k`'s source layers are gated on its arrival (a
+//! camera frame every `interval`), and all instances contend for the
+//! processors — so later frames naturally pipeline into the idle gaps of
+//! earlier ones. The result reports sustained throughput *and* the
+//! per-input latency distribution, the two metrics the
+//! network-to-processor comparison (§2.2) distinguishes.
+
+use simcore::{ResourcePool, SimSpan, TaskGraph, TaskId};
+use usoc::{EnergyAccumulator, EnergyBreakdown, KernelWork, SharedMemory, SocSpec};
+
+use unn::Graph;
+
+use crate::engine::{schedule_instance, RunError, TaskMeta};
+use crate::plan::ExecutionPlan;
+
+/// The outcome of a pipelined run.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Number of inputs processed.
+    pub inputs: usize,
+    /// Arrival interval between consecutive inputs.
+    pub interval: SimSpan,
+    /// Wall-clock of the whole stream (first arrival to last completion).
+    pub makespan: SimSpan,
+    /// Sustained throughput, inferences per second.
+    pub throughput_ips: f64,
+    /// Per-input latency: completion minus arrival, in arrival order.
+    pub latencies: Vec<SimSpan>,
+    /// Total energy over the stream.
+    pub energy: EnergyBreakdown,
+}
+
+impl PipelineResult {
+    /// The worst per-input latency.
+    pub fn max_latency(&self) -> SimSpan {
+        self.latencies
+            .iter()
+            .copied()
+            .fold(SimSpan::ZERO, SimSpan::max)
+    }
+
+    /// The mean per-input latency.
+    pub fn mean_latency(&self) -> SimSpan {
+        if self.latencies.is_empty() {
+            return SimSpan::ZERO;
+        }
+        self.latencies.iter().copied().sum::<SimSpan>() / self.latencies.len() as u64
+    }
+
+    /// Number of inputs whose latency exceeded `deadline`.
+    pub fn missed(&self, deadline: SimSpan) -> usize {
+        self.latencies.iter().filter(|&&l| l > deadline).count()
+    }
+}
+
+/// Streams `inputs` inferences of `plan` with one arrival every
+/// `interval` (use `SimSpan::ZERO` for back-to-back arrivals).
+pub fn execute_pipeline(
+    spec: &SocSpec,
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    inputs: usize,
+    interval: SimSpan,
+) -> Result<PipelineResult, RunError> {
+    let shapes = graph.infer_shapes()?;
+
+    let mut pool = ResourcePool::new();
+    for dev in &spec.devices {
+        pool.add(dev.name.clone());
+    }
+    // A virtual source (the camera / microphone) delivering one input per
+    // interval; it is not a processor and consumes no energy.
+    let source = pool.add("source");
+
+    let mut tg: TaskGraph<TaskMeta> = TaskGraph::new();
+    let mut memory = SharedMemory::new();
+    super::engine::alloc_weight_buffers(&mut memory, graph, &shapes, plan);
+
+    let nop = TaskMeta {
+        device: spec.cpu(), // never scheduled on a real device resource
+        work: KernelWork::nop(),
+        node: None,
+    };
+
+    let mut arrivals: Vec<TaskId> = Vec::with_capacity(inputs);
+    let mut completions: Vec<TaskId> = Vec::with_capacity(inputs);
+    let mut prev_arrival: Option<TaskId> = None;
+    for k in 0..inputs {
+        // Arrival k completes at k * interval (the first frame is ready
+        // immediately).
+        let span = if k == 0 { SimSpan::ZERO } else { interval };
+        let deps: Vec<TaskId> = prev_arrival.into_iter().collect();
+        let arrival = tg.add(format!("in{k}::arrival"), source, span, &deps, nop.clone());
+        prev_arrival = Some(arrival);
+        arrivals.push(arrival);
+
+        let inst = schedule_instance(
+            &mut tg,
+            &mut memory,
+            spec,
+            graph,
+            &shapes,
+            plan,
+            &format!("in{k}/"),
+            Some(arrival),
+        )?;
+        completions.push(inst.completion);
+    }
+
+    let trace = tg.run(&mut pool)?;
+
+    let mut energy = EnergyAccumulator::new(spec);
+    for rec in trace.records() {
+        if rec.resource != simcore::ResourceId(source.0) {
+            energy.add_task(
+                rec.payload.device,
+                rec.span(),
+                rec.payload.work.total_bytes(),
+            )?;
+        }
+    }
+    let energy = energy.finish(trace.makespan());
+
+    let latencies: Vec<SimSpan> = arrivals
+        .iter()
+        .zip(&completions)
+        .map(|(&a, &c)| trace.end_of(c) - trace.end_of(a))
+        .collect();
+    let makespan = trace.makespan();
+    let throughput_ips = if makespan.is_zero() {
+        0.0
+    } else {
+        inputs as f64 / makespan.as_secs_f64()
+    };
+
+    Ok(PipelineResult {
+        inputs,
+        interval,
+        makespan,
+        throughput_ips,
+        latencies,
+        energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::single_processor_plan;
+    use crate::engine::execute_plan;
+    use unn::ModelId;
+    use utensor::DType;
+
+    fn setup() -> (SocSpec, Graph, ExecutionPlan) {
+        let spec = SocSpec::exynos_7420();
+        let g = ModelId::SqueezeNet.build_miniature();
+        let plan = single_processor_plan(&g, &spec, spec.cpu(), DType::QUInt8).expect("plan");
+        (spec, g, plan)
+    }
+
+    #[test]
+    fn one_input_matches_single_run() {
+        let (spec, g, plan) = setup();
+        let single = execute_plan(&spec, &g, &plan).expect("single");
+        let pipe = execute_pipeline(&spec, &g, &plan, 1, SimSpan::from_millis(10)).expect("pipe");
+        assert_eq!(pipe.latencies.len(), 1);
+        assert_eq!(pipe.latencies[0], single.latency);
+    }
+
+    #[test]
+    fn back_to_back_throughput_beats_serial_restarts() {
+        // With zero arrival interval, the stream's makespan can never
+        // exceed n * single-latency (and pipelining may beat it).
+        let (spec, g, plan) = setup();
+        let single = execute_plan(&spec, &g, &plan).expect("single");
+        let n = 8;
+        let pipe = execute_pipeline(&spec, &g, &plan, n, SimSpan::ZERO).expect("pipe");
+        assert!(
+            pipe.makespan.as_secs_f64() <= single.latency.as_secs_f64() * n as f64 * 1.001,
+            "makespan {} vs serial {}",
+            pipe.makespan,
+            single.latency * n as u64
+        );
+        assert!(pipe.throughput_ips > 0.0);
+    }
+
+    #[test]
+    fn paced_arrivals_keep_latency_flat() {
+        // When the arrival interval exceeds the single-input latency, the
+        // pipeline is never backlogged: every input's latency equals the
+        // first input's.
+        let (spec, g, plan) = setup();
+        let single = execute_plan(&spec, &g, &plan).expect("single");
+        let interval = single.latency + SimSpan::from_millis(1);
+        let pipe = execute_pipeline(&spec, &g, &plan, 5, interval).expect("pipe");
+        for (k, l) in pipe.latencies.iter().enumerate() {
+            assert_eq!(*l, pipe.latencies[0], "input {k}");
+        }
+        assert_eq!(pipe.missed(single.latency + SimSpan::from_millis(2)), 0);
+    }
+
+    #[test]
+    fn overloaded_arrivals_build_backlog() {
+        // Arrivals faster than the service rate make latency grow with k.
+        let (spec, g, plan) = setup();
+        let single = execute_plan(&spec, &g, &plan).expect("single");
+        let interval = single.latency / 4;
+        let pipe = execute_pipeline(&spec, &g, &plan, 6, interval).expect("pipe");
+        assert!(
+            pipe.latencies.last().expect("nonempty") > &pipe.latencies[0],
+            "no backlog: {:?}",
+            pipe.latencies
+        );
+        assert!(pipe.max_latency() >= pipe.mean_latency());
+    }
+
+    #[test]
+    fn energy_scales_with_stream_length() {
+        let (spec, g, plan) = setup();
+        let p2 = execute_pipeline(&spec, &g, &plan, 2, SimSpan::ZERO).expect("pipe");
+        let p8 = execute_pipeline(&spec, &g, &plan, 8, SimSpan::ZERO).expect("pipe");
+        assert!(p8.energy.total_j() > p2.energy.total_j() * 3.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Execution plans: who runs each layer, in what dtypes, at what split.
+//!
+//! A plan assigns every graph node a [`NodePlacement`]: either a single
+//! processor or a channel-wise split across several processors (§3.2).
+//! Baseline mechanisms produce all-`Single` plans; μLayer's partitioner
+//! and branch distributor produce mixed plans. The engine executes any
+//! valid plan, so every mechanism shares scheduling, timing, energy, and
+//! numeric machinery.
+
+use usoc::{DeviceId, DtypePlan, SocSpec};
+use utensor::{DType, TensorError};
+
+use unn::Graph;
+
+/// Where (and how) one layer executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodePlacement {
+    /// The whole layer on one processor.
+    Single {
+        /// The processor.
+        device: DeviceId,
+        /// Storage/compute dtypes on that processor.
+        dtypes: DtypePlan,
+    },
+    /// Channel-wise workload distribution across processors. Fractions
+    /// must be positive and sum to 1.
+    Split {
+        /// `(processor, dtypes, fraction of output channels)` per part.
+        parts: Vec<(DeviceId, DtypePlan, f64)>,
+    },
+}
+
+impl NodePlacement {
+    /// A single-processor placement with uniform dtypes.
+    pub fn single(device: DeviceId, dtype: DType) -> NodePlacement {
+        NodePlacement::Single {
+            device,
+            dtypes: DtypePlan::uniform(dtype),
+        }
+    }
+
+    /// The devices this placement touches.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        match self {
+            NodePlacement::Single { device, .. } => vec![*device],
+            NodePlacement::Split { parts } => parts.iter().map(|p| p.0).collect(),
+        }
+    }
+
+    /// The storage dtype of the produced tensor.
+    pub fn storage_dtype(&self) -> DType {
+        match self {
+            NodePlacement::Single { dtypes, .. } => dtypes.storage,
+            NodePlacement::Split { parts } => {
+                parts.first().map(|p| p.1.storage).unwrap_or(DType::F32)
+            }
+        }
+    }
+}
+
+/// A complete execution plan for a graph.
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    /// One placement per node, in node order.
+    pub placements: Vec<NodePlacement>,
+    /// Short mechanism label for reports (e.g. `"layer-to-processor"`).
+    pub label: String,
+}
+
+impl ExecutionPlan {
+    /// Builds a plan, validating it against the graph and SoC:
+    ///
+    /// - one placement per node;
+    /// - every referenced device exists;
+    /// - split fractions are positive and sum to ~1;
+    /// - splits only on distributable layers (§3.2);
+    /// - every placement stores activations in the same dtype (consumers
+    ///   must be able to read producers' outputs without extra
+    ///   conversions).
+    pub fn new(
+        graph: &Graph,
+        spec: &SocSpec,
+        placements: Vec<NodePlacement>,
+        label: impl Into<String>,
+    ) -> Result<ExecutionPlan, TensorError> {
+        if placements.len() != graph.len() {
+            return Err(TensorError::BadConcat(format!(
+                "plan has {} placements for {} nodes",
+                placements.len(),
+                graph.len()
+            )));
+        }
+        let storage = placements
+            .first()
+            .map(NodePlacement::storage_dtype)
+            .unwrap_or(DType::F32);
+        for (i, p) in placements.iter().enumerate() {
+            for dev in p.devices() {
+                if spec.device(dev).is_err() {
+                    return Err(TensorError::BadConcat(format!(
+                        "placement {i} references unknown device {dev}"
+                    )));
+                }
+            }
+            if p.storage_dtype() != storage {
+                return Err(TensorError::BadConcat(format!(
+                    "placement {i} stores {} but the plan stores {storage}",
+                    p.storage_dtype()
+                )));
+            }
+            if let NodePlacement::Split { parts } = p {
+                if parts.len() < 2 {
+                    return Err(TensorError::BadConcat(format!(
+                        "placement {i}: split needs >= 2 parts"
+                    )));
+                }
+                let sum: f64 = parts.iter().map(|p| p.2).sum();
+                if parts.iter().any(|p| p.2 <= 0.0) || (sum - 1.0).abs() > 1e-6 {
+                    return Err(TensorError::BadConcat(format!(
+                        "placement {i}: split fractions must be positive and sum to 1 (sum = {sum})"
+                    )));
+                }
+                if !graph.nodes()[i].kind.is_distributable() {
+                    return Err(TensorError::BadConcat(format!(
+                        "placement {i}: {} is not channel-distributable",
+                        graph.nodes()[i].kind.op_name()
+                    )));
+                }
+            }
+        }
+        Ok(ExecutionPlan {
+            placements,
+            label: label.into(),
+        })
+    }
+
+    /// The plan-wide activation storage dtype.
+    pub fn storage_dtype(&self) -> DType {
+        self.placements
+            .first()
+            .map(NodePlacement::storage_dtype)
+            .unwrap_or(DType::F32)
+    }
+
+    /// Number of layers executed cooperatively (split across devices).
+    pub fn split_count(&self) -> usize {
+        self.placements
+            .iter()
+            .filter(|p| matches!(p, NodePlacement::Split { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn::LayerKind;
+    use utensor::Shape;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new("g", Shape::nchw(1, 3, 8, 8));
+        let c = g.add_input_layer(
+            "conv",
+            LayerKind::Conv {
+                oc: 8,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+            },
+        );
+        g.add("softmax", LayerKind::Softmax, c);
+        g
+    }
+
+    #[test]
+    fn valid_single_plan() {
+        let g = graph();
+        let soc = SocSpec::exynos_7420();
+        let p = ExecutionPlan::new(
+            &g,
+            &soc,
+            vec![
+                NodePlacement::single(soc.cpu(), DType::F32),
+                NodePlacement::single(soc.cpu(), DType::F32),
+            ],
+            "test",
+        )
+        .unwrap();
+        assert_eq!(p.split_count(), 0);
+        assert_eq!(p.storage_dtype(), DType::F32);
+    }
+
+    #[test]
+    fn valid_split_plan() {
+        let g = graph();
+        let soc = SocSpec::exynos_7420();
+        let p = ExecutionPlan::new(
+            &g,
+            &soc,
+            vec![
+                NodePlacement::Split {
+                    parts: vec![
+                        (soc.cpu(), DtypePlan::proc_friendly_cpu(), 0.5),
+                        (soc.gpu(), DtypePlan::proc_friendly_gpu(), 0.5),
+                    ],
+                },
+                NodePlacement::single(soc.cpu(), DType::QUInt8),
+            ],
+            "ulayer",
+        )
+        .unwrap();
+        assert_eq!(p.split_count(), 1);
+        assert_eq!(p.storage_dtype(), DType::QUInt8);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let g = graph();
+        let soc = SocSpec::exynos_7420();
+        assert!(ExecutionPlan::new(
+            &g,
+            &soc,
+            vec![NodePlacement::single(soc.cpu(), DType::F32)],
+            "bad"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_fractions_rejected() {
+        let g = graph();
+        let soc = SocSpec::exynos_7420();
+        for fracs in [vec![0.5, 0.4], vec![1.2, -0.2]] {
+            let parts: Vec<_> = fracs
+                .iter()
+                .map(|&f| (soc.cpu(), DtypePlan::uniform(DType::F32), f))
+                .collect();
+            assert!(ExecutionPlan::new(
+                &g,
+                &soc,
+                vec![
+                    NodePlacement::Split { parts },
+                    NodePlacement::single(soc.cpu(), DType::F32),
+                ],
+                "bad"
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn split_on_softmax_rejected() {
+        let g = graph();
+        let soc = SocSpec::exynos_7420();
+        assert!(ExecutionPlan::new(
+            &g,
+            &soc,
+            vec![
+                NodePlacement::single(soc.cpu(), DType::F32),
+                NodePlacement::Split {
+                    parts: vec![
+                        (soc.cpu(), DtypePlan::uniform(DType::F32), 0.5),
+                        (soc.gpu(), DtypePlan::uniform(DType::F32), 0.5),
+                    ],
+                },
+            ],
+            "bad"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mixed_storage_rejected() {
+        let g = graph();
+        let soc = SocSpec::exynos_7420();
+        assert!(ExecutionPlan::new(
+            &g,
+            &soc,
+            vec![
+                NodePlacement::single(soc.cpu(), DType::QUInt8),
+                NodePlacement::single(soc.cpu(), DType::F32),
+            ],
+            "bad"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let g = graph();
+        let soc = SocSpec::exynos_7420();
+        assert!(ExecutionPlan::new(
+            &g,
+            &soc,
+            vec![
+                NodePlacement::single(DeviceId(17), DType::F32),
+                NodePlacement::single(soc.cpu(), DType::F32),
+            ],
+            "bad"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! A deterministic time-ordered event queue.
+//!
+//! [`EventQueue`] is a min-heap keyed by [`SimTime`]. Events scheduled for
+//! the same instant are delivered in insertion order (stable FIFO), which
+//! makes every simulation built on top of it fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    prio: i8,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.prio == other.prio && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest
+        // (time, priority, seq) — lower priority values first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.prio.cmp(&self.prio))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable ordering for simultaneous events.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` at instant `at` with default (0) priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the last popped event), which
+    /// would indicate a causality bug in the caller.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.push_with_priority(at, 0, event);
+    }
+
+    /// Schedules `event` at instant `at`. Among simultaneous events,
+    /// lower `prio` values are delivered first; ties keep FIFO order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn push_with_priority(&mut self, at: SimTime, prio: i8, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?}, now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            prio,
+            seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The current simulated instant (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 1, 9, 3, 7] {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        let mut order = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            order.push(e);
+        }
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(42);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), ());
+        q.push(SimTime::from_nanos(20), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        // Scheduling at the current instant is allowed.
+        q.push(SimTime::from_nanos(10), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), ());
+        q.pop();
+        q.push(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn priority_breaks_simultaneous_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.push_with_priority(t, 0, "normal");
+        q.push_with_priority(t, -1, "urgent");
+        q.push_with_priority(t, 1, "lazy");
+        q.push_with_priority(t, -1, "urgent-second");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["urgent", "urgent-second", "normal", "lazy"]);
+    }
+
+    #[test]
+    fn priority_never_overrides_time() {
+        let mut q = EventQueue::new();
+        q.push_with_priority(SimTime::from_nanos(10), -100, "late-urgent");
+        q.push_with_priority(SimTime::from_nanos(5), 100, "early-lazy");
+        assert_eq!(q.pop().unwrap().1, "early-lazy");
+        assert_eq!(q.pop().unwrap().1, "late-urgent");
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(3), 'a');
+        q.push(SimTime::from_nanos(1), 'b');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event simulation engine for the μLayer SoC models.
+//!
+//! The μLayer reproduction replaces the paper's physical Exynos SoCs with a
+//! simulated SoC. This crate provides the domain-independent pieces of that
+//! simulation:
+//!
+//! - [`SimTime`] / [`SimSpan`] — nanosecond-resolution instants and spans.
+//! - [`EventQueue`] — a deterministic time-ordered event queue with stable
+//!   FIFO ordering for simultaneous events.
+//! - [`Timeline`] — a serially-reusable resource (a CPU cluster, a GPU, a
+//!   command queue) that tracks when it is busy and collects utilization.
+//! - [`TaskGraph`] / [`Trace`] — a dependency-aware task scheduler that
+//!   executes a DAG of timed tasks over a set of timelines and produces a
+//!   trace with per-task start/end times, suitable for latency and energy
+//!   accounting as well as ASCII Gantt rendering.
+//!
+//! The engine is deterministic: scheduling the same graph twice yields the
+//! same trace, which the test suites rely on.
+
+pub mod dag;
+pub mod event;
+pub mod resource;
+pub mod time;
+pub mod trace;
+
+pub use dag::{ScheduleError, TaskGraph, TaskId, TaskSpec};
+pub use event::EventQueue;
+pub use resource::{BusyInterval, ResourceId, ResourcePool, Timeline};
+pub use time::{SimSpan, SimTime};
+pub use trace::{GanttOptions, TaskRecord, Trace};

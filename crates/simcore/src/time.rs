@@ -1,0 +1,320 @@
+//! Nanosecond-resolution simulated time.
+//!
+//! Two distinct types keep instants and durations from being confused:
+//! [`SimTime`] is a point on the simulated clock, [`SimSpan`] is a length of
+//! simulated time. Arithmetic is saturating-free: overflow panics in debug
+//! builds like any other Rust integer arithmetic, which is fine for the
+//! microsecond-to-second horizons these simulations cover.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimSpan(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `ns` nanoseconds after the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since the epoch, as a float (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimSpan {
+        assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({earlier}) is after self ({self})"
+        );
+        SimSpan(self.0 - earlier.0)
+    }
+}
+
+impl SimSpan {
+    /// The empty span.
+    pub const ZERO: SimSpan = SimSpan(0);
+
+    /// Creates a span of `ns` nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimSpan(ns)
+    }
+
+    /// Creates a span of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimSpan(us * 1_000)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000_000)
+    }
+
+    /// Creates a span from a float number of seconds, rounding to the
+    /// nearest nanosecond and clamping negatives to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimSpan::ZERO;
+        }
+        SimSpan((secs * 1e9).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Length in milliseconds, as a float (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Length in microseconds, as a float (for reporting only).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The longer of two spans.
+    pub fn max(self, other: SimSpan) -> SimSpan {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The shorter of two spans.
+    pub fn min(self, other: SimSpan) -> SimSpan {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when the span is zero-length.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimSpan {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        assert!(rhs.0 <= self.0, "SimSpan subtraction underflow");
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimSpan {
+    fn sub_assign(&mut self, rhs: SimSpan) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimSpan {
+    type Output = SimSpan;
+    fn mul(self, rhs: f64) -> SimSpan {
+        SimSpan::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs)
+    }
+}
+
+impl Sum for SimSpan {
+    fn sum<I: Iterator<Item = SimSpan>>(iter: I) -> SimSpan {
+        iter.fold(SimSpan::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_plus_span() {
+        let t = SimTime::from_nanos(100) + SimSpan::from_nanos(50);
+        assert_eq!(t.as_nanos(), 150);
+    }
+
+    #[test]
+    fn instant_difference_is_span() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(350);
+        assert_eq!((b - a).as_nanos(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn negative_difference_panics() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(50);
+        let _ = b - a;
+    }
+
+    #[test]
+    fn span_conversions() {
+        assert_eq!(SimSpan::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimSpan::from_millis(2).as_nanos(), 2_000_000);
+        assert!((SimSpan::from_millis(2).as_millis_f64() - 2.0).abs() < 1e-12);
+        assert_eq!(SimSpan::from_secs_f64(1e-9).as_nanos(), 1);
+        assert_eq!(SimSpan::from_secs_f64(-1.0), SimSpan::ZERO);
+        assert_eq!(SimSpan::from_secs_f64(f64::NAN), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn span_scaling() {
+        let s = SimSpan::from_micros(10);
+        assert_eq!((s * 2u64).as_nanos(), 20_000);
+        assert_eq!((s * 0.5f64).as_nanos(), 5_000);
+        assert_eq!((s / 4).as_nanos(), 2_500);
+    }
+
+    #[test]
+    fn span_sum() {
+        let total: SimSpan = (1..=4).map(SimSpan::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimSpan::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimSpan::from_nanos(12_500)), "12.500us");
+        assert_eq!(format!("{}", SimSpan::from_millis(7)), "7.000ms");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let x = SimSpan::from_nanos(1);
+        let y = SimSpan::from_nanos(2);
+        assert_eq!(x.max(y), y);
+        assert_eq!(x.min(y), x);
+    }
+}

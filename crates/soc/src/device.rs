@@ -1,0 +1,162 @@
+//! Simulated processors of a mobile SoC.
+//!
+//! A [`DeviceSpec`] captures what the timing model needs to know about a
+//! processor: its effective multiply-accumulate throughput *per data
+//! type* and its active power draw. The per-dtype throughput table is the
+//! heart of the reproduction's calibration — it encodes the paper's §3.1
+//! and §4.1 measurements (CPU/GPU balance, F16 vs QUInt8 preferences) so
+//! that the runtime mechanisms face the same trade-offs the real Exynos
+//! SoCs pose.
+
+use std::fmt;
+
+use utensor::DType;
+
+/// The class of a processor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// A CPU cluster (all cores used together, as ACL does).
+    CpuCluster,
+    /// A GPU (all shader cores).
+    Gpu,
+    /// A neural processing unit (the §8.3 extension; QUInt8-only fast
+    /// path).
+    Npu,
+}
+
+impl DeviceKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::CpuCluster => "CPU",
+            DeviceKind::Gpu => "GPU",
+            DeviceKind::Npu => "NPU",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifies a device within a [`crate::SocSpec`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev#{}", self.0)
+    }
+}
+
+/// Effective throughput of a device per data type, in GMAC/s.
+///
+/// "Effective" means achieved GEMM throughput (peak × typical
+/// utilization), which is what end-to-end layer latency tracks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throughput {
+    /// F32 multiply-accumulates per second, in units of 10^9.
+    pub f32_gmacs: f64,
+    /// F16 effective throughput. On CPUs without native F16 vector ALUs
+    /// this equals the F32 rate (emulation, §4.1).
+    pub f16_gmacs: f64,
+    /// QUInt8 effective throughput (i32-accumulated 8-bit MACs).
+    pub quint8_gmacs: f64,
+}
+
+impl Throughput {
+    /// The rate for a compute dtype.
+    pub fn for_dtype(&self, dtype: DType) -> f64 {
+        match dtype {
+            DType::F32 => self.f32_gmacs,
+            DType::F16 => self.f16_gmacs,
+            DType::QUInt8 => self.quint8_gmacs,
+        }
+    }
+}
+
+/// A simulated processor.
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Human-readable name (e.g. `"4x Cortex-A57"`).
+    pub name: String,
+    /// Processor class.
+    pub kind: DeviceKind,
+    /// Number of cores (reporting only; throughput already aggregates).
+    pub cores: usize,
+    /// Effective per-dtype throughput.
+    pub throughput: Throughput,
+    /// Power draw while executing, in watts.
+    pub active_power_w: f64,
+    /// Per-kernel fixed launch overhead on this device, excluding any
+    /// host-side command issue (see [`crate::Overheads`]).
+    pub kernel_overhead_us: f64,
+    /// Data types this device supports natively. Scheduling a kernel with
+    /// an unsupported compute dtype is an error (e.g. float work on an
+    /// NPU).
+    pub supported: Vec<DType>,
+}
+
+impl DeviceSpec {
+    /// True when the device can compute in `dtype`.
+    pub fn supports(&self, dtype: DType) -> bool {
+        self.supported.contains(&dtype)
+    }
+
+    /// The dtype this processor prefers under processor-friendly
+    /// quantization (§4.2): QUInt8 for CPUs and NPUs, F16 for GPUs.
+    pub fn preferred_dtype(&self) -> DType {
+        match self.kind {
+            DeviceKind::CpuCluster | DeviceKind::Npu => DType::QUInt8,
+            DeviceKind::Gpu => DType::F16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec {
+            name: "test-cpu".into(),
+            kind: DeviceKind::CpuCluster,
+            cores: 4,
+            throughput: Throughput {
+                f32_gmacs: 10.0,
+                f16_gmacs: 10.0,
+                quint8_gmacs: 22.0,
+            },
+            active_power_w: 2.0,
+            kernel_overhead_us: 5.0,
+            supported: vec![DType::F32, DType::F16, DType::QUInt8],
+        }
+    }
+
+    #[test]
+    fn throughput_lookup() {
+        let s = spec();
+        assert_eq!(s.throughput.for_dtype(DType::F32), 10.0);
+        assert_eq!(s.throughput.for_dtype(DType::QUInt8), 22.0);
+    }
+
+    #[test]
+    fn preferences_follow_the_paper() {
+        let mut s = spec();
+        assert_eq!(s.preferred_dtype(), DType::QUInt8);
+        s.kind = DeviceKind::Gpu;
+        assert_eq!(s.preferred_dtype(), DType::F16);
+        s.kind = DeviceKind::Npu;
+        assert_eq!(s.preferred_dtype(), DType::QUInt8);
+    }
+
+    #[test]
+    fn support_check() {
+        let mut s = spec();
+        s.supported = vec![DType::QUInt8];
+        assert!(s.supports(DType::QUInt8));
+        assert!(!s.supports(DType::F32));
+    }
+}

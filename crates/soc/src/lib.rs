@@ -1,0 +1,36 @@
+//! Simulated mobile SoC for the μLayer reproduction.
+//!
+//! The paper evaluates on Samsung Exynos 7420 and 7880 phones; this crate
+//! replaces that hardware with calibrated models (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! - [`device`] — CPU cluster / GPU / NPU specs with per-dtype effective
+//!   throughput, calibrated to the paper's §3.1 and §4.1 measurements.
+//! - [`work`] — kernel cost descriptors; separates storage dtype (memory
+//!   traffic) from compute dtype (ALU rate), which is how
+//!   processor-friendly quantization's GPU path is expressed.
+//! - [`spec`] — the SoC: devices + shared memory + §6 management
+//!   overheads (async GPU command issue, sync, zero-copy map/unmap), with
+//!   [`SocSpec::exynos_7420`] and [`SocSpec::exynos_7880`] presets.
+//! - [`memory`] — the zero-copy shared-buffer lifecycle model.
+//! - [`energy`] — the Monsoon-style energy integration (Figure 15).
+//! - [`profiler`] — per-layer single-device profiling (Figure 5) and the
+//!   latency predictor's training-data source.
+
+pub mod device;
+pub mod energy;
+pub mod error;
+pub mod memory;
+pub mod profiler;
+pub mod spec;
+pub mod work;
+
+pub use device::{DeviceId, DeviceKind, DeviceSpec, Throughput};
+pub use energy::{average_power_w, energy_of_tasks, EnergyAccumulator, EnergyBreakdown};
+pub use error::SocError;
+pub use memory::{BufferId, MapMode, MemoryStats, SharedMemory};
+pub use profiler::{
+    profile_graph, single_layer_latency, total_latency, LayerProfile, ProfileError,
+};
+pub use spec::{MemorySpec, Overheads, SocSpec};
+pub use work::{layer_work, DtypePlan, KernelWork, WorkClass};

@@ -1,0 +1,375 @@
+//! Kernel work descriptors: what a scheduled kernel costs.
+//!
+//! A [`KernelWork`] summarizes one kernel invocation for the timing and
+//! energy models: arithmetic volume (MACs), memory traffic (activation,
+//! weight, and output bytes at their *storage* dtypes), and the *compute*
+//! dtype. Separating storage from compute dtype is what lets the model
+//! express processor-friendly quantization's GPU path (§4.2): tensors
+//! stored as QUInt8 (1 byte moved per element) while arithmetic runs at
+//! the F16 rate.
+
+use utensor::{DType, Shape};
+
+use unn::LayerKind;
+
+/// Coarse kernel class, used to modulate achievable utilization.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkClass {
+    /// Dense GEMM-shaped work (conv via im2col, FC).
+    Gemm,
+    /// Depthwise convolution (little data reuse).
+    Depthwise,
+    /// Pooling windows.
+    Pool,
+    /// Elementwise / activation / softmax.
+    Elementwise,
+    /// Normalization (LRN).
+    Norm,
+    /// Pure data movement (concat, map/unmap copies).
+    Copy,
+}
+
+impl WorkClass {
+    /// Fraction of the device's effective GEMM throughput this class
+    /// achieves (GEMM is the calibration anchor).
+    pub fn efficiency(self) -> f64 {
+        match self {
+            WorkClass::Gemm => 1.0,
+            WorkClass::Depthwise => 0.55,
+            WorkClass::Pool => 0.75,
+            WorkClass::Elementwise => 0.85,
+            WorkClass::Norm => 0.45,
+            WorkClass::Copy => 1.0,
+        }
+    }
+}
+
+/// The cost summary of one kernel invocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelWork {
+    /// Kernel class.
+    pub class: WorkClass,
+    /// Multiply-accumulate count (elementwise ops for non-GEMM kernels).
+    pub macs: u64,
+    /// Activation bytes read, at the storage dtype.
+    pub bytes_in: u64,
+    /// Filter/weight bytes read, at the dtype the device holds them in.
+    pub bytes_weights: u64,
+    /// Output bytes written, at the storage dtype.
+    pub bytes_out: u64,
+    /// The dtype arithmetic runs in (selects the throughput row).
+    pub compute_dtype: DType,
+}
+
+impl KernelWork {
+    /// Total bytes moved through the memory system.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_weights + self.bytes_out
+    }
+
+    /// An empty (zero-cost) work item.
+    pub fn nop() -> KernelWork {
+        KernelWork {
+            class: WorkClass::Copy,
+            macs: 0,
+            bytes_in: 0,
+            bytes_weights: 0,
+            bytes_out: 0,
+            compute_dtype: DType::F32,
+        }
+    }
+}
+
+/// The storage/compute dtype pairing of an execution configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DtypePlan {
+    /// Dtype activations and outputs are stored in (drives traffic).
+    pub storage: DType,
+    /// Dtype the arithmetic runs in (drives compute rate).
+    pub compute: DType,
+    /// Dtype the device keeps this layer's weights in.
+    pub weights: DType,
+}
+
+impl DtypePlan {
+    /// Uniform plan: everything in one dtype.
+    pub fn uniform(dtype: DType) -> DtypePlan {
+        DtypePlan {
+            storage: dtype,
+            compute: dtype,
+            weights: dtype,
+        }
+    }
+
+    /// The CPU side of processor-friendly quantization (§4.2): QUInt8
+    /// storage and arithmetic.
+    pub fn proc_friendly_cpu() -> DtypePlan {
+        DtypePlan::uniform(DType::QUInt8)
+    }
+
+    /// The GPU side of processor-friendly quantization (§4.2): QUInt8
+    /// activations in memory, F16 arithmetic, F16-resident weights
+    /// (dequantized once at upload, §6).
+    pub fn proc_friendly_gpu() -> DtypePlan {
+        DtypePlan {
+            storage: DType::QUInt8,
+            compute: DType::F16,
+            weights: DType::F16,
+        }
+    }
+}
+
+/// Describes the work of executing `frac` of a layer's output channels
+/// (`frac = 1.0` is the whole layer).
+///
+/// `in_shape`/`out_shape` are the *full* layer shapes; channel-wise
+/// distribution scales MACs, weights, and output bytes by `frac` while
+/// conv/FC inputs are read in full (shared input, Figure 7a) and pooling
+/// inputs are scaled (distributed input, Figure 7b).
+pub fn layer_work(
+    kind: &LayerKind,
+    in_shape: &Shape,
+    out_shape: &Shape,
+    dtypes: DtypePlan,
+    frac: f64,
+) -> KernelWork {
+    debug_assert!((0.0..=1.0).contains(&frac), "frac = {frac}");
+    let macs = kind.macs(in_shape, out_shape);
+    let weight_elems = kind.weight_count(in_shape) + kind.bias_count(in_shape);
+    let in_bytes = (in_shape.numel() * dtypes.storage.size_bytes()) as u64;
+    let out_bytes = (out_shape.numel() * dtypes.storage.size_bytes()) as u64;
+    let weight_bytes = (weight_elems * dtypes.weights.size_bytes()) as u64;
+
+    let scale = |v: u64| -> u64 { (v as f64 * frac).round() as u64 };
+
+    let (class, bytes_in) = match kind {
+        LayerKind::Conv { .. } | LayerKind::FullyConnected { .. } => {
+            // Filters are distributed; the input is shared (read whole).
+            (WorkClass::Gemm, in_bytes)
+        }
+        LayerKind::DepthwiseConv { .. } => {
+            // Output channel i depends only on input channel i: both the
+            // input and the filters are distributed.
+            (WorkClass::Depthwise, scale(in_bytes))
+        }
+        LayerKind::Pool { .. } | LayerKind::GlobalAvgPool => {
+            // Input channels are distributed (Figure 7b).
+            (WorkClass::Pool, scale(in_bytes))
+        }
+        LayerKind::Lrn { .. } => (WorkClass::Norm, in_bytes),
+        LayerKind::Relu | LayerKind::Softmax => (WorkClass::Elementwise, scale(in_bytes)),
+        // A residual add reads two equally-shaped inputs.
+        LayerKind::Add => (WorkClass::Elementwise, 2 * in_bytes),
+        LayerKind::Concat => (WorkClass::Copy, scale(in_bytes)),
+    };
+
+    KernelWork {
+        class,
+        macs: scale(macs),
+        bytes_in,
+        bytes_weights: scale(weight_bytes),
+        bytes_out: scale(out_bytes),
+        compute_dtype: dtypes.compute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_kind() -> LayerKind {
+        LayerKind::Conv {
+            oc: 64,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        }
+    }
+
+    #[test]
+    fn full_layer_work() {
+        let kind = conv_kind();
+        let in_shape = Shape::nchw(1, 32, 28, 28);
+        let out_shape = Shape::nchw(1, 64, 28, 28);
+        let w = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::F32),
+            1.0,
+        );
+        assert_eq!(w.macs, 64 * 28 * 28 * 32 * 9);
+        assert_eq!(w.bytes_in, 32 * 28 * 28 * 4);
+        assert_eq!(w.bytes_out, 64 * 28 * 28 * 4);
+        assert_eq!(w.bytes_weights, (64 * 32 * 9 + 64) * 4);
+        assert_eq!(w.class, WorkClass::Gemm);
+    }
+
+    #[test]
+    fn conv_split_shares_input() {
+        let kind = conv_kind();
+        let in_shape = Shape::nchw(1, 32, 28, 28);
+        let out_shape = Shape::nchw(1, 64, 28, 28);
+        let whole = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::F32),
+            1.0,
+        );
+        let half = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::F32),
+            0.5,
+        );
+        assert_eq!(half.macs * 2, whole.macs);
+        assert_eq!(half.bytes_out * 2, whole.bytes_out);
+        assert_eq!(half.bytes_weights * 2, whole.bytes_weights);
+        // Input is NOT halved: both processors read all input channels.
+        assert_eq!(half.bytes_in, whole.bytes_in);
+    }
+
+    #[test]
+    fn pool_split_divides_input() {
+        let kind = LayerKind::Pool {
+            func: unn::PoolFunc::Max,
+            k: 2,
+            stride: 2,
+            pad: 0,
+        };
+        let in_shape = Shape::nchw(1, 64, 28, 28);
+        let out_shape = Shape::nchw(1, 64, 14, 14);
+        let whole = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::QUInt8),
+            1.0,
+        );
+        let half = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::QUInt8),
+            0.5,
+        );
+        assert_eq!(half.bytes_in * 2, whole.bytes_in);
+        assert_eq!(half.bytes_out * 2, whole.bytes_out);
+        assert_eq!(whole.bytes_weights, 0);
+    }
+
+    #[test]
+    fn proc_friendly_gpu_plan_mixes_dtypes() {
+        let kind = conv_kind();
+        let in_shape = Shape::nchw(1, 32, 28, 28);
+        let out_shape = Shape::nchw(1, 64, 28, 28);
+        let w = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::proc_friendly_gpu(),
+            1.0,
+        );
+        // Activations at 1 byte, weights resident in F16 (2 bytes).
+        assert_eq!(w.bytes_in, 32 * 28 * 28);
+        assert_eq!(w.bytes_out, 64 * 28 * 28);
+        assert_eq!(w.bytes_weights, (64 * 32 * 9 + 64) * 2);
+        // Arithmetic at the F16 rate.
+        assert_eq!(w.compute_dtype, DType::F16);
+    }
+
+    #[test]
+    fn quint8_quarters_f32_traffic() {
+        let kind = conv_kind();
+        let in_shape = Shape::nchw(1, 32, 28, 28);
+        let out_shape = Shape::nchw(1, 64, 28, 28);
+        let f = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::F32),
+            1.0,
+        );
+        let q = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::QUInt8),
+            1.0,
+        );
+        assert_eq!(q.total_bytes() * 4, f.total_bytes());
+    }
+
+    #[test]
+    fn efficiency_ordering() {
+        assert!(WorkClass::Gemm.efficiency() > WorkClass::Depthwise.efficiency());
+        assert!(WorkClass::Norm.efficiency() < WorkClass::Pool.efficiency());
+    }
+
+    #[test]
+    fn elementwise_and_norm_layers_classified() {
+        let in_shape = Shape::nchw(1, 8, 10, 10);
+        let relu = layer_work(
+            &LayerKind::Relu,
+            &in_shape,
+            &in_shape,
+            DtypePlan::uniform(DType::F32),
+            1.0,
+        );
+        assert_eq!(relu.class, WorkClass::Elementwise);
+        assert_eq!(relu.macs, 800);
+        let lrn_kind = LayerKind::Lrn {
+            n: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 1.0,
+        };
+        let lrn = layer_work(
+            &lrn_kind,
+            &in_shape,
+            &in_shape,
+            DtypePlan::uniform(DType::F32),
+            1.0,
+        );
+        assert_eq!(lrn.class, WorkClass::Norm);
+        assert!(lrn.macs > relu.macs);
+        let concat = layer_work(
+            &LayerKind::Concat,
+            &in_shape,
+            &in_shape,
+            DtypePlan::uniform(DType::F32),
+            1.0,
+        );
+        assert_eq!(concat.class, WorkClass::Copy);
+        assert_eq!(concat.macs, 0);
+    }
+
+    #[test]
+    fn zero_fraction_is_free() {
+        let kind = conv_kind();
+        let in_shape = Shape::nchw(1, 32, 28, 28);
+        let out_shape = Shape::nchw(1, 64, 28, 28);
+        let w = layer_work(
+            &kind,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::F32),
+            0.0,
+        );
+        assert_eq!(w.macs, 0);
+        assert_eq!(w.bytes_out, 0);
+        assert_eq!(w.bytes_weights, 0);
+        // The shared input is still read (conv semantics).
+        assert!(w.bytes_in > 0);
+    }
+
+    #[test]
+    fn nop_is_free() {
+        let w = KernelWork::nop();
+        assert_eq!(w.macs, 0);
+        assert_eq!(w.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Tensors and numeric types for the μLayer reproduction.
+//!
+//! The paper's processor-friendly quantization (§4) relies on three data
+//! types: 32-bit floats (`F32`, the NN default), 16-bit half-precision
+//! floats (`F16`, the GPU's fast path), and 8-bit linearly-quantized
+//! unsigned integers (`QUInt8`, the CPU's fast path, per Jacob et al. /
+//! gemmlowp). The target host has no half-precision hardware and no
+//! gemmlowp, so this crate implements both from scratch:
+//!
+//! - [`F16`] — a bit-accurate software IEEE 754 binary16 with
+//!   round-to-nearest-even conversions and per-operation rounding, exactly
+//!   what a Mali GPU's `half` ALU produces.
+//! - [`QuantParams`] / [`quant`] — asymmetric affine quantization
+//!   (`real = scale * (q - zero_point)`), including the gemmlowp-style
+//!   fixed-point **requantization** pipeline (§4.1) that converts i32
+//!   accumulators back to 8-bit outputs using an integer multiplier and a
+//!   rounding right shift.
+//! - [`Tensor`] — an NCHW dense tensor over any of the three types, with
+//!   the axis slicing/concatenation the channel-wise workload distribution
+//!   (§3.2) needs.
+
+pub mod dtype;
+pub mod error;
+pub mod f16;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use error::TensorError;
+pub use f16::F16;
+pub use quant::{FixedPointMultiplier, QuantParams};
+pub use shape::Shape;
+pub use tensor::{Tensor, TensorData};
+
+/// Convenience alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,118 @@
+//! Property-based tests for the tensor crate's numeric foundations.
+
+use proptest::prelude::*;
+use utensor::f16::{f16_bits_to_f32, f32_to_f16_bits};
+use utensor::{DType, FixedPointMultiplier, QuantParams, Shape, Tensor, F16};
+
+proptest! {
+    /// Narrowing any finite f32 yields the nearest representable f16:
+    /// the round-trip error is at most half an f16 ulp.
+    #[test]
+    fn f16_narrowing_is_nearest(x in -65000.0f32..65000.0) {
+        let h = F16::from_f32(x);
+        let back = h.to_f32();
+        // ulp at |x|: spacing of f16 around the value.
+        let exp = if x == 0.0 { -24 } else { (x.abs().log2().floor() as i32).clamp(-14, 15) };
+        let ulp = 2.0f32.powi(exp - 10);
+        prop_assert!((back - x).abs() <= ulp * 0.5 + f32::EPSILON,
+            "x = {x}, back = {back}, ulp = {ulp}");
+    }
+
+    /// f16 -> f32 -> f16 is the identity on non-NaN bit patterns.
+    #[test]
+    fn f16_widening_round_trips(bits in 0u16..=u16::MAX) {
+        let h = F16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(bits)), bits);
+    }
+
+    /// Narrowing is monotonic: a <= b implies f16(a) <= f16(b).
+    #[test]
+    fn f16_narrowing_monotonic(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo) <= F16::from_f32(hi));
+    }
+
+    /// Quantize/dequantize error is bounded by half the scale for values
+    /// inside the representable range.
+    #[test]
+    fn quant_round_trip_error_bounded(
+        lo in -100.0f32..0.0,
+        hi in 0.001f32..100.0,
+        x in -100.0f32..100.0,
+    ) {
+        let p = QuantParams::from_range(lo, hi).unwrap();
+        let clamped = x.clamp(p.real_min(), p.real_max());
+        let err = (p.dequantize(p.quantize(clamped)) - clamped).abs();
+        prop_assert!(err <= p.scale * 0.5 + p.scale * 1e-3,
+            "x = {x}, clamped = {clamped}, err = {err}, scale = {}", p.scale);
+    }
+
+    /// Quantization is monotonic.
+    #[test]
+    fn quantize_monotonic(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let p = QuantParams::from_range(-50.0, 50.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(p.quantize(lo) <= p.quantize(hi));
+    }
+
+    /// The fixed-point multiplier matches f64 math within 1 unit on
+    /// accumulators that do not overflow.
+    #[test]
+    fn fixed_point_multiplier_accurate(
+        real in 1e-6f64..8.0,
+        acc in -1_000_000i32..1_000_000,
+    ) {
+        let m = FixedPointMultiplier::from_real(real).unwrap();
+        let want = acc as f64 * real;
+        prop_assume!(want.abs() < (i32::MAX / 2) as f64);
+        let got = m.apply(acc) as f64;
+        prop_assert!((got - want).abs() <= 1.0 + want.abs() * 1e-6,
+            "real = {real}, acc = {acc}, got = {got}, want = {want}");
+    }
+
+    /// Slicing a tensor in two along any axis and concatenating restores
+    /// the original bits, for every dtype.
+    #[test]
+    fn slice_concat_identity(
+        n in 1usize..3,
+        c in 1usize..8,
+        h in 1usize..6,
+        w in 1usize..6,
+        axis in 0usize..4,
+        frac in 0.0f64..=1.0,
+        dtype_idx in 0usize..3,
+    ) {
+        let shape = Shape::nchw(n, c, h, w);
+        let data: Vec<f32> = (0..shape.numel()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let dtype = DType::ALL[dtype_idx];
+        let t = Tensor::from_f32(shape.clone(), data).unwrap()
+            .cast(dtype, Some(QuantParams::from_range(-1.0, 1.0).unwrap()))
+            .unwrap();
+        let len = shape.dim(axis);
+        let cut = ((len as f64) * frac).round() as usize;
+        let a = t.slice_axis(axis, 0, cut).unwrap();
+        let b = t.slice_axis(axis, cut, len).unwrap();
+        let merged = Tensor::concat_axis(axis, &[&a, &b]).unwrap();
+        prop_assert!(merged.bit_equal(&t));
+    }
+
+    /// Three-way split/merge (CPU + GPU + NPU extension case).
+    #[test]
+    fn three_way_split_merge(
+        c in 3usize..12,
+        cut1 in 0usize..12,
+        cut2 in 0usize..12,
+    ) {
+        let shape = Shape::nchw(1, c, 3, 3);
+        let data: Vec<f32> = (0..shape.numel()).map(|i| i as f32).collect();
+        let t = Tensor::from_f32(shape, data).unwrap();
+        let a = cut1.min(c);
+        let b = cut2.min(c).max(a);
+        let p1 = t.slice_axis(1, 0, a).unwrap();
+        let p2 = t.slice_axis(1, a, b).unwrap();
+        let p3 = t.slice_axis(1, b, c).unwrap();
+        let merged = Tensor::concat_axis(1, &[&p1, &p2, &p3]).unwrap();
+        prop_assert!(merged.bit_equal(&t));
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: plan and run one network with μLayer on a simulated SoC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds SqueezeNet v1.1, creates a μLayer runtime for the high-end
+//! Exynos 7420 model, compares μLayer against the baseline mechanisms,
+//! and prints the cooperative schedule as an ASCII Gantt chart.
+
+use ulayer::ULayer;
+use unn::ModelId;
+use uruntime::{run_layer_to_processor, run_single_processor};
+use usoc::SocSpec;
+use utensor::DType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SocSpec::exynos_7420();
+    let net = ModelId::SqueezeNet.build();
+
+    println!("network: {}", net.name());
+    println!(
+        "  {} layers, {:.0} MMACs, {:.1} M parameters",
+        net.len(),
+        net.total_macs()? as f64 / 1e6,
+        net.total_params()? as f64 / 1e6
+    );
+    println!("soc: {}\n", spec.name);
+
+    // Baselines (§2.2): one processor, or one processor per layer.
+    let cpu = run_single_processor(&spec, &net, spec.cpu(), DType::QUInt8)?;
+    let gpu = run_single_processor(&spec, &net, spec.gpu(), DType::F16)?;
+    let l2p = run_layer_to_processor(&spec, &net, DType::QUInt8)?;
+    println!("CPU-only (QUInt8):       {:>8.2} ms", cpu.latency_ms());
+    println!("GPU-only (F16):          {:>8.2} ms", gpu.latency_ms());
+    println!("layer-to-proc (QUInt8):  {:>8.2} ms", l2p.latency_ms());
+
+    // μLayer: cooperative single-layer acceleration (§3-§5).
+    let runtime = ULayer::new(spec)?;
+    let report = runtime.plan(&net)?;
+    let result = uruntime::execute_plan(runtime.spec(), &net, &report.plan)?;
+    let gain = (1.0 - result.latency.as_secs_f64() / l2p.latency.as_secs_f64()) * 100.0;
+    println!(
+        "uLayer (cooperative):    {:>8.2} ms   ({gain:.1}% faster than layer-to-proc)",
+        result.latency_ms()
+    );
+    println!(
+        "  {} of {} layers split across CPU+GPU, {} branch mappings",
+        report.plan.split_count(),
+        net.len(),
+        report.branch_mappings.len()
+    );
+    println!(
+        "  energy: {:.1} mJ (layer-to-proc: {:.1} mJ)",
+        result.energy.total_mj(),
+        l2p.energy.total_mj()
+    );
+
+    println!("\ncooperative schedule (both processors busy):");
+    print!("{}", result.gantt());
+    Ok(())
+}

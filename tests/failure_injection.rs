@@ -1,0 +1,181 @@
+//! Failure injection: invalid inputs must surface as errors, never as
+//! panics or silent misbehaviour.
+
+use ulayer::ULayer;
+use unn::{Graph, LayerKind, Weights};
+use uruntime::{execute_plan, ExecutionPlan, NodePlacement};
+use usoc::{DeviceId, DeviceKind, DtypePlan, KernelWork, SocSpec, WorkClass};
+use utensor::{DType, QuantParams, Shape, Tensor};
+
+#[test]
+fn geometry_errors_surface_from_planning() {
+    // A conv window bigger than its input fails shape inference, and the
+    // failure propagates as an error through planning.
+    let mut g = Graph::new("bad", Shape::nchw(1, 3, 4, 4));
+    g.add_input_layer(
+        "huge",
+        LayerKind::Conv {
+            oc: 8,
+            k: 9,
+            stride: 1,
+            pad: 0,
+            relu: false,
+        },
+    );
+    let runtime = ULayer::new(SocSpec::exynos_7420()).expect("ulayer");
+    assert!(runtime.plan(&g).is_err());
+}
+
+#[test]
+fn plans_with_unknown_devices_are_rejected() {
+    let mut g = Graph::new("ok", Shape::nchw(1, 3, 8, 8));
+    g.add_input_layer(
+        "conv",
+        LayerKind::Conv {
+            oc: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        },
+    );
+    let spec = SocSpec::exynos_7420();
+    let err = ExecutionPlan::new(
+        &g,
+        &spec,
+        vec![NodePlacement::single(DeviceId(42), DType::F32)],
+        "bad",
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn npu_refuses_float_kernels() {
+    let spec = SocSpec::exynos_7420().with_npu();
+    let npu = spec.find(DeviceKind::Npu).expect("npu present");
+    let work = KernelWork {
+        class: WorkClass::Gemm,
+        macs: 1_000_000,
+        bytes_in: 100,
+        bytes_weights: 100,
+        bytes_out: 100,
+        compute_dtype: DType::F32,
+    };
+    assert!(spec.kernel_latency(npu, &work).is_err());
+}
+
+#[test]
+fn float_plan_on_npu_fails_at_execution_not_panic() {
+    let mut g = Graph::new("g", Shape::nchw(1, 3, 8, 8));
+    g.add_input_layer(
+        "conv",
+        LayerKind::Conv {
+            oc: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        },
+    );
+    let spec = SocSpec::exynos_7420().with_npu();
+    let npu = spec.find(DeviceKind::Npu).expect("npu");
+    let plan = ExecutionPlan::new(
+        &g,
+        &spec,
+        vec![NodePlacement::single(npu, DType::F16)],
+        "bad",
+    )
+    .expect("structurally valid");
+    assert!(execute_plan(&spec, &g, &plan).is_err());
+}
+
+#[test]
+fn mismatched_weights_fail_functional_evaluation() {
+    // Weights generated for a different graph have the wrong shapes.
+    let mut g1 = Graph::new("g1", Shape::nchw(1, 3, 8, 8));
+    g1.add_input_layer(
+        "conv",
+        LayerKind::Conv {
+            oc: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        },
+    );
+    let mut g2 = Graph::new("g2", Shape::nchw(1, 3, 8, 8));
+    g2.add_input_layer(
+        "conv",
+        LayerKind::Conv {
+            oc: 6,
+            k: 5,
+            stride: 1,
+            pad: 2,
+            relu: true,
+        },
+    );
+    let w2 = Weights::random(&g2, 1).expect("weights");
+    let calib2 = unn::Calibration::synthetic(&g2, &w2);
+    let spec = SocSpec::exynos_7420();
+    let plan = ExecutionPlan::new(
+        &g1,
+        &spec,
+        vec![NodePlacement::single(spec.cpu(), DType::F32)],
+        "mismatch",
+    )
+    .expect("valid plan");
+    let input = Tensor::zeros(Shape::nchw(1, 3, 8, 8), DType::F32, None);
+    assert!(uruntime::evaluate_plan(&g1, &plan, &w2, &calib2, &input).is_err());
+}
+
+#[test]
+fn invalid_quant_ranges_are_rejected() {
+    assert!(QuantParams::from_range(f32::NAN, 1.0).is_err());
+    assert!(QuantParams::from_range(5.0, -5.0).is_err());
+    assert!(utensor::FixedPointMultiplier::from_real(-1.0).is_err());
+    assert!(utensor::FixedPointMultiplier::from_real(f64::INFINITY).is_err());
+}
+
+#[test]
+fn wrong_input_shape_fails_cleanly() {
+    let g = unn::ModelId::LeNet.build();
+    let w = Weights::random(&g, 1).expect("weights");
+    let calib = unn::Calibration::synthetic(&g, &w);
+    let wrong = Tensor::zeros(Shape::nchw(1, 3, 10, 10), DType::F32, None);
+    assert!(unn::forward(&g, &w, &calib, &wrong, DType::F32).is_err());
+}
+
+#[test]
+fn empty_calibration_sample_set_rejected() {
+    let g = unn::ModelId::LeNet.build();
+    let w = Weights::random(&g, 1).expect("weights");
+    assert!(unn::calibrate(&g, &w, &[]).is_err());
+}
+
+#[test]
+fn split_fractions_must_sum_to_one() {
+    let mut g = Graph::new("g", Shape::nchw(1, 3, 8, 8));
+    g.add_input_layer(
+        "conv",
+        LayerKind::Conv {
+            oc: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        },
+    );
+    let spec = SocSpec::exynos_7420();
+    let bad = ExecutionPlan::new(
+        &g,
+        &spec,
+        vec![NodePlacement::Split {
+            parts: vec![
+                (spec.cpu(), DtypePlan::uniform(DType::QUInt8), 0.6),
+                (spec.gpu(), DtypePlan::uniform(DType::QUInt8), 0.6),
+            ],
+        }],
+        "bad",
+    );
+    assert!(bad.is_err());
+}
