@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally with no network access.
+#
+# The workspace has zero external crates, so everything below works
+# against an empty Cargo registry — `--offline` both proves that and
+# keeps CI hermetic. Order: cheapest static checks first, then the
+# tier-1 build+test gate over the whole workspace.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "ci.sh: all green"

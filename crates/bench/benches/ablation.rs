@@ -1,7 +1,8 @@
 //! Figure 17 workload: the three-step mechanism ablation on GoogLeNet.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use ulayer::{ULayer, ULayerConfig};
 use unn::ModelId;
 use usoc::SocSpec;

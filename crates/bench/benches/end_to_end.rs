@@ -4,8 +4,9 @@
 //! per network outside the timing loop, so the numbers isolate plan +
 //! schedule + energy accounting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use ulayer::ULayer;
 use unn::ModelId;
 use uruntime::{run_layer_to_processor, run_single_processor};

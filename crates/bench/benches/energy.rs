@@ -1,7 +1,8 @@
 //! Figure 18 workload: energy accounting over complete runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use ulayer::ULayer;
 use unn::ModelId;
 use uruntime::run_layer_to_processor;

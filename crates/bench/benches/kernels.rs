@@ -4,8 +4,9 @@
 //! SoC provides *modeled* time; these are real host microbenchmarks used
 //! to keep the functional path fast enough for tests and examples).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion, Throughput};
+use testkit::{criterion_group, criterion_main};
 use ukernels::{conv2d, pool2d, Conv2dParams, PoolKind, PoolParams};
 use utensor::{DType, QuantParams, Shape, Tensor};
 

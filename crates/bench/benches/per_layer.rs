@@ -3,8 +3,9 @@
 //! Measures the host-side cost of the profiling pass itself (the data it
 //! produces is checked by `repro fig5` and the integration tests).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use unn::ModelId;
 use usoc::{profile_graph, DtypePlan, SocSpec};
 use utensor::DType;

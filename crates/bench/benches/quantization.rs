@@ -1,7 +1,8 @@
 //! Figure 8 workload: single-processor runs across all three dtypes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use testkit::bench::{BenchmarkId, Criterion};
+use testkit::{criterion_group, criterion_main};
 use unn::ModelId;
 use uruntime::run_single_processor;
 use usoc::SocSpec;

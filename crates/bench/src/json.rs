@@ -1,7 +1,7 @@
 //! A minimal JSON document builder for machine-readable result export.
 //!
-//! Hand-rolled (the workspace's dependency policy keeps external crates
-//! to rand/proptest/criterion); covers exactly what the reproduction
+//! Hand-rolled (the workspace's dependency policy allows no external
+//! crates at all); covers exactly what the reproduction
 //! harness emits: numbers, strings, booleans, arrays, and objects with
 //! preserved key order.
 

@@ -1,0 +1,157 @@
+//! Golden-vector regression tests for the QUInt8 kernels.
+//!
+//! Each test runs a kernel on a fixed, seed-generated input and pins the
+//! exact (bit-for-bit) dequantized output against a committed vector
+//! under `tests/golden/`. QUInt8 kernels are pure integer math followed
+//! by a deterministic requantization, so `GoldenMode::Exact` is the
+//! right comparison: any refactor that changes a single output byte
+//! fails loudly here instead of silently shifting accuracy downstream.
+//!
+//! To regenerate after an *intended* numeric change:
+//!
+//! ```text
+//! TESTKIT_BLESS=1 cargo test -q -p ukernels --test golden
+//! ```
+//!
+//! then review and commit the diff under `tests/golden/`.
+
+use testkit::golden::{check_f32, GoldenMode};
+use testkit::Rng;
+use ukernels::{
+    conv2d, depthwise_conv2d, fully_connected, pool2d, Conv2dParams, PoolKind, PoolParams,
+};
+use utensor::{DType, QuantParams, Shape, Tensor};
+
+/// Absolute path of a committed golden vector.
+macro_rules! golden_path {
+    ($name:literal) => {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/", $name)
+    };
+}
+
+/// Deterministic QUInt8 tensor: f32 values drawn uniformly from
+/// `[lo, hi]` with a fixed seed, then quantized over that same range.
+fn quint8_tensor(shape: Shape, seed: u64, lo: f32, hi: f32) -> Tensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; shape.numel()];
+    rng.fill_f32(&mut data, lo, hi);
+    let qp = QuantParams::from_range(lo, hi).expect("range");
+    Tensor::from_f32(shape, data)
+        .expect("sized buffer")
+        .cast(DType::QUInt8, Some(qp))
+        .expect("cast")
+}
+
+#[test]
+fn quint8_conv2d_matches_golden() {
+    let input = quint8_tensor(Shape::nchw(1, 3, 8, 8), 0xC0_0001, -1.0, 1.0);
+    let filters = quint8_tensor(Shape::oihw(4, 3, 3, 3), 0xC0_0002, -0.5, 0.5);
+    let bias: Vec<f32> = (0..4).map(|i| (i as f32 - 1.5) / 8.0).collect();
+    let params = Conv2dParams {
+        stride: 1,
+        pad: 1,
+        relu: false,
+    };
+    let out_qp = QuantParams::from_range(-6.0, 6.0).unwrap();
+    let out = conv2d(&input, &filters, Some(&bias), &params, Some(out_qp)).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 4, 8, 8]);
+    check_f32(
+        golden_path!("quint8_conv2d.txt"),
+        &out.to_f32_vec(),
+        GoldenMode::Exact,
+    );
+}
+
+#[test]
+fn quint8_conv2d_strided_relu_matches_golden() {
+    // A second conv geometry: stride 2, no padding, with the fused ReLU —
+    // exercises the requantize-then-clamp path.
+    let input = quint8_tensor(Shape::nchw(1, 2, 9, 9), 0xC0_0003, -1.0, 1.0);
+    let filters = quint8_tensor(Shape::oihw(3, 2, 3, 3), 0xC0_0004, -0.5, 0.5);
+    let params = Conv2dParams {
+        stride: 2,
+        pad: 0,
+        relu: true,
+    };
+    let out_qp = QuantParams::from_range(0.0, 4.0).unwrap();
+    let out = conv2d(&input, &filters, None, &params, Some(out_qp)).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 3, 4, 4]);
+    check_f32(
+        golden_path!("quint8_conv2d_strided_relu.txt"),
+        &out.to_f32_vec(),
+        GoldenMode::Exact,
+    );
+}
+
+#[test]
+fn quint8_depthwise_conv2d_matches_golden() {
+    let input = quint8_tensor(Shape::nchw(1, 4, 6, 6), 0xC0_0005, -1.0, 1.0);
+    let filters = quint8_tensor(Shape::oihw(4, 1, 3, 3), 0xC0_0006, -0.5, 0.5);
+    let bias: Vec<f32> = (0..4).map(|i| (i as f32) / 16.0).collect();
+    let params = Conv2dParams {
+        stride: 1,
+        pad: 1,
+        relu: false,
+    };
+    let out_qp = QuantParams::from_range(-3.0, 3.0).unwrap();
+    let out = depthwise_conv2d(&input, &filters, Some(&bias), &params, Some(out_qp)).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 4, 6, 6]);
+    check_f32(
+        golden_path!("quint8_depthwise_conv2d.txt"),
+        &out.to_f32_vec(),
+        GoldenMode::Exact,
+    );
+}
+
+#[test]
+fn quint8_fully_connected_matches_golden() {
+    let input = quint8_tensor(Shape::nchw(2, 16, 1, 1), 0xC0_0007, -1.0, 1.0);
+    let weights = quint8_tensor(Shape::new(vec![6, 16]), 0xC0_0008, -0.5, 0.5);
+    let bias: Vec<f32> = (0..6).map(|i| (i as f32 - 2.0) / 10.0).collect();
+    let out_qp = QuantParams::from_range(-4.0, 4.0).unwrap();
+    let out = fully_connected(&input, &weights, Some(&bias), true, Some(out_qp)).unwrap();
+    assert_eq!(out.shape().dims(), &[2, 6, 1, 1]);
+    check_f32(
+        golden_path!("quint8_fully_connected.txt"),
+        &out.to_f32_vec(),
+        GoldenMode::Exact,
+    );
+}
+
+#[test]
+fn quint8_maxpool_matches_golden() {
+    let input = quint8_tensor(Shape::nchw(1, 3, 8, 8), 0xC0_0009, 0.0, 1.0);
+    let params = PoolParams {
+        kind: PoolKind::Max,
+        k: 2,
+        stride: 2,
+        pad: 0,
+    };
+    let out = pool2d(&input, &params).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 3, 4, 4]);
+    check_f32(
+        golden_path!("quint8_maxpool.txt"),
+        &out.to_f32_vec(),
+        GoldenMode::Exact,
+    );
+}
+
+#[test]
+fn quint8_avgpool_matches_golden() {
+    // Odd size + padding exercises the edge-window averaging (and its
+    // integer rounding) in the quantized domain.
+    let input = quint8_tensor(Shape::nchw(1, 2, 7, 7), 0xC0_000A, 0.0, 1.0);
+    let params = PoolParams {
+        kind: PoolKind::Avg,
+        k: 3,
+        stride: 2,
+        pad: 1,
+    };
+    let out = pool2d(&input, &params).unwrap();
+    assert_eq!(out.shape().dims(), &[1, 2, 4, 4]);
+    check_f32(
+        golden_path!("quint8_avgpool.txt"),
+        &out.to_f32_vec(),
+        GoldenMode::Exact,
+    );
+}

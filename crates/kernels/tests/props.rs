@@ -1,6 +1,9 @@
 //! Property-based tests for the compute kernels.
+//!
+//! Runs on the in-repo `testkit` property runner: deterministic in
+//! `TESTKIT_SEED`, case count overridable via `TESTKIT_CASES`.
 
-use proptest::prelude::*;
+use testkit::{bools, prop_assert, prop_assume, props};
 use ukernels::{conv2d, conv2d_naive_f32, pool2d, Conv2dParams, PoolKind, PoolParams};
 use utensor::{DType, QuantParams, Shape, Tensor};
 
@@ -12,12 +15,11 @@ fn pseudo_tensor(shape: Shape, seed: usize) -> Tensor {
     Tensor::from_f32(shape, data).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    #![cases(48)]
 
     /// The deployed conv path (im2col + GEMM) always matches the naive
     /// direct convolution, across random geometry.
-    #[test]
     fn conv_gemm_equals_naive(
         ic in 1usize..4,
         oc in 1usize..5,
@@ -25,7 +27,7 @@ proptest! {
         k in 1usize..4,
         stride in 1usize..3,
         pad in 0usize..2,
-        relu in any::<bool>(),
+        relu in bools(),
         seed in 0usize..1000,
     ) {
         prop_assume!(hw + 2 * pad >= k);
@@ -40,7 +42,6 @@ proptest! {
 
     /// Channel-wise split/merge is bit-exact for conv in every dtype and
     /// at every split point — the core μLayer correctness invariant.
-    #[test]
     fn conv_channel_split_is_lossless(
         ic in 1usize..4,
         oc in 2usize..8,
@@ -80,14 +81,13 @@ proptest! {
 
     /// Pooling's spatial-function property: splitting input channels and
     /// merging outputs is bit-exact, for both pool kinds and every dtype.
-    #[test]
     fn pool_channel_split_is_lossless(
         c in 2usize..9,
         hw in 3usize..9,
         k in 1usize..4,
         stride in 1usize..3,
         pad in 0usize..2,
-        max_pool in any::<bool>(),
+        max_pool in bools(),
         cut_frac in 0.0f64..=1.0,
         dtype_idx in 0usize..3,
         seed in 0usize..1000,
@@ -116,7 +116,6 @@ proptest! {
     }
 
     /// QUInt8 conv stays within an analytic error bound of the f32 result.
-    #[test]
     fn quint8_conv_error_bounded(
         ic in 1usize..3,
         oc in 1usize..4,

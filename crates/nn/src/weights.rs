@@ -12,8 +12,7 @@
 //! is already applied to the network (§6); calibration is how this
 //! reproduction applies it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::Rng;
 use utensor::{QuantParams, Tensor, TensorError};
 
 use crate::graph::{Graph, NodeId};
@@ -40,7 +39,7 @@ impl Weights {
     /// Deterministic in `seed`.
     pub fn random(graph: &Graph, seed: u64) -> Result<Weights, TensorError> {
         let shapes = graph.infer_shapes()?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut per_node = Vec::with_capacity(graph.len());
         for (i, node) in graph.nodes().iter().enumerate() {
             let in_shape = graph.node_input_shape(NodeId(i), &shapes);

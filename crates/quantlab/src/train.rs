@@ -9,8 +9,7 @@
 //! compound quantization error across more quantize/requantize steps,
 //! reproducing Figure 10's spread across network depths.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::Rng;
 use utensor::{Shape, Tensor};
 
 use unn::{Graph, LayerKind, NodeId, Weights};
@@ -123,7 +122,7 @@ struct Dense {
 }
 
 impl Dense {
-    fn new(inp: usize, out: usize, relu: bool, rng: &mut StdRng) -> Dense {
+    fn new(inp: usize, out: usize, relu: bool, rng: &mut Rng) -> Dense {
         let bound = (6.0 / inp as f32).sqrt();
         Dense {
             w: (0..inp * out)
@@ -202,7 +201,7 @@ pub fn train(dataset: Dataset, cfg: &TrainConfig) -> TrainedModel {
     }
 
     // Build the MLP: hidden layers + classifier.
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF00D);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xF00D);
     let mut layers: Vec<Dense> = Vec::new();
     let mut dim = feat_dim;
     for &h in &cfg.hidden {

@@ -1,13 +1,17 @@
 //! Property-based tests for the tensor crate's numeric foundations.
+//!
+//! Runs on the in-repo `testkit` property runner: deterministic in
+//! `TESTKIT_SEED`, case count overridable via `TESTKIT_CASES`.
 
-use proptest::prelude::*;
+use testkit::{prop_assert, prop_assert_eq, prop_assume, props};
 use utensor::f16::{f16_bits_to_f32, f32_to_f16_bits};
 use utensor::{DType, FixedPointMultiplier, QuantParams, Shape, Tensor, F16};
 
-proptest! {
+props! {
+    #![cases(256)]
+
     /// Narrowing any finite f32 yields the nearest representable f16:
     /// the round-trip error is at most half an f16 ulp.
-    #[test]
     fn f16_narrowing_is_nearest(x in -65000.0f32..65000.0) {
         let h = F16::from_f32(x);
         let back = h.to_f32();
@@ -19,7 +23,6 @@ proptest! {
     }
 
     /// f16 -> f32 -> f16 is the identity on non-NaN bit patterns.
-    #[test]
     fn f16_widening_round_trips(bits in 0u16..=u16::MAX) {
         let h = F16::from_bits(bits);
         prop_assume!(!h.is_nan());
@@ -27,7 +30,6 @@ proptest! {
     }
 
     /// Narrowing is monotonic: a <= b implies f16(a) <= f16(b).
-    #[test]
     fn f16_narrowing_monotonic(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(F16::from_f32(lo) <= F16::from_f32(hi));
@@ -35,7 +37,6 @@ proptest! {
 
     /// Quantize/dequantize error is bounded by half the scale for values
     /// inside the representable range.
-    #[test]
     fn quant_round_trip_error_bounded(
         lo in -100.0f32..0.0,
         hi in 0.001f32..100.0,
@@ -49,7 +50,6 @@ proptest! {
     }
 
     /// Quantization is monotonic.
-    #[test]
     fn quantize_monotonic(a in -50.0f32..50.0, b in -50.0f32..50.0) {
         let p = QuantParams::from_range(-50.0, 50.0).unwrap();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
@@ -58,7 +58,6 @@ proptest! {
 
     /// The fixed-point multiplier matches f64 math within 1 unit on
     /// accumulators that do not overflow.
-    #[test]
     fn fixed_point_multiplier_accurate(
         real in 1e-6f64..8.0,
         acc in -1_000_000i32..1_000_000,
@@ -73,7 +72,6 @@ proptest! {
 
     /// Slicing a tensor in two along any axis and concatenating restores
     /// the original bits, for every dtype.
-    #[test]
     fn slice_concat_identity(
         n in 1usize..3,
         c in 1usize..8,
@@ -98,7 +96,6 @@ proptest! {
     }
 
     /// Three-way split/merge (CPU + GPU + NPU extension case).
-    #[test]
     fn three_way_split_merge(
         c in 3usize..12,
         cut1 in 0usize..12,
@@ -115,4 +112,20 @@ proptest! {
         let merged = Tensor::concat_axis(1, &[&p1, &p2, &p3]).unwrap();
         prop_assert!(merged.bit_equal(&t));
     }
+}
+
+/// Regression pinned from the retired proptest suite's saved failure
+/// corpus (`props.proptest-regressions`): this (real, acc) pair once
+/// exceeded the fixed-point multiplier's 1-unit error bound.
+#[test]
+fn fixed_point_multiplier_regression_case() {
+    let real = 2.215425531657657f64;
+    let acc = -2110i32;
+    let m = FixedPointMultiplier::from_real(real).unwrap();
+    let want = acc as f64 * real;
+    let got = m.apply(acc) as f64;
+    assert!(
+        (got - want).abs() <= 1.0 + want.abs() * 1e-6,
+        "real = {real}, acc = {acc}, got = {got}, want = {want}"
+    );
 }

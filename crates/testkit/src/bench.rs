@@ -1,0 +1,249 @@
+//! A criterion-shaped micro-benchmark harness.
+//!
+//! Implements the slice of the `criterion` API the `ubench` benches
+//! use — groups, `BenchmarkId`, throughput annotation, `b.iter(..)` —
+//! on plain `std::time::Instant`, so `cargo bench --features
+//! bench-deps` works with zero external crates. Statistics are
+//! intentionally simple (median over fixed-size samples after a short
+//! warm-up); for paper-grade numbers the simulated SoC provides modeled
+//! time, and these host-side benches only guard against gross
+//! functional-path regressions.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements (e.g. MACs) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark name, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Annotates per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input, mirroring criterion's
+    /// `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.label, &b);
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&name.to_string(), &b);
+    }
+
+    /// Finishes the group (provided for criterion API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let Some(median) = b.median() else {
+            println!("bench {}/{label}: no samples", self.name);
+            return;
+        };
+        let per_iter = median.as_secs_f64();
+        let mut line = format!(
+            "bench {}/{label}: {} /iter (median of {} samples)",
+            self.name,
+            fmt_duration(per_iter),
+            b.samples.len(),
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if per_iter > 0.0 {
+                line.push_str(&format!(", {:.3e} {unit}/s", count as f64 / per_iter));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f`, storing one duration per sample. Results are passed
+    /// through [`black_box`] so the computation is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: fill caches/branch predictors and estimate cost.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let est = warmup_start.elapsed();
+        let warmups = if est > Duration::from_millis(50) {
+            0
+        } else {
+            2
+        };
+        for _ in 0..warmups {
+            black_box(f());
+        }
+        // Batch very fast closures so each sample is measurable.
+        let batch: u32 = if est < Duration::from_micros(5) {
+            100
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: a function running each
+/// benchmark function against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(10);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples.len(), 10);
+        assert!(b.median().is_some());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(10).throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("id", 7), &3u32, |b, &x| b.iter(|| x * 2));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(2.0), "2.000 s");
+        assert_eq!(fmt_duration(2e-3), "2.000 ms");
+        assert_eq!(fmt_duration(2e-6), "2.000 µs");
+        assert_eq!(fmt_duration(2e-9), "2.0 ns");
+    }
+}

@@ -1,7 +1,10 @@
 //! Cross-crate property tests: random small graphs, random valid plans,
 //! and the invariants that must hold across the whole stack.
+//!
+//! Runs on the in-repo `testkit` property runner: deterministic in
+//! `TESTKIT_SEED`, case count overridable via `TESTKIT_CASES`.
 
-use proptest::prelude::*;
+use testkit::{bools, prop_assert, prop_assert_eq, props, select};
 use ulayer::{ULayer, ULayerConfig};
 use unn::{calibrate, forward, Graph, LayerKind, PoolFunc, Weights};
 use uruntime::{evaluate_plan, execute_plan, ExecutionPlan, NodePlacement};
@@ -91,18 +94,17 @@ fn sample_input(g: &Graph, seed: usize) -> Tensor {
     Tensor::from_f32(shape, data).expect("input")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+props! {
+    #![cases(12)]
 
     /// For any random graph and any split ratio, cooperative QUInt8
     /// execution equals the single-CPU QUInt8 reference bit for bit.
-    #[test]
     fn cooperative_execution_is_lossless(
         c0 in 4usize..10,
         c1 in 4usize..10,
-        with_pool in any::<bool>(),
-        with_branch in any::<bool>(),
-        p in prop::sample::select(vec![0.25f64, 0.5, 0.75]),
+        with_pool in bools(),
+        with_branch in bools(),
+        p in select(vec![0.25f64, 0.5, 0.75]),
         seed in 0usize..100,
     ) {
         let g = random_graph(&[c0, c1], with_pool, with_branch);
@@ -137,11 +139,10 @@ proptest! {
 
     /// Scheduling any valid plan terminates with positive latency, and
     /// doing it twice gives identical timing.
-    #[test]
     fn scheduling_is_total_and_deterministic(
         c0 in 4usize..12,
         c1 in 4usize..12,
-        with_branch in any::<bool>(),
+        with_branch in bools(),
         gpu_layer in 0usize..4,
     ) {
         let g = random_graph(&[c0, c1], false, with_branch);
@@ -162,11 +163,10 @@ proptest! {
 
     /// The partitioner's plan never loses to the all-CPU plan it could
     /// always fall back to (predictor error tolerance: 5%).
-    #[test]
     fn ulayer_never_much_worse_than_cpu_only(
         c0 in 8usize..24,
         c1 in 8usize..24,
-        with_branch in any::<bool>(),
+        with_branch in bools(),
     ) {
         let g = random_graph(&[c0, c1], true, with_branch);
         let spec = SocSpec::exynos_7420();
