@@ -20,4 +20,13 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> repro trace smoke (exports + validates a Chrome trace)"
+smoke_trace="$(mktemp -t ulayer-smoke-trace.XXXXXX.json)"
+trap 'rm -f "$smoke_trace"' EXIT
+# The trace subcommand re-reads the file it wrote and runs the in-repo
+# Chrome trace-event validator, exiting non-zero on any violation.
+cargo run --release --offline -p ubench --bin repro -- \
+  trace squeezenet --miniature "--trace-out=$smoke_trace" >/dev/null
+test -s "$smoke_trace"
+
 echo "ci.sh: all green"

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! repro [fig5|fig6|fig8|fig10|fig12|fig16|fig17|fig18|table1|npu|all]
+//! repro trace [net] [--miniature] [--trace-out=FILE]
 //! ```
 //!
 //! Each subcommand prints paper-style rows; `all` runs everything.
 //! Latency/energy figures run on the simulated Exynos 7420/7880 SoCs and
 //! complete in seconds; `fig10` trains two classifiers from scratch and
 //! takes a few minutes.
+//!
+//! `trace` runs the μLayer schedule for one network, prints its overhead
+//! attribution on both SoCs, and writes the high-end SoC's schedule as a
+//! Chrome trace-event JSON file (loadable in `chrome://tracing` or
+//! Perfetto).
 
 use ubench::figures;
 use ubench::report::{geomean, ms, pct, ratio, Table};
@@ -32,6 +38,10 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        trace(&args[1..]);
+        return;
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let known = [
@@ -93,6 +103,75 @@ fn main() {
     }
     if run("sweeps") {
         sweeps();
+    }
+}
+
+fn parse_model(name: &str) -> Option<unn::ModelId> {
+    match name.to_ascii_lowercase().as_str() {
+        "vgg16" | "vgg" => Some(unn::ModelId::Vgg16),
+        "alexnet" => Some(unn::ModelId::AlexNet),
+        "squeezenet" => Some(unn::ModelId::SqueezeNet),
+        "googlenet" => Some(unn::ModelId::GoogLeNet),
+        "mobilenet" => Some(unn::ModelId::MobileNet),
+        _ => None,
+    }
+}
+
+/// `repro trace [net] [--miniature] [--trace-out=FILE]`: overhead
+/// attribution on both SoCs plus a Chrome trace-event JSON export of the
+/// high-end SoC's schedule.
+fn trace(args: &[String]) {
+    let mut model = unn::ModelId::Vgg16;
+    let mut miniature = false;
+    let mut out_path: Option<String> = None;
+    for a in args {
+        if a == "--miniature" {
+            miniature = true;
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            out_path = Some(p.to_string());
+        } else if let Some(m) = parse_model(a) {
+            model = m;
+        } else {
+            eprintln!("usage: repro trace [vgg16|alexnet|squeezenet|googlenet|mobilenet] [--miniature] [--trace-out=FILE]");
+            std::process::exit(2);
+        }
+    }
+
+    heading(&format!(
+        "Schedule observability: uLayer {} (overhead attribution + trace export)",
+        model.name()
+    ));
+    let reports = figures::overhead_attribution(model, miniature);
+    for rep in &reports {
+        println!("\n--- {} ---", rep.soc);
+        print!("{}", rep.result.attribution.render_text());
+        println!("\ncounters:");
+        print!("{}", rep.result.metrics.render());
+    }
+
+    // Export the high-end SoC's schedule and prove it round-trips.
+    let rep = &reports[0];
+    let json = uruntime::chrome_trace_json(&rep.result.trace, &rep.result.resource_names);
+    let path = out_path.unwrap_or_else(|| {
+        format!(
+            "trace-{}.json",
+            model.name().to_ascii_lowercase().replace([' ', '.'], "-")
+        )
+    });
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    let reread = std::fs::read_to_string(&path).expect("reread trace file");
+    match simcore::validate_chrome_trace(&reread) {
+        Ok(summary) => println!(
+            "\nwrote {path}: {} events on {} tracks (validated; load in chrome://tracing or Perfetto)",
+            summary.complete_events, summary.tracks
+        ),
+        Err(e) => {
+            eprintln!("exported trace failed validation: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

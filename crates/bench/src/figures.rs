@@ -383,6 +383,44 @@ pub fn npu_extension() -> Vec<NpuRow> {
         .collect()
 }
 
+/// One SoC's overhead attribution of a μLayer schedule.
+#[derive(Clone, Debug)]
+pub struct AttributionReport {
+    /// SoC name.
+    pub soc: String,
+    /// Network name.
+    pub network: String,
+    /// The full run — its `attribution`, `metrics`, and `trace` feed the
+    /// report and the Chrome export.
+    pub result: uruntime::RunResult,
+}
+
+/// Runs the μLayer plan for `model` on both evaluated SoCs and returns
+/// the schedule's overhead attribution (the §6 management costs made
+/// visible). `miniature` swaps in the small functional-test variant so
+/// smoke runs stay fast.
+pub fn overhead_attribution(model: ModelId, miniature: bool) -> Vec<AttributionReport> {
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let g = if miniature {
+                model.build_miniature()
+            } else {
+                model.build()
+            };
+            let result = ULayer::new(spec.clone())
+                .expect("ulayer")
+                .run(&g)
+                .expect("ulayer run");
+            AttributionReport {
+                soc: spec.name.clone(),
+                network: model.name().to_string(),
+                result,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,13 +15,16 @@
 
 use simcore::{ResourcePool, SimSpan, SimTime, TaskGraph, TaskId, Trace};
 use usoc::{
-    layer_work, DeviceId, DeviceKind, EnergyAccumulator, EnergyBreakdown, KernelWork, MapMode,
-    MemoryStats, SharedMemory, SocError, SocSpec,
+    layer_work, split_channel_count, split_cuts, split_weight_elems, DeviceId, DeviceKind,
+    EnergyAccumulator, EnergyBreakdown, KernelWork, MapMode, MemoryStats, SharedMemory, SocError,
+    SocSpec,
 };
 use utensor::TensorError;
 
 use unn::{Graph, NodeId};
 
+use crate::metrics::MetricsRegistry;
+use crate::observe::{attribute, Attribution, OverheadClass};
 use crate::plan::{ExecutionPlan, NodePlacement};
 
 /// Payload attached to every scheduled task.
@@ -33,6 +36,17 @@ pub struct TaskMeta {
     pub work: KernelWork,
     /// The graph node this task belongs to, if any.
     pub node: Option<NodeId>,
+    /// What the task's time is spent on. Kernel tasks are
+    /// [`OverheadClass::Compute`] (the bundled CPU dispatch included);
+    /// everything else names its §6 overhead.
+    pub class: OverheadClass,
+    /// The buffer-map portion of tasks that bundle a wait with a map on
+    /// one host reservation (sync and merge tasks). Attribution reassigns
+    /// this slice to [`OverheadClass::Map`] without splitting the task —
+    /// splitting would perturb the reserve-on-ready schedule.
+    pub map: SimSpan,
+    /// The pipeline input this task serves (0 for single runs).
+    pub instance: usize,
 }
 
 /// Errors from executing a plan.
@@ -93,6 +107,10 @@ pub struct RunResult {
     pub node_spans: Vec<(SimTime, SimTime)>,
     /// Shared-memory statistics of the run.
     pub memory: MemoryStats,
+    /// Scheduler/memory/energy counters collected during the run.
+    pub metrics: MetricsRegistry,
+    /// Overhead attribution of the schedule (classes tile the makespan).
+    pub attribution: Attribution,
 }
 
 impl RunResult {
@@ -135,6 +153,11 @@ pub(crate) struct InstanceTasks {
 
 /// Allocates the long-lived weight buffers of a plan (uploaded once at
 /// plan load, outside the inference-latency window, per §6).
+///
+/// Split placements distribute the weight elements over the *realized*
+/// channel cuts ([`split_cuts`]), so the per-part byte counts sum exactly
+/// to the whole layer's — truncating each part independently would lose
+/// up to one element per part.
 pub(crate) fn alloc_weight_buffers(
     memory: &mut SharedMemory,
     graph: &Graph,
@@ -150,10 +173,15 @@ pub(crate) fn alloc_weight_buffers(
                     memory.alloc(weight_elems * dtypes.weights.size_bytes());
                 }
                 NodePlacement::Split { parts } => {
-                    for (_, dtypes, frac) in parts {
-                        memory.alloc(
-                            (weight_elems as f64 * frac) as usize * dtypes.weights.size_bytes(),
-                        );
+                    let fracs: Vec<f64> = parts.iter().map(|p| p.2).collect();
+                    let channels = split_channel_count(&node.kind, in_shape).unwrap_or(0);
+                    let cuts = split_cuts(channels, &fracs);
+                    for ((_, dtypes, _), elems) in
+                        parts
+                            .iter()
+                            .zip(split_weight_elems(weight_elems, &cuts, channels))
+                    {
+                        memory.alloc(elems * dtypes.weights.size_bytes());
                     }
                 }
             }
@@ -176,14 +204,24 @@ pub(crate) fn schedule_instance(
     plan: &ExecutionPlan,
     prefix: &str,
     arrival: Option<TaskId>,
+    instance: usize,
 ) -> Result<InstanceTasks, RunError> {
     let cpu = spec.cpu();
     let res = |d: DeviceId| simcore::ResourceId(d.0);
-    let meta_overhead = |device: DeviceId, node: Option<NodeId>| TaskMeta {
-        device,
-        work: KernelWork::nop(),
-        node,
-    };
+    let meta_overhead =
+        |device: DeviceId, node: Option<NodeId>, class: OverheadClass, map: SimSpan| TaskMeta {
+            device,
+            work: KernelWork::nop(),
+            node,
+            class,
+            map,
+            instance,
+        };
+    // Accelerator command issue happens host-side before the input exists,
+    // but never before the input *frame* exists — issue tasks are gated on
+    // the instance's arrival so a pipelined instance cannot start issuing
+    // ahead of its frame.
+    let issue_gate: Vec<TaskId> = arrival.into_iter().collect();
 
     // Per node: the task producing its output, and where that output
     // resides.
@@ -227,7 +265,7 @@ pub(crate) fn schedule_instance(
                             spec.gpu_wait_span() + spec.map_span(),
                             &[ptask],
                             -1,
-                            meta_overhead(cpu, Some(id)),
+                            meta_overhead(cpu, Some(id), OverheadClass::Sync, spec.map_span()),
                         );
                         deps.push(sync);
                     }
@@ -240,7 +278,7 @@ pub(crate) fn schedule_instance(
                             spec.map_span(),
                             &[ptask],
                             -1,
-                            meta_overhead(cpu, Some(id)),
+                            meta_overhead(cpu, Some(id), OverheadClass::Unmap, SimSpan::ZERO),
                         );
                         deps.push(unmap);
                     }
@@ -255,7 +293,7 @@ pub(crate) fn schedule_instance(
                             spec.gpu_wait_span(),
                             &[ptask],
                             -1,
-                            meta_overhead(cpu, Some(id)),
+                            meta_overhead(cpu, Some(id), OverheadClass::Sync, SimSpan::ZERO),
                         );
                         deps.push(sync);
                     }
@@ -284,6 +322,9 @@ pub(crate) fn schedule_instance(
                                 device: *device,
                                 work,
                                 node: Some(id),
+                                class: OverheadClass::Compute,
+                                map: SimSpan::ZERO,
+                                instance,
                             },
                         );
                         memory.unmap(out_buf)?;
@@ -294,9 +335,9 @@ pub(crate) fn schedule_instance(
                             format!("{name}::issue"),
                             res(cpu),
                             spec.gpu_issue_span(),
-                            &[],
+                            &issue_gate,
                             -1,
-                            meta_overhead(cpu, Some(id)),
+                            meta_overhead(cpu, Some(id), OverheadClass::Issue, SimSpan::ZERO),
                         );
                         let mut deps = deps_for(tg, *device);
                         deps.push(issue);
@@ -309,13 +350,22 @@ pub(crate) fn schedule_instance(
                                 device: *device,
                                 work,
                                 node: Some(id),
+                                class: OverheadClass::Compute,
+                                map: SimSpan::ZERO,
+                                instance,
                             },
                         );
                         (k, Residency::Accel(*device), issue)
                     }
                 }
             }
-            NodePlacement::Split { parts } => {
+            NodePlacement::Split { .. } => {
+                // Cost what each processor *actually* executes: the
+                // realized whole-channel shares, not the nominal
+                // fractions the functional evaluator would round anyway.
+                let parts = placement
+                    .realized_parts(&node.kind, &in_shape)
+                    .expect("split placement");
                 let mut part_tasks = Vec::with_capacity(parts.len());
                 let mut any_accel = false;
                 let mut first: Option<TaskId> = None;
@@ -333,6 +383,12 @@ pub(crate) fn schedule_instance(
                     )
                     .collect();
                 for (device, dtypes, frac) in ordered {
+                    if *frac == 0.0 {
+                        // Zero realized channels: the part executes no
+                        // kernel, so it must not pay issue/merge-wait
+                        // overheads either.
+                        continue;
+                    }
                     let work = layer_work(&node.kind, &in_shape, &out_shape, *dtypes, *frac);
                     let span = spec.kernel_latency(*device, &work)?;
                     match spec.devices[device.0].kind {
@@ -347,6 +403,9 @@ pub(crate) fn schedule_instance(
                                     device: *device,
                                     work,
                                     node: Some(id),
+                                    class: OverheadClass::Compute,
+                                    map: SimSpan::ZERO,
+                                    instance,
                                 },
                             );
                             first.get_or_insert(k);
@@ -358,9 +417,9 @@ pub(crate) fn schedule_instance(
                                 format!("{name}::issue"),
                                 res(cpu),
                                 spec.gpu_issue_span(),
-                                &[],
+                                &issue_gate,
                                 -1,
-                                meta_overhead(cpu, Some(id)),
+                                meta_overhead(cpu, Some(id), OverheadClass::Issue, SimSpan::ZERO),
                             );
                             let mut deps = deps_for(tg, *device);
                             deps.push(issue);
@@ -373,6 +432,9 @@ pub(crate) fn schedule_instance(
                                     device: *device,
                                     work,
                                     node: Some(id),
+                                    class: OverheadClass::Compute,
+                                    map: SimSpan::ZERO,
+                                    instance,
                                 },
                             );
                             first.get_or_insert(issue);
@@ -382,10 +444,10 @@ pub(crate) fn schedule_instance(
                 }
                 // Merge: the host waits for the accelerator parts and maps
                 // the (already channel-interleaved, zero-copy) output.
-                let merge_span = if any_accel {
-                    spec.gpu_wait_span() + spec.map_span()
+                let (merge_span, merge_map) = if any_accel {
+                    (spec.gpu_wait_span() + spec.map_span(), spec.map_span())
                 } else {
-                    spec.cpu_dispatch_span()
+                    (spec.cpu_dispatch_span(), SimSpan::ZERO)
                 };
                 memory.map(out_buf, MapMode::Read)?;
                 memory.unmap(out_buf)?;
@@ -395,7 +457,7 @@ pub(crate) fn schedule_instance(
                     merge_span,
                     &part_tasks,
                     -1,
-                    meta_overhead(cpu, Some(id)),
+                    meta_overhead(cpu, Some(id), OverheadClass::Merge, merge_map),
                 );
                 (merge, Residency::Cpu, first.unwrap_or(merge))
             }
@@ -413,7 +475,7 @@ pub(crate) fn schedule_instance(
             spec.gpu_wait_span() + spec.map_span(),
             &[last],
             -1,
-            meta_overhead(cpu, None),
+            meta_overhead(cpu, None, OverheadClass::Sync, spec.map_span()),
         ),
         Some(&(last, Residency::Cpu)) => last,
         None => {
@@ -451,9 +513,19 @@ pub fn execute_plan(
     let mut memory = SharedMemory::new();
     alloc_weight_buffers(&mut memory, graph, &shapes, plan);
 
-    let inst = schedule_instance(&mut tg, &mut memory, spec, graph, &shapes, plan, "", None)?;
+    let inst = schedule_instance(
+        &mut tg,
+        &mut memory,
+        spec,
+        graph,
+        &shapes,
+        plan,
+        "",
+        None,
+        0,
+    )?;
 
-    let trace = tg.run(&mut pool)?;
+    let (trace, sched) = tg.run_with_stats(&mut pool)?;
 
     let mut energy = EnergyAccumulator::new(spec);
     for rec in trace.records() {
@@ -474,15 +546,44 @@ pub fn execute_plan(
         })
         .collect();
 
+    let resource_names: Vec<String> = spec.devices.iter().map(|d| d.name.clone()).collect();
+    let attribution = attribute(&trace, &resource_names, spec);
+    let stats = memory.stats();
+    let mut metrics = MetricsRegistry::new();
+    fill_run_metrics(&mut metrics, &trace, &sched, &stats, &energy);
+
     Ok(RunResult {
         label: plan.label.clone(),
         latency: trace.makespan(),
         energy,
         trace,
-        resource_names: spec.devices.iter().map(|d| d.name.clone()).collect(),
+        resource_names,
         node_spans,
-        memory: memory.stats(),
+        memory: stats,
+        metrics,
+        attribution,
     })
+}
+
+/// Fills the counters every executor reports: scheduler statistics,
+/// per-class task counts, memory high-water marks, and energy.
+pub(crate) fn fill_run_metrics(
+    metrics: &mut MetricsRegistry,
+    trace: &Trace<TaskMeta>,
+    sched: &simcore::SchedStats,
+    stats: &MemoryStats,
+    energy: &EnergyBreakdown,
+) {
+    metrics.inc("sched.tasks", sched.tasks as u64);
+    metrics.counter_max("sched.peak_queue_depth", sched.peak_queue_depth as u64);
+    for rec in trace.records() {
+        metrics.inc(&format!("tasks.{}", rec.payload.class.name()), 1);
+    }
+    metrics.counter_max("memory.peak_bytes", stats.peak_bytes as u64);
+    metrics.inc("memory.allocations", stats.allocations as u64);
+    metrics.inc("memory.copied_bytes", stats.copied_bytes as u64);
+    metrics.gauge("latency.ms", trace.makespan().as_millis_f64());
+    metrics.gauge("energy.total_mj", energy.total_mj());
 }
 
 #[cfg(test)]

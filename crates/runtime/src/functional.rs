@@ -120,21 +120,21 @@ pub fn evaluate_plan(
                     ))
                 })?;
                 let x = inputs[0];
-                // Split points over the channel axis.
-                let channels = match axis {
-                    SplitAxis::Filters => master_filter
-                        .as_ref()
-                        .map(|f| f.shape().dim(0))
-                        .unwrap_or(0),
-                    SplitAxis::InputChannels => x.shape().c(),
-                };
-                let mut cuts = vec![0usize];
-                let mut acc = 0.0f64;
-                for (_, _, frac) in parts {
-                    acc += frac;
-                    cuts.push(((channels as f64) * acc).round() as usize);
-                }
-                *cuts.last_mut().expect("nonempty") = channels;
+                // Split points over the channel axis — realized through
+                // the same shared helpers as the timing engine
+                // (`usoc::split_cuts`), so the two co-simulation halves
+                // cannot disagree about which channels each part owns.
+                let channels = usoc::split_channel_count(&node.kind, x.shape()).unwrap_or_else(
+                    || match axis {
+                        SplitAxis::Filters => master_filter
+                            .as_ref()
+                            .map(|f| f.shape().dim(0))
+                            .unwrap_or(0),
+                        SplitAxis::InputChannels => x.shape().c(),
+                    },
+                );
+                let fracs: Vec<f64> = parts.iter().map(|p| p.2).collect();
+                let cuts = usoc::split_cuts(channels, &fracs);
 
                 let mut part_outputs: Vec<Tensor> = Vec::with_capacity(parts.len());
                 for (p, (_, dtypes, _)) in parts.iter().enumerate() {

@@ -15,6 +15,10 @@
 //!   latency.
 //! - [`baselines`] — the §2.2 mechanisms μLayer is compared against:
 //!   single-processor, layer-to-processor, network-to-processor.
+//! - [`observe`] — schedule observability: overhead attribution (every
+//!   nanosecond of every resource classified as compute, issue, sync,
+//!   map, unmap, merge, arrival, or idle) and Chrome trace-event export.
+//! - [`metrics`] — the counters/gauges registry every executor fills.
 //!
 //! # Examples
 //!
@@ -33,6 +37,8 @@
 pub mod baselines;
 pub mod engine;
 pub mod functional;
+pub mod metrics;
+pub mod observe;
 pub mod pipeline;
 pub mod plan;
 
@@ -42,5 +48,7 @@ pub use baselines::{
 };
 pub use engine::{execute_plan, RunError, RunResult, TaskMeta};
 pub use functional::evaluate_plan;
+pub use metrics::MetricsRegistry;
+pub use observe::{attribute, chrome_trace_json, Attribution, OverheadClass, ResourceAttribution};
 pub use pipeline::{execute_pipeline, PipelineResult};
 pub use plan::{ExecutionPlan, NodePlacement};

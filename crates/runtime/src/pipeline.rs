@@ -10,12 +10,14 @@
 //! per-input latency distribution, the two metrics the
 //! network-to-processor comparison (§2.2) distinguishes.
 
-use simcore::{ResourcePool, SimSpan, TaskGraph, TaskId};
+use simcore::{ResourcePool, SimSpan, TaskGraph, TaskId, Trace};
 use usoc::{EnergyAccumulator, EnergyBreakdown, KernelWork, SharedMemory, SocSpec};
 
 use unn::Graph;
 
-use crate::engine::{schedule_instance, RunError, TaskMeta};
+use crate::engine::{fill_run_metrics, schedule_instance, RunError, TaskMeta};
+use crate::metrics::MetricsRegistry;
+use crate::observe::{attribute, Attribution, OverheadClass};
 use crate::plan::ExecutionPlan;
 
 /// The outcome of a pipelined run.
@@ -33,6 +35,15 @@ pub struct PipelineResult {
     pub latencies: Vec<SimSpan>,
     /// Total energy over the stream.
     pub energy: EnergyBreakdown,
+    /// The realized schedule of the whole stream.
+    pub trace: Trace<TaskMeta>,
+    /// Resource names in resource order (devices, then the virtual
+    /// arrival source).
+    pub resource_names: Vec<String>,
+    /// Scheduler/memory/energy/backlog counters of the stream.
+    pub metrics: MetricsRegistry,
+    /// Overhead attribution over the stream's schedule.
+    pub attribution: Attribution,
 }
 
 impl PipelineResult {
@@ -81,12 +92,6 @@ pub fn execute_pipeline(
     let mut memory = SharedMemory::new();
     super::engine::alloc_weight_buffers(&mut memory, graph, &shapes, plan);
 
-    let nop = TaskMeta {
-        device: spec.cpu(), // never scheduled on a real device resource
-        work: KernelWork::nop(),
-        node: None,
-    };
-
     let mut arrivals: Vec<TaskId> = Vec::with_capacity(inputs);
     let mut completions: Vec<TaskId> = Vec::with_capacity(inputs);
     let mut prev_arrival: Option<TaskId> = None;
@@ -95,7 +100,20 @@ pub fn execute_pipeline(
         // immediately).
         let span = if k == 0 { SimSpan::ZERO } else { interval };
         let deps: Vec<TaskId> = prev_arrival.into_iter().collect();
-        let arrival = tg.add(format!("in{k}::arrival"), source, span, &deps, nop.clone());
+        let arrival = tg.add(
+            format!("in{k}::arrival"),
+            source,
+            span,
+            &deps,
+            TaskMeta {
+                device: spec.cpu(), // never scheduled on a real device resource
+                work: KernelWork::nop(),
+                node: None,
+                class: OverheadClass::Arrival,
+                map: SimSpan::ZERO,
+                instance: k,
+            },
+        );
         prev_arrival = Some(arrival);
         arrivals.push(arrival);
 
@@ -108,11 +126,12 @@ pub fn execute_pipeline(
             plan,
             &format!("in{k}/"),
             Some(arrival),
+            k,
         )?;
         completions.push(inst.completion);
     }
 
-    let trace = tg.run(&mut pool)?;
+    let (trace, sched) = tg.run_with_stats(&mut pool)?;
 
     let mut energy = EnergyAccumulator::new(spec);
     for rec in trace.records() {
@@ -138,6 +157,34 @@ pub fn execute_pipeline(
         inputs as f64 / makespan.as_secs_f64()
     };
 
+    // Backlog: how many earlier inputs are still in flight when input k
+    // arrives. Zero peak means the pipeline keeps up with the arrivals.
+    let backlog_peak = (0..inputs)
+        .map(|k| {
+            let at = trace.end_of(arrivals[k]);
+            completions[..k]
+                .iter()
+                .filter(|&&c| trace.end_of(c) > at)
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+
+    let mut resource_names: Vec<String> = spec.devices.iter().map(|d| d.name.clone()).collect();
+    resource_names.push("source".to_string());
+    let attribution = attribute(&trace, &resource_names, spec);
+    let stats = memory.stats();
+    let mut metrics = MetricsRegistry::new();
+    fill_run_metrics(&mut metrics, &trace, &sched, &stats, &energy);
+    metrics.inc("pipeline.inputs", inputs as u64);
+    metrics.counter_max("pipeline.backlog_peak", backlog_peak as u64);
+    metrics.gauge("pipeline.throughput_ips", throughput_ips);
+    if let Some(max) = latencies.iter().copied().reduce(SimSpan::max) {
+        metrics.gauge("pipeline.latency_max_ms", max.as_millis_f64());
+        let mean = latencies.iter().copied().sum::<SimSpan>() / latencies.len() as u64;
+        metrics.gauge("pipeline.latency_mean_ms", mean.as_millis_f64());
+    }
+
     Ok(PipelineResult {
         inputs,
         interval,
@@ -145,6 +192,10 @@ pub fn execute_pipeline(
         throughput_ips,
         latencies,
         energy,
+        trace,
+        resource_names,
+        metrics,
+        attribution,
     })
 }
 

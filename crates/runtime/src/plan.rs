@@ -7,10 +7,10 @@
 //! valid plan, so every mechanism shares scheduling, timing, energy, and
 //! numeric machinery.
 
-use usoc::{DeviceId, DtypePlan, SocSpec};
-use utensor::{DType, TensorError};
+use usoc::{realized_fractions, split_channel_count, DeviceId, DtypePlan, SocSpec};
+use utensor::{DType, Shape, TensorError};
 
-use unn::Graph;
+use unn::{Graph, LayerKind};
 
 /// Where (and how) one layer executes.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +53,40 @@ impl NodePlacement {
             NodePlacement::Single { dtypes, .. } => dtypes.storage,
             NodePlacement::Split { parts } => {
                 parts.first().map(|p| p.1.storage).unwrap_or(DType::F32)
+            }
+        }
+    }
+
+    /// The split parts with their fractions replaced by the *realized*
+    /// fractions over the layer's channel axis (`None` for `Single`).
+    ///
+    /// Nominal fractions are what the partitioner chose; the channel-wise
+    /// split can only hand out whole channels, so the timing engine must
+    /// cost what each processor actually executes — a 0.03 share of a
+    /// 6-channel layer realizes zero channels and costs nothing. Both
+    /// co-simulation halves derive their cuts from
+    /// [`usoc::split_cuts`], so this realization cannot drift from the
+    /// functional evaluator's.
+    pub fn realized_parts(
+        &self,
+        kind: &LayerKind,
+        in_shape: &Shape,
+    ) -> Option<Vec<(DeviceId, DtypePlan, f64)>> {
+        match self {
+            NodePlacement::Single { .. } => None,
+            NodePlacement::Split { parts } => {
+                let fracs: Vec<f64> = parts.iter().map(|p| p.2).collect();
+                let realized = match split_channel_count(kind, in_shape) {
+                    Some(c) if c > 0 => realized_fractions(c, &fracs),
+                    _ => fracs,
+                };
+                Some(
+                    parts
+                        .iter()
+                        .zip(realized)
+                        .map(|(&(d, dt, _), f)| (d, dt, f))
+                        .collect(),
+                )
             }
         }
     }

@@ -92,6 +92,19 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// Counters collected while scheduling a [`TaskGraph`].
+///
+/// These feed the runtime's metrics registry; they describe scheduler
+/// pressure, not the realized timing (which lives in the [`Trace`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Number of tasks scheduled.
+    pub tasks: usize,
+    /// High-water mark of the internal event queue (pending ready/done
+    /// events), a proxy for how much work was simultaneously in flight.
+    pub peak_queue_depth: usize,
+}
+
 /// A DAG of timed tasks over a pool of resources.
 ///
 /// # Examples
@@ -185,6 +198,15 @@ impl<T> TaskGraph<T> {
     /// intervals, so a fresh (or freshly `reset`) pool should be supplied
     /// for each independent run.
     pub fn run(self, pool: &mut ResourcePool) -> Result<Trace<T>, ScheduleError> {
+        self.run_with_stats(pool).map(|(trace, _)| trace)
+    }
+
+    /// Like [`TaskGraph::run`], additionally returning scheduler-pressure
+    /// counters for the observability layer.
+    pub fn run_with_stats(
+        self,
+        pool: &mut ResourcePool,
+    ) -> Result<(Trace<T>, SchedStats), ScheduleError> {
         let n = self.tasks.len();
 
         // Validate references up front so the event loop can't index OOB.
@@ -263,6 +285,11 @@ impl<T> TaskGraph<T> {
             });
         }
 
+        let stats = SchedStats {
+            tasks: n,
+            peak_queue_depth: queue.peak_len(),
+        };
+
         let records = self
             .tasks
             .into_iter()
@@ -277,7 +304,7 @@ impl<T> TaskGraph<T> {
             })
             .collect();
 
-        Ok(Trace::new(records))
+        Ok((Trace::new(records), stats))
     }
 }
 
@@ -457,6 +484,21 @@ mod tests {
         let urgent = g.add_with_priority("urgent", cpu, span(5), &[g2], -1, ());
         let t = g.run(&mut pool).unwrap();
         assert!(t.start_of(urgent) < t.start_of(slow));
+    }
+
+    #[test]
+    fn run_with_stats_counts_tasks_and_queue_depth() {
+        let mut pool = ResourcePool::new();
+        let cpu = pool.add("cpu");
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add("t", cpu, span(10), &[], ());
+        }
+        let (trace, stats) = g.run_with_stats(&mut pool).unwrap();
+        assert_eq!(stats.tasks, 4);
+        // All four Ready events are enqueued up front.
+        assert!(stats.peak_queue_depth >= 4);
+        assert_eq!(trace.makespan(), span(40));
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,6 +79,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            peak_len: 0,
         }
     }
 
@@ -111,6 +113,7 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, advancing the clock to it.
@@ -139,6 +142,13 @@ impl<E> EventQueue<E> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// High-water mark of pending events over the queue's lifetime (a
+    /// scheduler-pressure metric surfaced by the runtime's observability
+    /// layer).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -213,6 +223,21 @@ mod tests {
         q.push_with_priority(SimTime::from_nanos(5), 100, "early-lazy");
         assert_eq!(q.pop().unwrap().1, "early-lazy");
         assert_eq!(q.pop().unwrap().1, "late-urgent");
+    }
+
+    #[test]
+    fn peak_len_is_a_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        for t in 1..=5u64 {
+            q.push(SimTime::from_nanos(t), t);
+        }
+        assert_eq!(q.peak_len(), 5);
+        while q.pop().is_some() {}
+        // Draining does not lower the mark.
+        assert_eq!(q.peak_len(), 5);
+        q.push(SimTime::from_nanos(10), 10);
+        assert_eq!(q.peak_len(), 5);
     }
 
     #[test]

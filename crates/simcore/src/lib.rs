@@ -17,13 +17,15 @@
 //! The engine is deterministic: scheduling the same graph twice yields the
 //! same trace, which the test suites rely on.
 
+pub mod chrome;
 pub mod dag;
 pub mod event;
 pub mod resource;
 pub mod time;
 pub mod trace;
 
-pub use dag::{ScheduleError, TaskGraph, TaskId, TaskSpec};
+pub use chrome::{validate_chrome_trace, ChromeTraceSummary, JsonValue, TraceArg};
+pub use dag::{SchedStats, ScheduleError, TaskGraph, TaskId, TaskSpec};
 pub use event::EventQueue;
 pub use resource::{BusyInterval, ResourceId, ResourcePool, Timeline};
 pub use time::{SimSpan, SimTime};

@@ -106,6 +106,19 @@ impl Timeline {
         busy.as_secs_f64() / horizon.as_secs_f64()
     }
 
+    /// Idle time within `[0, horizon)`: the horizon minus the busy time
+    /// that falls inside it. Reservations past the horizon contribute
+    /// nothing.
+    pub fn idle_time(&self, horizon: SimTime) -> SimSpan {
+        let busy: SimSpan = self
+            .intervals
+            .iter()
+            .filter(|iv| iv.start < horizon)
+            .map(|iv| iv.end.min(horizon) - iv.start)
+            .sum();
+        (horizon - SimTime::ZERO) - busy
+    }
+
     /// Clears all reservations, returning the timeline to idle.
     pub fn reset(&mut self) {
         self.intervals.clear();
@@ -219,6 +232,22 @@ mod tests {
         let u = t.utilization(SimTime::from_nanos(350));
         assert!((u - 150.0 / 350.0).abs() < 1e-12);
         assert_eq!(t.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn idle_time_complements_busy_time() {
+        let mut t = Timeline::new("cpu");
+        t.reserve(SimTime::ZERO, SimSpan::from_nanos(100));
+        t.reserve(SimTime::from_nanos(300), SimSpan::from_nanos(100));
+        let horizon = SimTime::from_nanos(400);
+        assert_eq!(t.idle_time(horizon).as_nanos(), 200);
+        assert_eq!(
+            (t.idle_time(horizon) + t.busy_time()).as_nanos(),
+            horizon.as_nanos()
+        );
+        // A horizon cutting through a reservation counts only the part
+        // inside it.
+        assert_eq!(t.idle_time(SimTime::from_nanos(350)).as_nanos(), 200);
     }
 
     #[test]

@@ -104,6 +104,28 @@ impl<T> Trace<T> {
         m
     }
 
+    /// The distinct resources that appear in this trace, ascending.
+    pub fn resources(&self) -> Vec<ResourceId> {
+        let mut ids: Vec<ResourceId> = self.records.iter().map(|r| r.resource).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Idle time of `resource` over the `[0, makespan)` horizon: the
+    /// makespan minus the resource's busy time. Tasks on one resource
+    /// never overlap (timelines are serially reusable), so the difference
+    /// is exactly the sum of its gaps.
+    pub fn idle_of(&self, resource: ResourceId) -> SimSpan {
+        let busy: SimSpan = self
+            .records
+            .iter()
+            .filter(|r| r.resource == resource)
+            .map(TaskRecord::span)
+            .sum();
+        self.makespan - busy
+    }
+
     /// Maps each record's payload, keeping the timing information.
     pub fn map_payload<U>(self, mut f: impl FnMut(T) -> U) -> Trace<U> {
         let records = self
@@ -198,6 +220,18 @@ mod tests {
         let busy = t.busy_per_resource();
         assert_eq!(busy[&ResourceId(0)], SimSpan::from_nanos(25));
         assert_eq!(busy[&ResourceId(1)], SimSpan::from_nanos(30));
+    }
+
+    #[test]
+    fn idle_complements_busy_over_makespan() {
+        let t = Trace::new(vec![rec(0, 0, 0, 10), rec(1, 1, 0, 30), rec(2, 0, 10, 25)]);
+        assert_eq!(t.resources(), vec![ResourceId(0), ResourceId(1)]);
+        assert_eq!(t.idle_of(ResourceId(0)), SimSpan::from_nanos(5));
+        assert_eq!(t.idle_of(ResourceId(1)), SimSpan::ZERO);
+        for rid in t.resources() {
+            let busy = t.busy_per_resource()[&rid];
+            assert_eq!(busy + t.idle_of(rid), t.makespan());
+        }
     }
 
     #[test]

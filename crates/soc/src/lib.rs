@@ -30,7 +30,11 @@ pub use energy::{average_power_w, energy_of_tasks, EnergyAccumulator, EnergyBrea
 pub use error::SocError;
 pub use memory::{BufferId, MapMode, MemoryStats, SharedMemory};
 pub use profiler::{
-    profile_graph, single_layer_latency, total_latency, LayerProfile, ProfileError,
+    profile_graph, single_layer_cost, single_layer_latency, total_latency, LayerCost, LayerProfile,
+    ProfileError,
 };
 pub use spec::{MemorySpec, Overheads, SocSpec};
-pub use work::{layer_work, DtypePlan, KernelWork, WorkClass};
+pub use work::{
+    layer_work, realized_fractions, split_channel_count, split_cuts, split_weight_elems, DtypePlan,
+    KernelWork, WorkClass,
+};

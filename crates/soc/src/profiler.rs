@@ -28,6 +28,10 @@ pub struct LayerProfile {
     /// Measured single-device latency, including the device-appropriate
     /// dispatch overheads (GPU: command issue + wait; CPU: dispatch).
     pub latency: SimSpan,
+    /// The host-side overhead portion of `latency` (GPU: command issue +
+    /// completion wait; CPU: dispatch). `latency - host_overhead` is pure
+    /// kernel time — the split observability reports aggregate over this.
+    pub host_overhead: SimSpan,
     /// The layer's MAC count.
     pub macs: u64,
 }
@@ -64,6 +68,45 @@ impl From<SocError> for ProfileError {
     }
 }
 
+/// The kernel/host cost breakdown of one synchronous single-layer run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerCost {
+    /// Pure kernel execution time on the device.
+    pub kernel: SimSpan,
+    /// Host-side overhead (GPU: command issue + completion wait; CPU:
+    /// dispatch) the synchronous execution pays on top of the kernel.
+    pub host: SimSpan,
+}
+
+impl LayerCost {
+    /// End-to-end latency: kernel plus host overhead.
+    pub fn total(&self) -> SimSpan {
+        self.kernel + self.host
+    }
+}
+
+/// The cost of running one whole layer on one device, broken into the
+/// kernel time and the host-side overhead a synchronous single-layer
+/// execution pays.
+pub fn single_layer_cost(
+    spec: &SocSpec,
+    device: DeviceId,
+    kind: &LayerKind,
+    in_shape: &utensor::Shape,
+    out_shape: &utensor::Shape,
+    dtypes: DtypePlan,
+) -> Result<LayerCost, SocError> {
+    let work = layer_work(kind, in_shape, out_shape, dtypes, 1.0);
+    let kernel = spec.kernel_latency(device, &work)?;
+    let host = match spec.device(device)?.kind {
+        DeviceKind::CpuCluster => spec.cpu_dispatch_span(),
+        // GPU/NPU layers pay command issue and completion wait on the
+        // host when executed synchronously.
+        DeviceKind::Gpu | DeviceKind::Npu => spec.gpu_issue_span() + spec.gpu_wait_span(),
+    };
+    Ok(LayerCost { kernel, host })
+}
+
 /// The latency of running one whole layer on one device, including the
 /// host-side costs a synchronous single-layer execution pays.
 pub fn single_layer_latency(
@@ -74,15 +117,7 @@ pub fn single_layer_latency(
     out_shape: &utensor::Shape,
     dtypes: DtypePlan,
 ) -> Result<SimSpan, SocError> {
-    let work = layer_work(kind, in_shape, out_shape, dtypes, 1.0);
-    let kernel = spec.kernel_latency(device, &work)?;
-    let host = match spec.device(device)?.kind {
-        DeviceKind::CpuCluster => spec.cpu_dispatch_span(),
-        // GPU/NPU layers pay command issue and completion wait on the
-        // host when executed synchronously.
-        DeviceKind::Gpu | DeviceKind::Npu => spec.gpu_issue_span() + spec.gpu_wait_span(),
-    };
-    Ok(kernel + host)
+    single_layer_cost(spec, device, kind, in_shape, out_shape, dtypes).map(|c| c.total())
 }
 
 /// Profiles every layer of `graph` on `device` with the given dtype plan.
@@ -97,12 +132,13 @@ pub fn profile_graph(
     for (i, node) in graph.nodes().iter().enumerate() {
         let id = NodeId(i);
         let in_shape = graph.node_input_shape(id, &shapes);
-        let latency = single_layer_latency(spec, device, &node.kind, in_shape, &shapes[i], dtypes)?;
+        let cost = single_layer_cost(spec, device, &node.kind, in_shape, &shapes[i], dtypes)?;
         out.push(LayerProfile {
             node: id,
             name: node.name.clone(),
             op: node.kind.op_name(),
-            latency,
+            latency: cost.total(),
+            host_overhead: cost.host,
             macs: node.kind.macs(in_shape, &shapes[i]),
         });
     }
@@ -176,6 +212,34 @@ mod tests {
         let p = profile_graph(&soc, soc.cpu(), &g, DtypePlan::uniform(DType::F32)).unwrap();
         assert_eq!(p.len(), g.len());
         assert!(p.iter().all(|lp| lp.latency > SimSpan::ZERO));
+    }
+
+    #[test]
+    fn cost_breakdown_sums_to_latency() {
+        let soc = SocSpec::exynos_7420();
+        let g = unn::ModelId::AlexNet.build();
+        let shapes = g.infer_shapes().unwrap();
+        let plan = DtypePlan::uniform(DType::F32);
+        for (i, node) in g.nodes().iter().enumerate() {
+            let id = NodeId(i);
+            let in_shape = g.node_input_shape(id, &shapes);
+            for dev in [soc.cpu(), soc.gpu()] {
+                let cost =
+                    single_layer_cost(&soc, dev, &node.kind, in_shape, &shapes[i], plan).unwrap();
+                let lat = single_layer_latency(&soc, dev, &node.kind, in_shape, &shapes[i], plan)
+                    .unwrap();
+                assert_eq!(cost.total(), lat);
+                assert!(cost.host > SimSpan::ZERO);
+            }
+        }
+        // profile_graph records the same breakdown.
+        let profiles = profile_graph(&soc, soc.gpu(), &g, plan).unwrap();
+        assert!(profiles
+            .iter()
+            .all(|p| p.host_overhead > SimSpan::ZERO && p.host_overhead < p.latency));
+        assert!(profiles
+            .iter()
+            .all(|p| p.host_overhead == soc.gpu_issue_span() + soc.gpu_wait_span()));
     }
 
     #[test]
