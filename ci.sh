@@ -29,4 +29,11 @@ cargo run --release --offline -p ubench --bin repro -- \
   trace squeezenet --miniature "--trace-out=$smoke_trace" >/dev/null
 test -s "$smoke_trace"
 
+echo "==> repro faults smoke (resilient execution under injected faults)"
+# Deterministic seed; the subcommand exits non-zero unless the run
+# completes with bit-identical recovered outputs, and (for flaky-gpu)
+# at least one watchdog retry and one fallback re-execution.
+cargo run --release --offline -p ubench --bin repro -- \
+  faults squeezenet --scenario=flaky-gpu --seed=42 --miniature >/dev/null
+
 echo "ci.sh: all green"

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [fig5|fig6|fig8|fig10|fig12|fig16|fig17|fig18|table1|npu|all]
 //! repro trace [net] [--miniature] [--trace-out=FILE]
+//! repro faults [net] [--scenario=throttle|flaky-gpu|gpu-loss] [--seed=N] [--miniature]
 //! ```
 //!
 //! Each subcommand prints paper-style rows; `all` runs everything.
@@ -41,6 +42,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("trace") {
         trace(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("faults") {
+        faults(&args[1..]);
         return;
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -172,6 +177,105 @@ fn trace(args: &[String]) {
             eprintln!("exported trace failed validation: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `repro faults [net] [--scenario=NAME] [--seed=N] [--miniature]`:
+/// resilient execution under injected faults, against the fault-free
+/// baseline. Exits non-zero if recovery is not bit-identical, or if the
+/// flaky-gpu scenario fails to exercise both the retry and the fallback
+/// path.
+fn faults(args: &[String]) {
+    let mut model = unn::ModelId::SqueezeNet;
+    let mut miniature = false;
+    let mut seed = 42u64;
+    let mut scenarios: Vec<simcore::Scenario> = simcore::Scenario::ALL.to_vec();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: repro faults [vgg16|alexnet|squeezenet|googlenet|mobilenet] \
+             [--scenario=throttle|flaky-gpu|gpu-loss] [--seed=N] [--miniature]"
+        );
+        std::process::exit(2);
+    };
+    for a in args {
+        if a == "--miniature" {
+            miniature = true;
+        } else if let Some(s) = a.strip_prefix("--scenario=") {
+            match simcore::Scenario::from_name(s) {
+                Some(sc) => scenarios = vec![sc],
+                None => usage(),
+            }
+        } else if let Some(s) = a.strip_prefix("--seed=") {
+            match s.parse() {
+                Ok(n) => seed = n,
+                Err(_) => usage(),
+            }
+        } else if let Some(m) = parse_model(a) {
+            model = m;
+        } else {
+            usage();
+        }
+    }
+
+    heading(&format!(
+        "Fault injection: uLayer {} under {} (seed {seed})",
+        model.name(),
+        scenarios
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    let mut violations = Vec::new();
+    for &scenario in &scenarios {
+        let reports = figures::fault_scenarios(model, scenario, miniature, seed);
+        println!("\n--- scenario: {} ---", scenario.name());
+        let mut t = Table::new(&[
+            "SoC",
+            "Baseline (ms)",
+            "Faulted (ms)",
+            "Slowdown",
+            "Injected",
+            "Retries",
+            "Fallbacks",
+            "Wasted (ms)",
+            "Bit-identical",
+        ]);
+        for r in &reports {
+            t.row(vec![
+                r.soc.clone(),
+                ms(r.baseline_ms),
+                ms(r.faulted_ms),
+                ratio(r.faulted_ms / r.baseline_ms),
+                r.injected.to_string(),
+                r.retries.to_string(),
+                r.fallback_parts.to_string(),
+                ms(r.wasted_ms),
+                if r.bit_identical { "yes" } else { "NO" }.to_string(),
+            ]);
+            if !r.bit_identical {
+                violations.push(format!(
+                    "{} / {}: recovered outputs diverge from the fault-free run",
+                    r.soc,
+                    scenario.name()
+                ));
+            }
+            if scenario == simcore::Scenario::FlakyGpu && (r.retries < 1 || r.fallback_parts < 1) {
+                violations.push(format!(
+                    "{} / flaky-gpu: expected >=1 retry and >=1 fallback, got {} and {}",
+                    r.soc, r.retries, r.fallback_parts
+                ));
+            }
+        }
+        print!("{}", t.render());
+    }
+    println!("\n(recovery re-executes only the failed parts' output channels on the");
+    println!(" surviving processor; outputs stay bit-identical to the fault-free run)");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("FAULT-RUN VIOLATION: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

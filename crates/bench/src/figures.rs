@@ -421,6 +421,149 @@ pub fn overhead_attribution(model: ModelId, miniature: bool) -> Vec<AttributionR
         .collect()
 }
 
+/// One fault scenario's outcome on one SoC, against the fault-free
+/// baseline of the same plan.
+#[derive(Clone, Debug)]
+pub struct FaultScenarioReport {
+    /// SoC name.
+    pub soc: String,
+    /// Network name.
+    pub network: String,
+    /// The injected scenario.
+    pub scenario: simcore::Scenario,
+    /// The seed the scenario plan was generated from.
+    pub seed: u64,
+    /// Fault-free latency of the μLayer plan.
+    pub baseline_ms: f64,
+    /// Latency under the scenario (resilient execution).
+    pub faulted_ms: f64,
+    /// Perturbations injected.
+    pub injected: u64,
+    /// Watchdog retries dispatched.
+    pub retries: u64,
+    /// Fallback parts re-executed on the surviving processor.
+    pub fallback_parts: usize,
+    /// Resource time burned by failed-then-retried attempts.
+    pub wasted_ms: f64,
+    /// The recovered outputs are bit-identical to the fault-free run.
+    pub bit_identical: bool,
+}
+
+/// Runs `model` under one fault [`simcore::Scenario`] on both evaluated
+/// SoCs: plans with μLayer, injects the scenario against the GPU (sized
+/// from the fault-free baseline), executes resiliently, and checks the
+/// recovered numerics bit-for-bit against the fault-free evaluation.
+pub fn fault_scenarios(
+    model: ModelId,
+    scenario: simcore::Scenario,
+    miniature: bool,
+    seed: u64,
+) -> Vec<FaultScenarioReport> {
+    use simcore::{ResourceId, RetryPolicy};
+
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let g = if miniature {
+                model.build_miniature()
+            } else {
+                model.build()
+            };
+            let rt = ULayer::new(spec.clone()).expect("ulayer");
+            let mut plan = rt.plan(&g).expect("plan").plan;
+            let mut baseline = uruntime::execute_plan(&spec, &g, &plan).expect("baseline");
+
+            let gpu = ResourceId(spec.gpu().0);
+            let gpu_dispatches = |b: &uruntime::RunResult| {
+                b.trace
+                    .records()
+                    .iter()
+                    .filter(|r| r.resource == gpu)
+                    .count()
+            };
+            let mut dispatches = gpu_dispatches(&baseline);
+            if dispatches == 0 {
+                // Small (miniature) networks plan CPU-only, leaving the
+                // GPU with nothing to fault: force a cooperative split so
+                // the scenario has a target and the fallback path runs.
+                plan = uruntime::ExecutionPlan::new(
+                    &g,
+                    &spec,
+                    g.nodes()
+                        .iter()
+                        .map(|n| {
+                            if n.kind.is_distributable() {
+                                uruntime::NodePlacement::Split {
+                                    parts: vec![
+                                        (spec.cpu(), DtypePlan::proc_friendly_cpu(), 0.5),
+                                        (spec.gpu(), DtypePlan::proc_friendly_gpu(), 0.5),
+                                    ],
+                                }
+                            } else {
+                                uruntime::NodePlacement::single(spec.cpu(), DType::QUInt8)
+                            }
+                        })
+                        .collect(),
+                    "forced-split",
+                )
+                .expect("forced split plan");
+                baseline = uruntime::execute_plan(&spec, &g, &plan).expect("baseline");
+                dispatches = gpu_dispatches(&baseline);
+            }
+            let policy = RetryPolicy::default();
+            let faults =
+                scenario.plan(gpu, baseline.latency, dispatches, policy.max_attempts, seed);
+            let (faulted, report) =
+                uruntime::execute_plan_with_faults(&spec, &g, &plan, &faults, &policy)
+                    .expect("resilient run");
+
+            // The recovery guarantee: re-executing the failed parts on
+            // the surviving processor reproduces the fault-free bits.
+            let w = unn::Weights::random(&g, seed ^ 0x5EED).expect("weights");
+            let shape = g.input_shape().clone();
+            let input = utensor::Tensor::from_f32(
+                shape.clone(),
+                (0..shape.numel())
+                    .map(|i| (((i * 37) % 101) as f32) / 101.0 - 0.5)
+                    .collect(),
+            )
+            .expect("input");
+            let calib = unn::calibrate(&g, &w, std::slice::from_ref(&input)).expect("calib");
+            let clean = uruntime::evaluate_plan(&g, &plan, &w, &calib, &input).expect("clean");
+            let recovered = uruntime::evaluate_plan_with_recovery(
+                &g,
+                &plan,
+                &w,
+                &calib,
+                &input,
+                &report.fallbacks,
+            )
+            .expect("recovered");
+            let bit_identical = clean.iter().zip(&recovered).all(|(a, b)| a.bit_equal(b));
+
+            // fold, not sum: an empty f64 Sum is -0.0, which renders as
+            // "-0.00" in the table.
+            let wasted_ms: f64 = report
+                .wasted
+                .iter()
+                .fold(0.0, |acc, a| acc + a.end.since(a.start).as_secs_f64() * 1e3);
+            FaultScenarioReport {
+                soc: spec.name.clone(),
+                network: model.name().to_string(),
+                scenario,
+                seed,
+                baseline_ms: baseline.latency.as_secs_f64() * 1e3,
+                faulted_ms: faulted.latency.as_secs_f64() * 1e3,
+                injected: report.injected,
+                retries: report.retries,
+                fallback_parts: report.fallbacks.len(),
+                wasted_ms,
+                bit_identical,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,356 @@
+//! Online predictor-drift adaptation (fault-aware replanning).
+//!
+//! The partitioner's `p` choices are only as good as the latency
+//! predictor, and the predictor is trained on a healthy SoC. When a
+//! device is thermally throttled its kernels run slower than predicted;
+//! when it is lost they never complete. [`DriftAdapter`] closes the
+//! loop: after every frame the realized trace is compared against the
+//! predictions, an EWMA of the observed/predicted ratio is kept per
+//! `(device, work class)`, and the partitioner multiplies its kernel
+//! estimates by that factor on the next frame — so a throttled device's
+//! share shrinks (or the layer goes single-processor) while the window
+//! lasts.
+//!
+//! Re-promotion needs no exploration policy: keys that go *unobserved*
+//! in a frame (because the planner stopped using the device) are
+//! relaxed back toward 1.0 each frame, so a parked device becomes
+//! attractive again a few frames after its throttle window ends. A lost
+//! device is never re-promoted.
+
+use std::collections::{HashMap, HashSet};
+
+use simcore::{FaultPlan, RetryPolicy, SimSpan, SimTime};
+use unn::Graph;
+use uruntime::{execute_plan_with_faults, ExecutionPlan, NodePlacement, OverheadClass};
+use usoc::{DeviceId, DeviceKind, SocSpec, WorkClass};
+
+use crate::error::ULayerError;
+use crate::runtime::ULayer;
+
+/// The cost multiplier assigned to a lost device: large enough that no
+/// placement using it can ever win, small enough not to overflow
+/// nanosecond arithmetic.
+const LOST_FACTOR: f64 = 1e6;
+
+/// EWMA tracker of observed/predicted kernel latency per
+/// `(device, work class)`.
+#[derive(Clone, Debug)]
+pub struct DriftAdapter {
+    /// Weight of the newest observation in the EWMA.
+    alpha: f64,
+    /// Per-frame pull of *unobserved* keys back toward 1.0.
+    relax: f64,
+    factors: HashMap<(usize, WorkClass), f64>,
+    touched: HashSet<(usize, WorkClass)>,
+    lost: HashSet<usize>,
+}
+
+impl Default for DriftAdapter {
+    fn default() -> Self {
+        DriftAdapter::new()
+    }
+}
+
+impl DriftAdapter {
+    /// An adapter with the default rates (`alpha = 0.5`, `relax = 0.5`):
+    /// responsive enough to react within a frame or two of a throttle
+    /// window opening or closing.
+    pub fn new() -> DriftAdapter {
+        DriftAdapter::with_rates(0.5, 0.5)
+    }
+
+    /// An adapter with explicit smoothing (`alpha`) and re-promotion
+    /// (`relax`) rates, both clamped to `[0, 1]`.
+    pub fn with_rates(alpha: f64, relax: f64) -> DriftAdapter {
+        DriftAdapter {
+            alpha: alpha.clamp(0.0, 1.0),
+            relax: relax.clamp(0.0, 1.0),
+            factors: HashMap::new(),
+            touched: HashSet::new(),
+            lost: HashSet::new(),
+        }
+    }
+
+    /// The multiplier the partitioner should apply to a predicted kernel
+    /// latency on `device`. 1.0 when nothing has been observed.
+    pub fn factor(&self, device: DeviceId, class: WorkClass) -> f64 {
+        if self.lost.contains(&device.0) {
+            return LOST_FACTOR;
+        }
+        self.factors.get(&(device.0, class)).copied().unwrap_or(1.0)
+    }
+
+    /// Feeds one realized kernel: `observed` time against the
+    /// predictor's `predicted` time. Zero predictions are ignored.
+    pub fn observe(
+        &mut self,
+        device: DeviceId,
+        class: WorkClass,
+        predicted: SimSpan,
+        observed: SimSpan,
+    ) {
+        let p = predicted.as_secs_f64();
+        if p <= 0.0 {
+            return;
+        }
+        let ratio = observed.as_secs_f64() / p;
+        let f = self.factors.entry((device.0, class)).or_insert(1.0);
+        *f = *f * (1.0 - self.alpha) + ratio * self.alpha;
+        self.touched.insert((device.0, class));
+    }
+
+    /// Ends a frame: every key *not* observed this frame relaxes toward
+    /// 1.0 (the re-promotion path — a parked device regains trust).
+    pub fn finish_frame(&mut self) {
+        for (key, f) in self.factors.iter_mut() {
+            if !self.touched.contains(key) {
+                *f = *f * (1.0 - self.relax) + self.relax;
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Marks a device permanently failed: its factor pins at
+    /// [`LOST_FACTOR`] and never relaxes.
+    pub fn mark_lost(&mut self, device: DeviceId) {
+        self.lost.insert(device.0);
+    }
+
+    /// Whether the device has been marked lost.
+    pub fn is_lost(&self, device: DeviceId) -> bool {
+        self.lost.contains(&device.0)
+    }
+
+    /// The largest factor currently held for `device` (1.0 if none).
+    pub fn worst_factor(&self, device: DeviceId) -> f64 {
+        if self.lost.contains(&device.0) {
+            return LOST_FACTOR;
+        }
+        self.factors
+            .iter()
+            .filter(|((d, _), _)| *d == device.0)
+            .map(|(_, f)| *f)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// One frame of an adaptive stream.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameOutcome {
+    /// Frame index.
+    pub frame: usize,
+    /// Realized latency.
+    pub latency: SimSpan,
+    /// Mean accelerator share over the network's distributable layers in
+    /// the plan this frame ran (0.0 = CPU only, 1.0 = all accelerator).
+    pub accel_share: f64,
+    /// Transient retries during the frame.
+    pub retries: u64,
+    /// Fallback parts executed during the frame.
+    pub fallbacks: u64,
+    /// The plan placed no work on any accelerator.
+    pub degraded: bool,
+    /// The frame exceeded the stream's deadline (if one was given).
+    pub missed: bool,
+}
+
+/// The outcome of [`run_adaptive_stream`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveStreamReport {
+    /// Per-frame outcomes, in order.
+    pub frames: Vec<FrameOutcome>,
+    /// Total faults injected across the stream.
+    pub injected: u64,
+    /// Total transient retries.
+    pub retries: u64,
+    /// Total fallback parts executed.
+    pub fallbacks: u64,
+    /// Frames planned without any accelerator work.
+    pub degraded_frames: u64,
+    /// Frames that missed the deadline (0 when no deadline was given).
+    pub deadline_missed: u64,
+    /// Sum of frame latencies (the stream's virtual clock).
+    pub total_latency: SimSpan,
+}
+
+/// Mean accelerator share over the distributable layers of `plan`.
+pub fn accel_share(spec: &SocSpec, graph: &Graph, plan: &ExecutionPlan) -> f64 {
+    let is_accel = |d: DeviceId| -> bool { spec.devices[d.0].kind != DeviceKind::CpuCluster };
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if !node.kind.is_distributable() {
+            continue;
+        }
+        n += 1;
+        total += match &plan.placements[i] {
+            NodePlacement::Single { device, .. } => {
+                if is_accel(*device) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            NodePlacement::Split { parts } => parts
+                .iter()
+                .filter(|(d, _, _)| is_accel(*d))
+                .map(|(_, _, f)| *f)
+                .sum(),
+        };
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Streams `frames` inferences, replanning every frame with a
+/// [`DriftAdapter`] fed from the previous frames' realized traces.
+///
+/// `faults` is expressed on the stream's virtual timeline: frame `k`
+/// starts at the sum of the previous frames' latencies, and sees the
+/// plan shifted to its own origin ([`FaultPlan::shifted_by`]). A device
+/// observed lost during a frame is marked lost in the adapter, so every
+/// later frame plans around it; a throttled device's share shrinks
+/// while its window lasts and recovers a few frames after it closes.
+pub fn run_adaptive_stream(
+    rt: &ULayer,
+    graph: &Graph,
+    frames: usize,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    deadline: Option<SimSpan>,
+) -> Result<AdaptiveStreamReport, ULayerError> {
+    let mut adapter = DriftAdapter::new();
+    let mut report = AdaptiveStreamReport {
+        frames: Vec::with_capacity(frames),
+        injected: 0,
+        retries: 0,
+        fallbacks: 0,
+        degraded_frames: 0,
+        deadline_missed: 0,
+        total_latency: SimSpan::ZERO,
+    };
+    let mut cursor = SimTime::ZERO;
+    for k in 0..frames {
+        let planned = rt.plan_with_drift(graph, Some(&adapter))?;
+        let frame_faults = faults.shifted_by(cursor);
+        let (result, fr) =
+            execute_plan_with_faults(rt.spec(), graph, &planned.plan, &frame_faults, policy)?;
+
+        // Feed every realized kernel back into the adapter.
+        for rec in result.trace.records() {
+            let meta = &rec.payload;
+            if meta.class != OverheadClass::Compute || meta.work.macs == 0 {
+                continue;
+            }
+            if let Ok(predicted) = rt.predictor().predict(meta.device, &meta.work) {
+                adapter.observe(meta.device, meta.work.class, predicted, rec.span());
+            }
+        }
+        // A loss that struck within this frame is permanent: plan around
+        // the device from the next frame on.
+        let frame_end = SimTime::ZERO + result.latency;
+        for l in &frame_faults.losses {
+            if l.at < frame_end {
+                adapter.mark_lost(DeviceId(l.resource.0));
+            }
+        }
+        adapter.finish_frame();
+
+        let share = accel_share(rt.spec(), graph, &planned.plan);
+        let missed = deadline.is_some_and(|d| result.latency > d);
+        report.frames.push(FrameOutcome {
+            frame: k,
+            latency: result.latency,
+            accel_share: share,
+            retries: fr.retries,
+            fallbacks: fr.fallbacks.len() as u64,
+            degraded: share == 0.0,
+            missed,
+        });
+        report.injected += fr.injected;
+        report.retries += fr.retries;
+        report.fallbacks += fr.fallbacks.len() as u64;
+        if share == 0.0 {
+            report.degraded_frames += 1;
+        }
+        if missed {
+            report.deadline_missed += 1;
+        }
+        report.total_latency += result.latency;
+        cursor += result.latency;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unobserved_devices_have_unit_factor() {
+        let a = DriftAdapter::new();
+        assert_eq!(a.factor(DeviceId(0), WorkClass::Gemm), 1.0);
+        assert_eq!(a.worst_factor(DeviceId(1)), 1.0);
+    }
+
+    #[test]
+    fn observation_moves_factor_toward_ratio() {
+        let mut a = DriftAdapter::new();
+        let d = DeviceId(1);
+        // Observed 4x slower than predicted, twice: EWMA approaches 4.
+        a.observe(
+            d,
+            WorkClass::Gemm,
+            SimSpan::from_micros(100),
+            SimSpan::from_micros(400),
+        );
+        a.finish_frame();
+        let f1 = a.factor(d, WorkClass::Gemm);
+        assert!(f1 > 2.0 && f1 < 4.0, "f1 = {f1}");
+        a.observe(
+            d,
+            WorkClass::Gemm,
+            SimSpan::from_micros(100),
+            SimSpan::from_micros(400),
+        );
+        a.finish_frame();
+        let f2 = a.factor(d, WorkClass::Gemm);
+        assert!(f2 > f1 && f2 < 4.0, "f2 = {f2}");
+    }
+
+    #[test]
+    fn unobserved_keys_relax_back_to_one() {
+        let mut a = DriftAdapter::new();
+        let d = DeviceId(1);
+        a.observe(
+            d,
+            WorkClass::Gemm,
+            SimSpan::from_micros(100),
+            SimSpan::from_micros(400),
+        );
+        a.finish_frame();
+        let inflated = a.factor(d, WorkClass::Gemm);
+        // The device is parked (no observations): trust returns.
+        for _ in 0..8 {
+            a.finish_frame();
+        }
+        let relaxed = a.factor(d, WorkClass::Gemm);
+        assert!(relaxed < inflated);
+        assert!((relaxed - 1.0).abs() < 0.02, "relaxed = {relaxed}");
+    }
+
+    #[test]
+    fn lost_devices_never_relax() {
+        let mut a = DriftAdapter::new();
+        let d = DeviceId(1);
+        a.mark_lost(d);
+        for _ in 0..10 {
+            a.finish_frame();
+        }
+        assert!(a.is_lost(d));
+        assert!(a.factor(d, WorkClass::Gemm) >= LOST_FACTOR);
+    }
+}

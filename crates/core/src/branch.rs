@@ -65,7 +65,11 @@ fn branch_cost(
         let in_shape = graph.node_input_shape(id, shapes);
         let dtypes = device_dtypes(coster.spec, device, coster.cfg);
         let work = usoc::layer_work(&node.kind, in_shape, &shapes[id.0], dtypes, 1.0);
-        let kernel = coster.predictor.predict(device, &work).ok()?;
+        let kernel = coster.corrected(
+            device,
+            work.class,
+            coster.predictor.predict(device, &work).ok()?,
+        );
         match coster.spec.devices[device.0].kind {
             DeviceKind::CpuCluster => {
                 device_time += kernel + coster.spec.cpu_dispatch_span();
@@ -219,6 +223,7 @@ mod tests {
             spec: &spec,
             predictor: &pred,
             cfg: &cfg,
+            drift: None,
         };
         let applied =
             apply_branch_distribution(&spec, &coster, &cfg, &g, &mut placements, &costs).unwrap();
@@ -246,6 +251,7 @@ mod tests {
             spec: &spec,
             predictor: &pred,
             cfg: &cfg,
+            drift: None,
         };
         let applied =
             apply_branch_distribution(&spec, &coster, &cfg, &g, &mut placements, &costs).unwrap();
@@ -306,6 +312,7 @@ mod tests {
             spec: &spec,
             predictor: &pred,
             cfg: &cfg,
+            drift: None,
         };
         let applied =
             apply_branch_distribution(&spec, &coster, &cfg, &g, &mut placements, &costs).unwrap();

@@ -34,6 +34,7 @@
 //! println!("SqueezeNet v1.1: {:.2} ms", result.latency_ms());
 //! ```
 
+pub mod adapt;
 pub mod branch;
 pub mod config;
 pub mod error;
@@ -42,6 +43,9 @@ pub mod predictor;
 pub mod predictor_eval;
 pub mod runtime;
 
+pub use adapt::{
+    accel_share, run_adaptive_stream, AdaptiveStreamReport, DriftAdapter, FrameOutcome,
+};
 pub use branch::BranchMapping;
 pub use config::ULayerConfig;
 pub use error::ULayerError;

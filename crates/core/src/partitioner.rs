@@ -15,6 +15,7 @@ use simcore::SimSpan;
 use unn::{Graph, LayerKind, NodeId};
 use uruntime::NodePlacement;
 
+use crate::adapt::DriftAdapter;
 use crate::config::ULayerConfig;
 use crate::error::ULayerError;
 use crate::predictor::LatencyPredictor;
@@ -36,9 +37,33 @@ pub struct LayerCoster<'a> {
     pub spec: &'a SocSpec,
     pub predictor: &'a LatencyPredictor,
     pub cfg: &'a ULayerConfig,
+    /// Online drift correction: observed/predicted latency ratios fed
+    /// back from realized traces (None = trust the predictor as-is).
+    pub drift: Option<&'a DriftAdapter>,
 }
 
 impl<'a> LayerCoster<'a> {
+    /// A predicted kernel latency corrected by the drift adapter's
+    /// factor for `(device, class)` (identity without an adapter).
+    pub(crate) fn corrected(
+        &self,
+        device: DeviceId,
+        class: usoc::WorkClass,
+        kernel: SimSpan,
+    ) -> SimSpan {
+        match self.drift {
+            Some(d) => {
+                let f = d.factor(device, class);
+                if f == 1.0 {
+                    kernel
+                } else {
+                    kernel * f
+                }
+            }
+            None => kernel,
+        }
+    }
+
     /// Predicted latency of running the whole layer on one device,
     /// including the host-side costs of a single-device execution.
     pub fn single_cost(
@@ -50,7 +75,11 @@ impl<'a> LayerCoster<'a> {
     ) -> Option<SimSpan> {
         let dtypes = device_dtypes(self.spec, device, self.cfg);
         let work = usoc::layer_work(kind, in_shape, out_shape, dtypes, 1.0);
-        let kernel = self.predictor.predict(device, &work).ok()?;
+        let kernel = self.corrected(
+            device,
+            work.class,
+            self.predictor.predict(device, &work).ok()?,
+        );
         let host = match self.spec.devices[device.0].kind {
             DeviceKind::CpuCluster => self.spec.cpu_dispatch_span(),
             DeviceKind::Gpu | DeviceKind::Npu => {
@@ -74,7 +103,11 @@ impl<'a> LayerCoster<'a> {
         for &(device, frac) in parts {
             let dtypes = device_dtypes(self.spec, device, self.cfg);
             let work = usoc::layer_work(kind, in_shape, out_shape, dtypes, frac);
-            let kernel = self.predictor.predict(device, &work).ok()?;
+            let kernel = self.corrected(
+                device,
+                work.class,
+                self.predictor.predict(device, &work).ok()?,
+            );
             let part = match self.spec.devices[device.0].kind {
                 DeviceKind::CpuCluster => kernel + self.spec.cpu_dispatch_span(),
                 DeviceKind::Gpu | DeviceKind::Npu => {
@@ -209,11 +242,24 @@ pub fn partition(
     cfg: &ULayerConfig,
     graph: &Graph,
 ) -> Result<(Vec<NodePlacement>, Vec<SimSpan>), ULayerError> {
+    partition_with_drift(spec, predictor, cfg, graph, None)
+}
+
+/// [`partition`] with an optional drift adapter correcting the
+/// predictor's kernel estimates (online fault adaptation).
+pub fn partition_with_drift(
+    spec: &SocSpec,
+    predictor: &LatencyPredictor,
+    cfg: &ULayerConfig,
+    graph: &Graph,
+    drift: Option<&DriftAdapter>,
+) -> Result<(Vec<NodePlacement>, Vec<SimSpan>), ULayerError> {
     let shapes = graph.infer_shapes()?;
     let coster = LayerCoster {
         spec,
         predictor,
         cfg,
+        drift,
     };
     let mut placements = Vec::with_capacity(graph.len());
     let mut costs = Vec::with_capacity(graph.len());
@@ -244,6 +290,7 @@ mod tests {
             spec: &spec,
             predictor: &pred,
             cfg: &cfg,
+            drift: None,
         };
         let kind = LayerKind::Conv {
             oc: 256,
@@ -271,6 +318,7 @@ mod tests {
             spec: &spec,
             predictor: &pred,
             cfg: &cfg,
+            drift: None,
         };
         let kind = LayerKind::Conv {
             oc: 16,
@@ -299,6 +347,7 @@ mod tests {
             spec: &spec,
             predictor: &pred,
             cfg: &cfg,
+            drift: None,
         };
         let kind = LayerKind::Conv {
             oc: 512,
@@ -385,6 +434,7 @@ mod tests {
             spec: &spec,
             predictor: &pred,
             cfg: &cfg,
+            drift: None,
         };
         let kind = LayerKind::Conv {
             oc: 512,

@@ -13,10 +13,11 @@ use simcore::SimSpan;
 use unn::{Calibration, Graph, Weights};
 use uruntime::{execute_plan, ExecutionPlan, RunResult};
 
+use crate::adapt::DriftAdapter;
 use crate::branch::{apply_branch_distribution, BranchMapping};
 use crate::config::ULayerConfig;
 use crate::error::ULayerError;
-use crate::partitioner::{partition, LayerCoster};
+use crate::partitioner::{partition_with_drift, LayerCoster};
 use crate::predictor::LatencyPredictor;
 
 /// A generated μLayer plan plus its planning diagnostics.
@@ -72,12 +73,26 @@ impl ULayer {
 
     /// Generates the cooperative execution plan for a network.
     pub fn plan(&self, graph: &Graph) -> Result<PlanReport, ULayerError> {
-        let (mut placements, costs) = partition(&self.spec, &self.predictor, &self.config, graph)?;
+        self.plan_with_drift(graph, None)
+    }
+
+    /// [`ULayer::plan`] with an optional [`DriftAdapter`] correcting the
+    /// predictor's kernel estimates (online fault adaptation): a
+    /// throttled device's observed slowdown shrinks its share, a lost
+    /// device is avoided entirely.
+    pub fn plan_with_drift(
+        &self,
+        graph: &Graph,
+        drift: Option<&DriftAdapter>,
+    ) -> Result<PlanReport, ULayerError> {
+        let (mut placements, costs) =
+            partition_with_drift(&self.spec, &self.predictor, &self.config, graph, drift)?;
         let branch_mappings = if self.config.branch_distribution {
             let coster = LayerCoster {
                 spec: &self.spec,
                 predictor: &self.predictor,
                 cfg: &self.config,
+                drift,
             };
             apply_branch_distribution(
                 &self.spec,

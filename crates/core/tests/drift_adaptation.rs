@@ -1,0 +1,116 @@
+//! Online predictor-drift adaptation: the partitioner's chosen split
+//! ratios demonstrably move away from a throttled accelerator while the
+//! throttle window lasts, recover after it closes, and permanently avoid
+//! a lost device.
+
+use simcore::{DeviceLoss, FaultPlan, ResourceId, RetryPolicy, SimTime, ThrottleWindow};
+use ulayer::{accel_share, run_adaptive_stream, ULayer};
+use unn::ModelId;
+use usoc::SocSpec;
+
+fn setup() -> (ULayer, unn::Graph) {
+    let rt = ULayer::new(SocSpec::exynos_7420()).expect("runtime");
+    (rt, ModelId::SqueezeNet.build())
+}
+
+#[test]
+fn throttle_shrinks_accelerator_share_then_recovers() {
+    let (rt, g) = setup();
+    let baseline = rt.run(&g).expect("baseline");
+    let planned = rt.plan(&g).expect("plan");
+    let share0 = accel_share(rt.spec(), &g, &planned.plan);
+    assert!(
+        share0 > 0.1,
+        "fault-free plan barely uses the GPU: {share0}"
+    );
+
+    // Throttle the GPU hard over a window covering several mid-stream
+    // frames (the stream's virtual clock: frame k starts at the sum of
+    // realized latencies, and throttled frames run slower than L).
+    let l = baseline.latency;
+    let faults = FaultPlan::none().with_throttle(ThrottleWindow {
+        resource: ResourceId(rt.spec().gpu().0),
+        factor: 0.2,
+        from: SimTime::ZERO + l * 1.5,
+        until: SimTime::ZERO + l * 8.0,
+    });
+    let report =
+        run_adaptive_stream(&rt, &g, 16, &faults, &RetryPolicy::default(), None).expect("stream");
+    assert_eq!(report.frames.len(), 16);
+    assert!(report.injected > 0, "the window never bit");
+
+    // Frame 0 runs before any observation: the plan is the fault-free one.
+    assert_eq!(report.frames[0].accel_share, share0);
+
+    // During the window the adapter inflates the GPU's cost and the
+    // partitioner responds by shrinking its share.
+    let min_share = report
+        .frames
+        .iter()
+        .map(|f| f.accel_share)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_share < share0 * 0.85,
+        "throttle never changed the chosen split: min {min_share} vs baseline {share0}"
+    );
+
+    // After the window closes the parked keys relax back toward 1.0 and
+    // the accelerator is re-promoted.
+    let last = report.frames.last().unwrap();
+    assert!(
+        last.accel_share > share0 * 0.9,
+        "share did not recover: {} vs baseline {share0}",
+        last.accel_share
+    );
+    assert!(!last.degraded);
+}
+
+#[test]
+fn gpu_loss_degrades_every_later_frame() {
+    let (rt, g) = setup();
+    let baseline = rt.run(&g).expect("baseline");
+    let faults = FaultPlan::none().with_loss(DeviceLoss {
+        resource: ResourceId(rt.spec().gpu().0),
+        at: SimTime::ZERO + baseline.latency * 0.5,
+    });
+    let report =
+        run_adaptive_stream(&rt, &g, 6, &faults, &RetryPolicy::default(), None).expect("stream");
+
+    // The loss strikes inside frame 0: its GPU work is recovered on the
+    // CPU via fallbacks.
+    assert!(
+        report.frames[0].fallbacks > 0,
+        "losing the GPU mid-frame must trigger fallbacks"
+    );
+    // Every later frame plans around the lost device entirely.
+    for f in &report.frames[1..] {
+        assert!(f.degraded, "frame {} still planned GPU work", f.frame);
+        assert_eq!(f.accel_share, 0.0);
+        assert_eq!(f.fallbacks, 0, "frame {} needed fallbacks", f.frame);
+    }
+    assert!(report.degraded_frames >= 5);
+}
+
+#[test]
+fn adaptive_streams_are_reproducible() {
+    let (rt, g) = setup();
+    let baseline = rt.run(&g).expect("baseline");
+    let l = baseline.latency;
+    let faults = FaultPlan::none().with_throttle(ThrottleWindow {
+        resource: ResourceId(rt.spec().gpu().0),
+        factor: 0.3,
+        from: SimTime::ZERO + l * 1.0,
+        until: SimTime::ZERO + l * 4.0,
+    });
+    let a = run_adaptive_stream(&rt, &g, 8, &faults, &RetryPolicy::default(), Some(l * 2.0))
+        .expect("a");
+    let b = run_adaptive_stream(&rt, &g, 8, &faults, &RetryPolicy::default(), Some(l * 2.0))
+        .expect("b");
+    assert_eq!(a.total_latency, b.total_latency);
+    assert_eq!(a.deadline_missed, b.deadline_missed);
+    for (x, y) in a.frames.iter().zip(&b.frames) {
+        assert_eq!(x.latency, y.latency, "frame {}", x.frame);
+        assert_eq!(x.accel_share, y.accel_share, "frame {}", x.frame);
+        assert_eq!(x.retries, y.retries, "frame {}", x.frame);
+    }
+}

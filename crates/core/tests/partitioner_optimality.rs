@@ -161,6 +161,7 @@ fn best_placement_is_argmin_over_candidates() {
         spec: &spec,
         predictor: &predictor,
         cfg: &cfg,
+        drift: None,
     };
     for (kind, in_shape) in all_layer_kinds() {
         let out_shape = out_shape_of(&kind, &in_shape);
@@ -203,6 +204,7 @@ fn best_placement_is_argmin_at_each_single_p() {
             spec: &spec,
             predictor: &predictor,
             cfg: &cfg,
+            drift: None,
         };
         for (kind, in_shape) in all_layer_kinds() {
             let out_shape = out_shape_of(&kind, &in_shape);
@@ -236,6 +238,7 @@ fn non_distributable_kinds_never_split() {
         spec: &spec,
         predictor: &predictor,
         cfg: &cfg,
+        drift: None,
     };
     for (kind, in_shape) in all_layer_kinds() {
         if kind.is_distributable() {

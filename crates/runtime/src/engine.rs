@@ -13,7 +13,10 @@
 //!   host-side merge task that synchronizes with the GPU and maps the
 //!   output region.
 
-use simcore::{ResourcePool, SimSpan, SimTime, TaskGraph, TaskId, Trace};
+use simcore::{
+    AttemptRecord, FaultLog, FaultPlan, ResourcePool, RetryPolicy, SimSpan, SimTime, TaskGraph,
+    TaskId, Trace,
+};
 use usoc::{
     layer_work, split_channel_count, split_cuts, split_weight_elems, DeviceId, DeviceKind,
     EnergyAccumulator, EnergyBreakdown, KernelWork, MapMode, MemoryStats, SharedMemory, SocError,
@@ -58,6 +61,12 @@ pub enum RunError {
     Soc(SocError),
     /// Scheduling failure (should not happen for valid plans).
     Schedule(simcore::ScheduleError),
+    /// The plan is structurally inconsistent with the graph (e.g. a split
+    /// placement whose channel shares cannot be realized).
+    MalformedPlan(String),
+    /// A task failed permanently under fault injection and no fallback
+    /// could recover it — the run's outputs are not trustworthy.
+    Unrecoverable(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -66,6 +75,8 @@ impl std::fmt::Display for RunError {
             RunError::Tensor(e) => write!(f, "tensor error: {e}"),
             RunError::Soc(e) => write!(f, "soc error: {e}"),
             RunError::Schedule(e) => write!(f, "schedule error: {e}"),
+            RunError::MalformedPlan(msg) => write!(f, "malformed plan: {msg}"),
+            RunError::Unrecoverable(msg) => write!(f, "unrecoverable failure: {msg}"),
         }
     }
 }
@@ -132,6 +143,60 @@ impl RunResult {
     }
 }
 
+/// What a fallback task re-executes when its primary fails.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FallbackScope {
+    /// The node ran whole on the failed device: recompute it entirely.
+    WholeNode,
+    /// A channel-split part failed: recompute exactly the output channels
+    /// `[lo, hi)` (part `index` of the placement's split).
+    Channels {
+        /// Index of the part in the placement's `parts` order.
+        index: usize,
+        /// First output channel (inclusive).
+        lo: usize,
+        /// One past the last output channel.
+        hi: usize,
+    },
+}
+
+/// A registered recovery action: if `primary` fails permanently, the
+/// surviving processor re-executes `scope` of `node`. Channel-disjoint
+/// splits make the recomputation exact, so the functional evaluator
+/// reproduces bit-identical outputs (see
+/// [`crate::functional::evaluate_plan_with_recovery`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FallbackPart {
+    /// The graph node being recovered.
+    pub node: NodeId,
+    /// What is re-executed.
+    pub scope: FallbackScope,
+    /// The device that failed.
+    pub from: DeviceId,
+    /// The device the work fell back to.
+    pub to: DeviceId,
+    /// The primary (watched) task.
+    pub primary: TaskId,
+    /// The fallback task.
+    pub fallback: TaskId,
+}
+
+/// Fault-injection outcome of a resilient run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultReport {
+    /// Perturbations injected (throttled reservations + failed attempts).
+    pub injected: u64,
+    /// Retry attempts dispatched.
+    pub retries: u64,
+    /// Reservations slowed by a throttle window.
+    pub throttled: u64,
+    /// Failed-then-retried attempt intervals (resource time the trace
+    /// does not show; already folded into the energy accounting).
+    pub wasted: Vec<AttemptRecord>,
+    /// Fallbacks that actually executed, in schedule order.
+    pub fallbacks: Vec<FallbackPart>,
+}
+
 /// Where a node's output resides after production.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum Residency {
@@ -149,6 +214,8 @@ pub(crate) struct InstanceTasks {
     pub node_first_task: Vec<TaskId>,
     /// The task after which the inference's output is CPU-visible.
     pub completion: TaskId,
+    /// Registered recovery actions (empty unless scheduled resiliently).
+    pub fallbacks: Vec<FallbackPart>,
 }
 
 /// Allocates the long-lived weight buffers of a plan (uploaded once at
@@ -194,6 +261,10 @@ pub(crate) fn alloc_weight_buffers(
 /// `prefix` namespaces task labels (used by the pipeline executor);
 /// `arrival` — when given — gates the source layers (the input is not
 /// available before that task completes, e.g. a camera frame arriving).
+/// With `resilient` set, every accelerator kernel gets a registered CPU
+/// fallback ([`TaskGraph::add_fallback`]) sized as the CPU latency of the
+/// same work plus the salvage overhead (queue wait + map + dispatch);
+/// fallbacks are skipped for free when the primary succeeds.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn schedule_instance(
     tg: &mut TaskGraph<TaskMeta>,
@@ -205,8 +276,10 @@ pub(crate) fn schedule_instance(
     prefix: &str,
     arrival: Option<TaskId>,
     instance: usize,
+    resilient: bool,
 ) -> Result<InstanceTasks, RunError> {
     let cpu = spec.cpu();
+    let mut fallbacks: Vec<FallbackPart> = Vec::new();
     let res = |d: DeviceId| simcore::ResourceId(d.0);
     let meta_overhead =
         |device: DeviceId, node: Option<NodeId>, class: OverheadClass, map: SimSpan| TaskMeta {
@@ -355,17 +428,57 @@ pub(crate) fn schedule_instance(
                                 instance,
                             },
                         );
+                        if resilient {
+                            let fb_span = spec.kernel_latency(cpu, &work)?
+                                + spec.gpu_wait_span()
+                                + spec.map_span()
+                                + spec.cpu_dispatch_span();
+                            let fb = tg.add_fallback(
+                                format!("{name}::fallback@CPU"),
+                                res(cpu),
+                                fb_span,
+                                k,
+                                TaskMeta {
+                                    device: cpu,
+                                    work,
+                                    node: Some(id),
+                                    class: OverheadClass::Fallback,
+                                    map: SimSpan::ZERO,
+                                    instance,
+                                },
+                            );
+                            fallbacks.push(FallbackPart {
+                                node: id,
+                                scope: FallbackScope::WholeNode,
+                                from: *device,
+                                to: cpu,
+                                primary: k,
+                                fallback: fb,
+                            });
+                        }
                         (k, Residency::Accel(*device), issue)
                     }
                 }
             }
-            NodePlacement::Split { .. } => {
+            NodePlacement::Split { parts: nominal } => {
                 // Cost what each processor *actually* executes: the
                 // realized whole-channel shares, not the nominal
                 // fractions the functional evaluator would round anyway.
                 let parts = placement
                     .realized_parts(&node.kind, &in_shape)
-                    .expect("split placement");
+                    .ok_or_else(|| {
+                        RunError::MalformedPlan(format!(
+                            "split placement of {} cannot be realized for input shape {:?}",
+                            node.name, in_shape
+                        ))
+                    })?;
+                // Channel ranges of each part, from the *nominal*
+                // fractions — exactly the cuts the functional evaluator
+                // uses, so a fallback re-executes precisely the channels
+                // the failed part owned.
+                let channels = split_channel_count(&node.kind, &in_shape).unwrap_or(0);
+                let nominal_fracs: Vec<f64> = nominal.iter().map(|p| p.2).collect();
+                let cuts = split_cuts(channels, &nominal_fracs);
                 let mut part_tasks = Vec::with_capacity(parts.len());
                 let mut any_accel = false;
                 let mut first: Option<TaskId> = None;
@@ -373,34 +486,36 @@ pub(crate) fn schedule_instance(
                 // (and any unmap they need) *before* starting the CPU-side
                 // work, so the accelerator parts overlap the CPU part
                 // instead of queuing behind it on the host timeline.
-                let ordered: Vec<&(DeviceId, usoc::DtypePlan, f64)> = parts
+                let ordered: Vec<(usize, &(DeviceId, usoc::DtypePlan, f64))> = parts
                     .iter()
-                    .filter(|p| spec.devices[p.0 .0].kind != DeviceKind::CpuCluster)
+                    .enumerate()
+                    .filter(|(_, p)| spec.devices[p.0 .0].kind != DeviceKind::CpuCluster)
                     .chain(
                         parts
                             .iter()
-                            .filter(|p| spec.devices[p.0 .0].kind == DeviceKind::CpuCluster),
+                            .enumerate()
+                            .filter(|(_, p)| spec.devices[p.0 .0].kind == DeviceKind::CpuCluster),
                     )
                     .collect();
-                for (device, dtypes, frac) in ordered {
-                    if *frac == 0.0 {
+                for &(pi, &(device, dtypes, frac)) in &ordered {
+                    if frac == 0.0 {
                         // Zero realized channels: the part executes no
                         // kernel, so it must not pay issue/merge-wait
                         // overheads either.
                         continue;
                     }
-                    let work = layer_work(&node.kind, &in_shape, &out_shape, *dtypes, *frac);
-                    let span = spec.kernel_latency(*device, &work)?;
+                    let work = layer_work(&node.kind, &in_shape, &out_shape, dtypes, frac);
+                    let span = spec.kernel_latency(device, &work)?;
                     match spec.devices[device.0].kind {
                         DeviceKind::CpuCluster => {
-                            let deps = deps_for(tg, *device);
+                            let deps = deps_for(tg, device);
                             let k = tg.add(
                                 format!("{name}@CPU[{frac:.2}]"),
-                                res(*device),
+                                res(device),
                                 span + spec.cpu_dispatch_span(),
                                 &deps,
                                 TaskMeta {
-                                    device: *device,
+                                    device,
                                     work,
                                     node: Some(id),
                                     class: OverheadClass::Compute,
@@ -421,15 +536,15 @@ pub(crate) fn schedule_instance(
                                 -1,
                                 meta_overhead(cpu, Some(id), OverheadClass::Issue, SimSpan::ZERO),
                             );
-                            let mut deps = deps_for(tg, *device);
+                            let mut deps = deps_for(tg, device);
                             deps.push(issue);
                             let k = tg.add(
                                 format!("{name}@{}[{frac:.2}]", spec.devices[device.0].kind),
-                                res(*device),
+                                res(device),
                                 span,
                                 &deps,
                                 TaskMeta {
-                                    device: *device,
+                                    device,
                                     work,
                                     node: Some(id),
                                     class: OverheadClass::Compute,
@@ -439,6 +554,39 @@ pub(crate) fn schedule_instance(
                             );
                             first.get_or_insert(issue);
                             part_tasks.push(k);
+                            if resilient {
+                                let fb_span = spec.kernel_latency(cpu, &work)?
+                                    + spec.gpu_wait_span()
+                                    + spec.map_span()
+                                    + spec.cpu_dispatch_span();
+                                let fb = tg.add_fallback(
+                                    format!("{name}::fallback@CPU[{frac:.2}]"),
+                                    res(cpu),
+                                    fb_span,
+                                    k,
+                                    TaskMeta {
+                                        device: cpu,
+                                        work,
+                                        node: Some(id),
+                                        class: OverheadClass::Fallback,
+                                        map: SimSpan::ZERO,
+                                        instance,
+                                    },
+                                );
+                                let (lo, hi) = if pi + 1 < cuts.len() {
+                                    (cuts[pi], cuts[pi + 1])
+                                } else {
+                                    (0, 0)
+                                };
+                                fallbacks.push(FallbackPart {
+                                    node: id,
+                                    scope: FallbackScope::Channels { index: pi, lo, hi },
+                                    from: device,
+                                    to: cpu,
+                                    primary: k,
+                                    fallback: fb,
+                                });
+                            }
                         }
                     }
                 }
@@ -489,6 +637,7 @@ pub(crate) fn schedule_instance(
         producers,
         node_first_task,
         completion,
+        fallbacks,
     })
 }
 
@@ -502,7 +651,41 @@ pub fn execute_plan(
     graph: &Graph,
     plan: &ExecutionPlan,
 ) -> Result<RunResult, RunError> {
+    execute_plan_with_faults(
+        spec,
+        graph,
+        plan,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+    )
+    .map(|(result, _)| result)
+}
+
+/// Like [`execute_plan`], but realizes the perturbations of `faults` with
+/// watchdog/retry/fallback recovery:
+///
+/// - transient task failures are retried with bounded exponential backoff
+///   (`policy`), each failed attempt costing its full predicted span (the
+///   watchdog timeout);
+/// - a task that fails permanently — retries exhausted, or its device
+///   lost — is recovered by re-executing exactly its output channels on
+///   the CPU (fallbacks are pre-registered for every accelerator kernel
+///   when the fault plan is non-empty, and skipped for free otherwise);
+/// - an unrecoverable failure (a CPU task failing with no fallback)
+///   surfaces as [`RunError::Unrecoverable`].
+///
+/// With an empty `faults` this is exactly [`execute_plan`]: no fallback
+/// tasks are registered and the schedule is byte-identical to the
+/// fault-free one.
+pub fn execute_plan_with_faults(
+    spec: &SocSpec,
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<(RunResult, FaultReport), RunError> {
     let shapes = graph.infer_shapes()?;
+    let resilient = !faults.is_empty();
 
     let mut pool = ResourcePool::new();
     for dev in &spec.devices {
@@ -523,9 +706,12 @@ pub fn execute_plan(
         "",
         None,
         0,
+        resilient,
     )?;
 
-    let (trace, sched) = tg.run_with_stats(&mut pool)?;
+    let (trace, sched, log) = tg.run_with_faults(&mut pool, faults, policy)?;
+    check_recovered(&trace, &log)?;
+    let report = fault_report(&log, &inst.fallbacks);
 
     let mut energy = EnergyAccumulator::new(spec);
     for rec in trace.records() {
@@ -533,6 +719,16 @@ pub fn execute_plan(
             rec.payload.device,
             rec.span(),
             rec.payload.work.total_bytes(),
+        )?;
+    }
+    // Failed-then-retried attempts occupied real device time the trace
+    // does not show; they burn energy all the same.
+    for attempt in &log.wasted {
+        let meta = &trace.records()[attempt.task.0].payload;
+        energy.add_task(
+            meta.device,
+            attempt.end - attempt.start,
+            meta.work.total_bytes(),
         )?;
     }
     let energy = energy.finish(trace.makespan());
@@ -551,18 +747,66 @@ pub fn execute_plan(
     let stats = memory.stats();
     let mut metrics = MetricsRegistry::new();
     fill_run_metrics(&mut metrics, &trace, &sched, &stats, &energy);
+    if resilient {
+        fill_fault_metrics(&mut metrics, &report);
+    }
 
-    Ok(RunResult {
-        label: plan.label.clone(),
-        latency: trace.makespan(),
-        energy,
-        trace,
-        resource_names,
-        node_spans,
-        memory: stats,
-        metrics,
-        attribution,
-    })
+    Ok((
+        RunResult {
+            label: plan.label.clone(),
+            latency: trace.makespan(),
+            energy,
+            trace,
+            resource_names,
+            node_spans,
+            memory: stats,
+            metrics,
+            attribution,
+        },
+        report,
+    ))
+}
+
+/// Maps permanently-failed tasks without a successful fallback to
+/// [`RunError::Unrecoverable`].
+pub(crate) fn check_recovered(trace: &Trace<TaskMeta>, log: &FaultLog) -> Result<(), RunError> {
+    if log.unrecovered.is_empty() {
+        return Ok(());
+    }
+    let labels: Vec<&str> = log
+        .unrecovered
+        .iter()
+        .map(|t| trace.records()[t.0].label.as_str())
+        .collect();
+    Err(RunError::Unrecoverable(format!(
+        "{} task(s) failed with no usable fallback: {}",
+        labels.len(),
+        labels.join(", ")
+    )))
+}
+
+/// Builds the run's [`FaultReport`]: scheduler fault counters plus the
+/// fallbacks that actually executed, in completion order.
+pub(crate) fn fault_report(log: &FaultLog, registered: &[FallbackPart]) -> FaultReport {
+    let fallbacks = log
+        .recovered
+        .iter()
+        .filter_map(|t| registered.iter().find(|f| f.fallback == *t).copied())
+        .collect();
+    FaultReport {
+        injected: log.injected,
+        retries: log.retries,
+        throttled: log.throttled,
+        wasted: log.wasted.clone(),
+        fallbacks,
+    }
+}
+
+/// Fault-path counters (only reported by the resilient executors).
+pub(crate) fn fill_fault_metrics(metrics: &mut MetricsRegistry, report: &FaultReport) {
+    metrics.inc("fault.injected", report.injected);
+    metrics.inc("task.retries", report.retries);
+    metrics.inc("fallback.parts", report.fallbacks.len() as u64);
 }
 
 /// Fills the counters every executor reports: scheduler statistics,
@@ -577,6 +821,11 @@ pub(crate) fn fill_run_metrics(
     metrics.inc("sched.tasks", sched.tasks as u64);
     metrics.counter_max("sched.peak_queue_depth", sched.peak_queue_depth as u64);
     for rec in trace.records() {
+        if rec.payload.class == OverheadClass::Fallback && rec.span().is_zero() {
+            // A skipped fallback is a bookkeeping record, not a task that
+            // ran; `tasks.fallback` counts executed recoveries only.
+            continue;
+        }
         metrics.inc(&format!("tasks.{}", rec.payload.class.name()), 1);
     }
     metrics.counter_max("memory.peak_bytes", stats.peak_bytes as u64);

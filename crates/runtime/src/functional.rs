@@ -10,11 +10,14 @@
 //! invariant: a split layer's merged output equals the whole-layer
 //! output.
 
+use std::collections::BTreeMap;
+
 use usoc::DtypePlan;
 use utensor::{DType, QuantParams, Tensor, TensorError};
 
 use unn::{Calibration, Graph, LayerKind, NodeId, Weights};
 
+use crate::engine::{FallbackPart, FallbackScope};
 use crate::plan::{ExecutionPlan, NodePlacement};
 
 /// Computes one layer in a part's dtypes.
@@ -71,6 +74,30 @@ pub fn evaluate_plan(
     calib: &Calibration,
     input: &Tensor,
 ) -> Result<Vec<Tensor>, TensorError> {
+    evaluate_plan_with_recovery(graph, plan, weights, calib, input, &[])
+}
+
+/// [`evaluate_plan`] through the engine's recovery path: for every part
+/// in `recovered` the primary attempt's output is discarded and the
+/// part's output channels are recomputed, exactly as the fallback task
+/// does after a device failure. A part's arithmetic depends only on its
+/// dtypes and channel range — never on the processor hosting it — and
+/// the channel cuts are shared with the timing engine
+/// (`usoc::split_cuts`), so the recovered outputs are bit-identical to
+/// the fault-free ones. The fault-injection tests assert this.
+pub fn evaluate_plan_with_recovery(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    weights: &Weights,
+    calib: &Calibration,
+    input: &Tensor,
+    recovered: &[FallbackPart],
+) -> Result<Vec<Tensor>, TensorError> {
+    // node index -> the recovered parts of that node.
+    let mut redo: BTreeMap<usize, Vec<&FallbackPart>> = BTreeMap::new();
+    for f in recovered {
+        redo.entry(f.node.0).or_default().push(f);
+    }
     let storage = plan.storage_dtype();
     let x0 = input.cast(storage, Some(calib.input_params))?;
 
@@ -99,17 +126,28 @@ pub fn evaluate_plan(
 
         let out = match &plan.placements[i] {
             NodePlacement::Single { dtypes, .. } => {
-                let filter = master_filter
-                    .as_ref()
-                    .map(|f| f.cast(dtypes.compute, calib.weight_params[i]))
-                    .transpose()?;
-                let raw = if matches!(node.kind, LayerKind::Concat | LayerKind::Add) {
-                    // Multi-input joins consume stored tensors directly
-                    // (requantizing QUInt8 inputs to the node's range).
-                    unn::run_layer(&node.kind, &inputs, None, None, Some(act))?
-                } else {
-                    compute_part(&node.kind, inputs[0], filter.as_ref(), bias, *dtypes, act)?
+                let eval_whole = |dtypes: DtypePlan| -> Result<Tensor, TensorError> {
+                    let filter = master_filter
+                        .as_ref()
+                        .map(|f| f.cast(dtypes.compute, calib.weight_params[i]))
+                        .transpose()?;
+                    if matches!(node.kind, LayerKind::Concat | LayerKind::Add) {
+                        // Multi-input joins consume stored tensors directly
+                        // (requantizing QUInt8 inputs to the node's range).
+                        unn::run_layer(&node.kind, &inputs, None, None, Some(act))
+                    } else {
+                        compute_part(&node.kind, inputs[0], filter.as_ref(), bias, dtypes, act)
+                    }
                 };
+                let mut raw = eval_whole(*dtypes)?;
+                if redo
+                    .get(&i)
+                    .is_some_and(|fs| fs.iter().any(|f| f.scope == FallbackScope::WholeNode))
+                {
+                    // The node's kernel failed on its device: discard the
+                    // attempt and re-execute the whole node (fallback).
+                    raw = eval_whole(*dtypes)?;
+                }
                 finish(raw, &node.kind, storage, store_params)?
             }
             NodePlacement::Split { parts } => {
@@ -136,13 +174,11 @@ pub fn evaluate_plan(
                 let fracs: Vec<f64> = parts.iter().map(|p| p.2).collect();
                 let cuts = usoc::split_cuts(channels, &fracs);
 
-                let mut part_outputs: Vec<Tensor> = Vec::with_capacity(parts.len());
-                for (p, (_, dtypes, _)) in parts.iter().enumerate() {
-                    let (lo, hi) = (cuts[p], cuts[p + 1]);
-                    if lo == hi {
-                        continue; // empty share (rounding on tiny layers)
-                    }
-                    let raw = match axis {
+                let eval_part = |dtypes: DtypePlan,
+                                 lo: usize,
+                                 hi: usize|
+                 -> Result<Tensor, TensorError> {
+                    match axis {
                         SplitAxis::Filters => {
                             let f = master_filter.as_ref().ok_or_else(|| {
                                 TensorError::BadConcat(format!(
@@ -154,7 +190,7 @@ pub fn evaluate_plan(
                                 .slice_axis(0, lo, hi)?
                                 .cast(dtypes.compute, calib.weight_params[i])?;
                             let b_part = bias.map(|b| &b[lo..hi]);
-                            compute_part(&node.kind, x, Some(&f_part), b_part, *dtypes, act)?
+                            compute_part(&node.kind, x, Some(&f_part), b_part, dtypes, act)
                         }
                         SplitAxis::InputChannels => {
                             let x_part = x.slice_axis(1, lo, hi)?;
@@ -167,16 +203,27 @@ pub fn evaluate_plan(
                                 })
                                 .transpose()?;
                             let b_part = bias.map(|b| &b[lo..hi]);
-                            compute_part(
-                                &node.kind,
-                                &x_part,
-                                f_part.as_ref(),
-                                b_part,
-                                *dtypes,
-                                act,
-                            )?
+                            compute_part(&node.kind, &x_part, f_part.as_ref(), b_part, dtypes, act)
                         }
-                    };
+                    }
+                };
+
+                let mut part_outputs: Vec<Tensor> = Vec::with_capacity(parts.len());
+                for (p, (_, dtypes, _)) in parts.iter().enumerate() {
+                    let (lo, hi) = (cuts[p], cuts[p + 1]);
+                    if lo == hi {
+                        continue; // empty share (rounding on tiny layers)
+                    }
+                    let mut raw = eval_part(*dtypes, lo, hi)?;
+                    if redo.get(&i).is_some_and(|fs| {
+                        fs.iter()
+                            .any(|f| matches!(f.scope, FallbackScope::Channels { index, .. } if index == p))
+                    }) {
+                        // This part's kernel failed on its device: discard
+                        // the attempt and re-execute the same channel range
+                        // (the fallback). Same cuts, same dtypes — exact.
+                        raw = eval_part(*dtypes, lo, hi)?;
+                    }
                     part_outputs.push(finish(raw, &node.kind, storage, store_params)?);
                 }
                 let refs: Vec<&Tensor> = part_outputs.iter().collect();

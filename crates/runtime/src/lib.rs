@@ -17,7 +17,8 @@
 //!   single-processor, layer-to-processor, network-to-processor.
 //! - [`observe`] — schedule observability: overhead attribution (every
 //!   nanosecond of every resource classified as compute, issue, sync,
-//!   map, unmap, merge, arrival, or idle) and Chrome trace-event export.
+//!   map, unmap, merge, arrival, fallback, or idle) and Chrome
+//!   trace-event export, with fault windows as overlay tracks.
 //! - [`metrics`] — the counters/gauges registry every executor fills.
 //!
 //! # Examples
@@ -46,9 +47,15 @@ pub use baselines::{
     layer_to_processor_plan, run_layer_to_processor, run_network_to_processor,
     run_single_processor, single_processor_plan, ThroughputResult,
 };
-pub use engine::{execute_plan, RunError, RunResult, TaskMeta};
-pub use functional::evaluate_plan;
+pub use engine::{
+    execute_plan, execute_plan_with_faults, FallbackPart, FallbackScope, FaultReport, RunError,
+    RunResult, TaskMeta,
+};
+pub use functional::{evaluate_plan, evaluate_plan_with_recovery};
 pub use metrics::MetricsRegistry;
-pub use observe::{attribute, chrome_trace_json, Attribution, OverheadClass, ResourceAttribution};
-pub use pipeline::{execute_pipeline, PipelineResult};
+pub use observe::{
+    attribute, chrome_trace_json, chrome_trace_json_with_faults, Attribution, OverheadClass,
+    ResourceAttribution,
+};
+pub use pipeline::{execute_pipeline, execute_pipeline_with_faults, PipelineResult};
 pub use plan::{ExecutionPlan, NodePlacement};

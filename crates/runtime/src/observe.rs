@@ -46,13 +46,17 @@ pub enum OverheadClass {
     Merge,
     /// Input arrival pacing (the pipeline's virtual source).
     Arrival,
+    /// Recovery work: re-executing a failed task's output channels on the
+    /// surviving processor (watchdog/fallback path). Skipped fallbacks
+    /// are zero-span and contribute nothing.
+    Fallback,
     /// No task scheduled.
     Idle,
 }
 
 impl OverheadClass {
     /// Number of classes (array dimension for per-class totals).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every class, in display order.
     pub const ALL: [OverheadClass; OverheadClass::COUNT] = [
@@ -63,6 +67,7 @@ impl OverheadClass {
         OverheadClass::Unmap,
         OverheadClass::Merge,
         OverheadClass::Arrival,
+        OverheadClass::Fallback,
         OverheadClass::Idle,
     ];
 
@@ -76,6 +81,7 @@ impl OverheadClass {
             OverheadClass::Unmap => "unmap",
             OverheadClass::Merge => "merge",
             OverheadClass::Arrival => "arrival",
+            OverheadClass::Fallback => "fallback",
             OverheadClass::Idle => "idle",
         }
     }
@@ -321,6 +327,91 @@ pub fn chrome_trace_json(trace: &Trace<TaskMeta>, resource_names: &[String]) -> 
             }
             args
         },
+    )
+}
+
+/// Like [`chrome_trace_json`], but additionally renders the fault plan —
+/// throttle windows, device losses, and wasted (retried/failed) attempts —
+/// as dedicated overlay tracks above the resource tracks, one
+/// `faults:<resource>` track per affected resource.
+pub fn chrome_trace_json_with_faults(
+    trace: &Trace<TaskMeta>,
+    resource_names: &[String],
+    faults: &simcore::FaultPlan,
+    wasted: &[simcore::AttemptRecord],
+) -> String {
+    let tracks: Vec<(ResourceId, String)> = resource_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (ResourceId(i), n.clone()))
+        .collect();
+    let name_of = |r: ResourceId| -> &str {
+        resource_names
+            .get(r.0)
+            .map(String::as_str)
+            .unwrap_or("resource")
+    };
+    let horizon = simcore::SimTime::ZERO + trace.makespan();
+    let mut overlays = Vec::new();
+    for w in &faults.throttles {
+        overlays.push(simcore::OverlayEvent {
+            track: format!("faults:{}", name_of(w.resource)),
+            name: format!("throttle x{:.2}", w.factor),
+            cat: "fault".to_string(),
+            start: w.from,
+            dur: w.until.since(w.from),
+            args: vec![("factor".to_string(), TraceArg::Num(w.factor))],
+        });
+    }
+    for l in &faults.losses {
+        let dur = if horizon > l.at {
+            horizon.since(l.at)
+        } else {
+            SimSpan::ZERO
+        };
+        overlays.push(simcore::OverlayEvent {
+            track: format!("faults:{}", name_of(l.resource)),
+            name: "device lost".to_string(),
+            cat: "fault".to_string(),
+            start: l.at,
+            dur,
+            args: Vec::new(),
+        });
+    }
+    for a in wasted {
+        overlays.push(simcore::OverlayEvent {
+            track: format!("faults:{}", name_of(a.resource)),
+            name: "failed attempt".to_string(),
+            cat: "fault".to_string(),
+            start: a.start,
+            dur: a.end.since(a.start),
+            args: vec![(
+                "task".to_string(),
+                TraceArg::Str(trace.records()[a.task.0].label.clone()),
+            )],
+        });
+    }
+    simcore::chrome::export_with_overlays(
+        trace,
+        &tracks,
+        |rec| rec.payload.class.name().to_string(),
+        |rec| {
+            let meta = &rec.payload;
+            let mut args = vec![
+                ("class".to_string(), TraceArg::Str(meta.class.name().into())),
+                ("instance".to_string(), TraceArg::Num(meta.instance as f64)),
+                ("macs".to_string(), TraceArg::Num(meta.work.macs as f64)),
+                (
+                    "bytes".to_string(),
+                    TraceArg::Num(meta.work.total_bytes() as f64),
+                ),
+            ];
+            if let Some(node) = meta.node {
+                args.push(("node".to_string(), TraceArg::Num(node.0 as f64)));
+            }
+            args
+        },
+        &overlays,
     )
 }
 

@@ -10,12 +10,15 @@
 //! per-input latency distribution, the two metrics the
 //! network-to-processor comparison (§2.2) distinguishes.
 
-use simcore::{ResourcePool, SimSpan, TaskGraph, TaskId, Trace};
+use simcore::{FaultPlan, ResourcePool, RetryPolicy, SimSpan, TaskGraph, TaskId, Trace};
 use usoc::{EnergyAccumulator, EnergyBreakdown, KernelWork, SharedMemory, SocSpec};
 
 use unn::Graph;
 
-use crate::engine::{fill_run_metrics, schedule_instance, RunError, TaskMeta};
+use crate::engine::{
+    check_recovered, fault_report, fill_fault_metrics, fill_run_metrics, schedule_instance,
+    FallbackPart, FaultReport, RunError, TaskMeta,
+};
 use crate::metrics::MetricsRegistry;
 use crate::observe::{attribute, Attribution, OverheadClass};
 use crate::plan::ExecutionPlan;
@@ -78,7 +81,48 @@ pub fn execute_pipeline(
     inputs: usize,
     interval: SimSpan,
 ) -> Result<PipelineResult, RunError> {
+    let (result, _) = execute_pipeline_with_faults(
+        spec,
+        graph,
+        plan,
+        inputs,
+        interval,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+        None,
+        None,
+    )?;
+    Ok(result)
+}
+
+/// [`execute_pipeline`] under an injected [`FaultPlan`].
+///
+/// Frames whose arrival falls at or after a (non-CPU) device loss are
+/// scheduled with the `degraded` plan when one is given — the stream
+/// keeps flowing on the surviving processor instead of stalling on
+/// per-part fallbacks frame after frame. Frames before the loss run the
+/// primary plan resiliently (retry + CPU fallback for accelerator
+/// parts). When `deadline` is given, the number of frames whose latency
+/// exceeds it is reported under the `deadline.missed` counter; degraded
+/// frames are counted under `frames.degraded`.
+///
+/// With an empty fault plan this is exactly [`execute_pipeline`]. The
+/// second element of the returned pair is the fault report
+/// (injection/retry/fallback counts and wasted attempts).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_pipeline_with_faults(
+    spec: &SocSpec,
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    inputs: usize,
+    interval: SimSpan,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+    degraded: Option<&ExecutionPlan>,
+    deadline: Option<SimSpan>,
+) -> Result<(PipelineResult, FaultReport), RunError> {
     let shapes = graph.infer_shapes()?;
+    let resilient = !faults.is_empty();
 
     let mut pool = ResourcePool::new();
     for dev in &spec.devices {
@@ -88,12 +132,25 @@ pub fn execute_pipeline(
     // interval; it is not a processor and consumes no energy.
     let source = pool.add("source");
 
+    // The earliest loss of a non-CPU device: frames arriving at or after
+    // it degrade to the single-processor plan (when one is provided).
+    let cpu_res = simcore::ResourceId(spec.cpu().0);
+    let loss_at = faults
+        .losses
+        .iter()
+        .filter(|l| l.resource != cpu_res)
+        .map(|l| l.at)
+        .min();
+
     let mut tg: TaskGraph<TaskMeta> = TaskGraph::new();
     let mut memory = SharedMemory::new();
     super::engine::alloc_weight_buffers(&mut memory, graph, &shapes, plan);
+    let mut degraded_weights_allocated = false;
 
     let mut arrivals: Vec<TaskId> = Vec::with_capacity(inputs);
     let mut completions: Vec<TaskId> = Vec::with_capacity(inputs);
+    let mut fallbacks: Vec<FallbackPart> = Vec::new();
+    let mut frames_degraded: u64 = 0;
     let mut prev_arrival: Option<TaskId> = None;
     for k in 0..inputs {
         // Arrival k completes at k * interval (the first frame is ready
@@ -117,21 +174,37 @@ pub fn execute_pipeline(
         prev_arrival = Some(arrival);
         arrivals.push(arrival);
 
+        let arrives_at = interval * k as u64;
+        let frame_plan = match (degraded, loss_at) {
+            (Some(d), Some(at)) if simcore::SimTime::ZERO + arrives_at >= at => {
+                frames_degraded += 1;
+                if !degraded_weights_allocated {
+                    super::engine::alloc_weight_buffers(&mut memory, graph, &shapes, d);
+                    degraded_weights_allocated = true;
+                }
+                d
+            }
+            _ => plan,
+        };
+
         let inst = schedule_instance(
             &mut tg,
             &mut memory,
             spec,
             graph,
             &shapes,
-            plan,
+            frame_plan,
             &format!("in{k}/"),
             Some(arrival),
             k,
+            resilient,
         )?;
         completions.push(inst.completion);
+        fallbacks.extend(inst.fallbacks);
     }
 
-    let (trace, sched) = tg.run_with_stats(&mut pool)?;
+    let (trace, sched, log) = tg.run_with_faults(&mut pool, faults, policy)?;
+    check_recovered(&trace, &log)?;
 
     let mut energy = EnergyAccumulator::new(spec);
     for rec in trace.records() {
@@ -142,6 +215,16 @@ pub fn execute_pipeline(
                 rec.payload.work.total_bytes(),
             )?;
         }
+    }
+    // Retried / permanently failed attempts burned real processor time
+    // before being thrown away; charge them to the device they ran on.
+    for attempt in &log.wasted {
+        let meta = &trace.records()[attempt.task.0].payload;
+        energy.add_task(
+            meta.device,
+            attempt.end - attempt.start,
+            meta.work.total_bytes(),
+        )?;
     }
     let energy = energy.finish(trace.makespan());
 
@@ -185,18 +268,31 @@ pub fn execute_pipeline(
         metrics.gauge("pipeline.latency_mean_ms", mean.as_millis_f64());
     }
 
-    Ok(PipelineResult {
-        inputs,
-        interval,
-        makespan,
-        throughput_ips,
-        latencies,
-        energy,
-        trace,
-        resource_names,
-        metrics,
-        attribution,
-    })
+    let report = fault_report(&log, &fallbacks);
+    if resilient {
+        fill_fault_metrics(&mut metrics, &report);
+        metrics.inc("frames.degraded", frames_degraded);
+        if let Some(dl) = deadline {
+            let missed = latencies.iter().filter(|&&l| l > dl).count();
+            metrics.inc("deadline.missed", missed as u64);
+        }
+    }
+
+    Ok((
+        PipelineResult {
+            inputs,
+            interval,
+            makespan,
+            throughput_ips,
+            latencies,
+            energy,
+            trace,
+            resource_names,
+            metrics,
+            attribution,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,171 @@
+//! Error-path coverage: every `RunError` arm has a faithful `Display`
+//! and `From` conversion, and the engine never panics on structurally
+//! valid but adversarially perturbed plans — invalid inputs surface as
+//! typed errors, faults as recoverable reports.
+
+use simcore::{FaultPlan, ResourceId, RetryPolicy, Scenario, ScheduleError, SimSpan, TaskId};
+use unn::{Graph, ModelId};
+use uruntime::{execute_plan, execute_plan_with_faults, ExecutionPlan, NodePlacement, RunError};
+use usoc::{DtypePlan, SocError, SocSpec};
+use utensor::{DType, Shape, TensorError};
+
+#[test]
+fn run_error_display_names_every_arm() {
+    let tensor = RunError::from(TensorError::LengthMismatch {
+        shape: Shape::nchw(1, 3, 2, 2),
+        len: 7,
+    });
+    assert!(tensor.to_string().starts_with("tensor error:"));
+    assert!(matches!(tensor, RunError::Tensor(_)));
+
+    let soc = RunError::from(SocError::UnknownDevice(usoc::DeviceId(42)));
+    assert!(soc.to_string().starts_with("soc error:"));
+    assert!(soc.to_string().contains("42"));
+    assert!(matches!(soc, RunError::Soc(_)));
+
+    let sched = RunError::from(ScheduleError::Cycle { unscheduled: 3 });
+    assert!(sched.to_string().starts_with("schedule error:"));
+    assert!(sched.to_string().contains("3 task(s)"));
+    assert!(matches!(sched, RunError::Schedule(_)));
+
+    let malformed = RunError::MalformedPlan("no cpu part".into());
+    assert_eq!(malformed.to_string(), "malformed plan: no cpu part");
+
+    let unrec = RunError::Unrecoverable("task 9 lost".into());
+    assert_eq!(unrec.to_string(), "unrecoverable failure: task 9 lost");
+}
+
+#[test]
+fn run_error_is_a_std_error_with_sources() {
+    // The error type composes with `?` and `Box<dyn Error>` callers.
+    let boxed: Box<dyn std::error::Error> =
+        Box::new(RunError::from(ScheduleError::UnknownDependency {
+            task: TaskId(1),
+            dep: TaskId(99),
+        }));
+    assert!(boxed.to_string().contains("nonexistent"));
+}
+
+#[test]
+fn soc_error_display_round_trips_through_run_error() {
+    let cases = [
+        SocError::UnknownDevice(usoc::DeviceId(7)),
+        SocError::UnsupportedDtype {
+            device: "NPU".into(),
+            dtype: DType::F32,
+        },
+        SocError::Memory("double free of buffer 3".into()),
+    ];
+    for e in cases {
+        let inner = e.to_string();
+        let wrapped = RunError::from(e);
+        assert_eq!(wrapped.to_string(), format!("soc error: {inner}"));
+    }
+}
+
+#[test]
+fn unrecoverable_runs_report_not_panic() {
+    // A GPU-single plan with the GPU lost at t=0 and no fallback path is
+    // unrecoverable by construction when resilience is off... but the
+    // resilient entry point always registers fallbacks, so instead build
+    // a plan whose only fallback target is the lost device itself: lose
+    // the *CPU*. Host tasks can never complete, every part fails, and
+    // the run must surface `RunError::Unrecoverable`.
+    let spec = SocSpec::exynos_7420();
+    let g = ModelId::SqueezeNet.build_miniature();
+    let plan = uruntime::baselines::single_processor_plan(&g, &spec, spec.cpu(), DType::QUInt8)
+        .expect("plan");
+    let faults = FaultPlan::none().with_loss(simcore::DeviceLoss {
+        resource: ResourceId(spec.cpu().0),
+        at: simcore::SimTime::ZERO,
+    });
+    let err = execute_plan_with_faults(&spec, &g, &plan, &faults, &RetryPolicy::default())
+        .expect_err("losing the only processor cannot be recovered");
+    assert!(matches!(err, RunError::Unrecoverable(_)), "got {err}");
+}
+
+/// Builds a structurally valid plan for `g` from per-layer draws: each
+/// distributable layer is CPU-single, GPU-single, or CPU+GPU split at a
+/// perturbed fraction; non-distributable layers stay on the CPU.
+fn perturbed_plan(
+    spec: &SocSpec,
+    g: &Graph,
+    choices: &[(u8, f64)],
+) -> Result<ExecutionPlan, TensorError> {
+    let placements = g
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let (kind, p) = choices[i % choices.len()];
+            if !n.kind.is_distributable() {
+                return NodePlacement::single(spec.cpu(), DType::QUInt8);
+            }
+            match kind % 3 {
+                0 => NodePlacement::single(spec.cpu(), DType::QUInt8),
+                1 => NodePlacement::Single {
+                    device: spec.gpu(),
+                    dtypes: DtypePlan::proc_friendly_gpu(),
+                },
+                _ => NodePlacement::Split {
+                    parts: vec![
+                        (spec.cpu(), DtypePlan::proc_friendly_cpu(), p),
+                        (spec.gpu(), DtypePlan::proc_friendly_gpu(), 1.0 - p),
+                    ],
+                },
+            }
+        })
+        .collect();
+    ExecutionPlan::new(g, spec, placements, "perturbed")
+}
+
+testkit::props! {
+    #![cases(48)]
+
+    /// The engine never panics on a perturbed-but-valid plan: it either
+    /// executes (positive latency, non-empty trace) or rejects the plan
+    /// with a typed error at construction.
+    fn execute_never_panics_on_perturbed_plans(
+        choices in testkit::vec_of((0u8..3, 0.05f64..0.95), 4..12),
+        seed in 0u64..1_000,
+        scenario in testkit::select(vec![0usize, 1, 2]),
+    ) {
+        let spec = SocSpec::exynos_7420();
+        let g = ModelId::SqueezeNet.build_miniature();
+        let plan = match perturbed_plan(&spec, &g, &choices) {
+            Ok(plan) => plan,
+            // Extreme fractions can make a split share round to zero
+            // channels; rejection is the correct non-panic outcome.
+            Err(_) => return Ok(()),
+        };
+        let base = execute_plan(&spec, &g, &plan);
+        testkit::prop_assert!(base.is_ok(), "fault-free run failed: {:?}", base.err().map(|e| e.to_string()));
+        let base = base.unwrap();
+        testkit::prop_assert!(base.latency > SimSpan::ZERO);
+        testkit::prop_assert!(!base.trace.records().is_empty());
+
+        // And under every fault scenario the resilient path either
+        // recovers or reports a typed error — never a panic.
+        let sc = Scenario::ALL[scenario];
+        let gpu = ResourceId(spec.gpu().0);
+        let dispatches = base.trace.records().iter().filter(|r| r.resource == gpu).count();
+        let faults = sc.plan(
+            gpu,
+            base.latency,
+            dispatches,
+            RetryPolicy::default().max_attempts,
+            seed,
+        );
+        match execute_plan_with_faults(&spec, &g, &plan, &faults, &RetryPolicy::default()) {
+            Ok((result, _)) => {
+                testkit::prop_assert!(result.latency >= base.latency);
+            }
+            Err(e) => {
+                testkit::prop_assert!(
+                    matches!(e, RunError::Unrecoverable(_)),
+                    "unexpected error class: {e}"
+                );
+            }
+        }
+    }
+}

@@ -36,6 +36,28 @@ impl TraceArg {
     }
 }
 
+/// A synthetic event rendered on its own named track alongside the task
+/// records — used for fault windows, failed attempts, and other
+/// annotations that are not tasks. Events sharing a `track` value share a
+/// `tid`; within one track they must not overlap (the validator enforces
+/// per-track time order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlayEvent {
+    /// Track name (becomes `thread_name` metadata); overlay tracks get
+    /// `tid`s above every resource track.
+    pub track: String,
+    /// Event name shown in the viewer.
+    pub name: String,
+    /// Event category (filterable facet).
+    pub cat: String,
+    /// Start instant.
+    pub start: crate::time::SimTime,
+    /// Duration (zero-length events are allowed).
+    pub dur: crate::time::SimSpan,
+    /// Event arguments.
+    pub args: Vec<(String, TraceArg)>,
+}
+
 /// Renders `trace` as a Chrome trace-event JSON document.
 ///
 /// `track_names` assigns a human-readable name to each resource track
@@ -46,8 +68,22 @@ impl TraceArg {
 pub fn export<T>(
     trace: &Trace<T>,
     track_names: &[(ResourceId, String)],
+    cat_of: impl FnMut(&TaskRecord<T>) -> String,
+    args_of: impl FnMut(&TaskRecord<T>) -> Vec<(String, TraceArg)>,
+) -> String {
+    export_with_overlays(trace, track_names, cat_of, args_of, &[])
+}
+
+/// Like [`export`], additionally rendering `overlays` on their own named
+/// tracks (one `tid` per distinct track name, numbered above all resource
+/// tracks). Overlay events are sorted by start time per track so the
+/// exported document stays loadable.
+pub fn export_with_overlays<T>(
+    trace: &Trace<T>,
+    track_names: &[(ResourceId, String)],
     mut cat_of: impl FnMut(&TaskRecord<T>) -> String,
     mut args_of: impl FnMut(&TaskRecord<T>) -> Vec<(String, TraceArg)>,
+    overlays: &[OverlayEvent],
 ) -> String {
     let names: BTreeMap<ResourceId, &str> = track_names
         .iter()
@@ -104,6 +140,65 @@ pub fn export<T>(
         ]));
     }
 
+    // Overlay tracks: tids start above every resource track so they never
+    // collide, one per distinct track name in first-appearance order.
+    if !overlays.is_empty() {
+        let base = tracks.iter().map(|r| r.0 + 1).max().unwrap_or(0);
+        let mut overlay_tracks: Vec<&str> = Vec::new();
+        for ov in overlays {
+            if !overlay_tracks.contains(&ov.track.as_str()) {
+                overlay_tracks.push(&ov.track);
+            }
+        }
+        for (k, name) in overlay_tracks.iter().enumerate() {
+            events.push(JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str("thread_name".into())),
+                ("ph".into(), JsonValue::Str("M".into())),
+                ("pid".into(), JsonValue::Num(0.0)),
+                ("tid".into(), JsonValue::Num((base + k) as f64)),
+                (
+                    "args".into(),
+                    JsonValue::Obj(vec![("name".into(), JsonValue::Str(name.to_string()))]),
+                ),
+            ]));
+        }
+        let mut ordered: Vec<&OverlayEvent> = overlays.iter().collect();
+        ordered.sort_by_key(|ov| {
+            (
+                overlay_tracks
+                    .iter()
+                    .position(|t| *t == ov.track.as_str())
+                    .unwrap_or(0),
+                ov.start,
+            )
+        });
+        for ov in ordered {
+            let tid = base
+                + overlay_tracks
+                    .iter()
+                    .position(|t| *t == ov.track.as_str())
+                    .unwrap_or(0);
+            let args: Vec<(String, JsonValue)> = ov
+                .args
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect();
+            events.push(JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str(ov.name.clone())),
+                ("cat".into(), JsonValue::Str(ov.cat.clone())),
+                ("ph".into(), JsonValue::Str("X".into())),
+                (
+                    "ts".into(),
+                    JsonValue::Num(ov.start.as_nanos() as f64 / 1e3),
+                ),
+                ("dur".into(), JsonValue::Num(ov.dur.as_nanos() as f64 / 1e3)),
+                ("pid".into(), JsonValue::Num(0.0)),
+                ("tid".into(), JsonValue::Num(tid as f64)),
+                ("args".into(), JsonValue::Obj(args)),
+            ]));
+        }
+    }
+
     JsonValue::Obj(vec![
         ("displayTimeUnit".into(), JsonValue::Str("ms".into())),
         ("traceEvents".into(), JsonValue::Arr(events)),
@@ -125,11 +220,12 @@ pub struct ChromeTraceSummary {
 /// Validates that `json` is a loadable Chrome trace-event document:
 /// parses as JSON, has a `traceEvents` array, every event is an object
 /// with `ph`, complete events carry numeric `ts`/`dur`/`tid` with
-/// non-negative duration, and `ts` is monotonically non-decreasing within
-/// each track (events are emitted in task-id order, which the scheduler
-/// keeps sorted per resource by construction — the validator checks the
-/// weaker per-track sortedness that the viewers rely on after their own
-/// stable sort).
+/// non-negative duration, and within each track events are sorted by
+/// `ts` and *properly nested* (the trace-event contract for complete
+/// events on one thread): an event either starts at/after the previous
+/// one's end, or lies entirely inside it — zero-duration markers inside
+/// a task's span (e.g. a skipped fallback) nest fine, while partial
+/// overlaps are structural corruption and rejected.
 pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
     let doc = JsonValue::parse(json)?;
     let events = match doc.get("traceEvents") {
@@ -141,7 +237,7 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
         metadata_events: 0,
         tracks: 0,
     };
-    let mut last_end_per_tid: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut open_ends_per_tid: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
@@ -159,22 +255,29 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
                 if dur < 0.0 {
                     return Err(format!("event {i}: negative dur"));
                 }
-                let end = last_end_per_tid.entry(tid as u64).or_insert(f64::MIN);
                 // Timestamps are integer nanoseconds rendered as f64
                 // microseconds, so a real overlap is >= 1e-3 us; anything
                 // smaller is conversion noise, not an overlap.
-                if ts < *end - 1e-4 {
-                    return Err(format!(
-                        "event {i}: ts {ts} overlaps previous event ending at {end} on tid {tid}"
-                    ));
+                let stack = open_ends_per_tid.entry(tid as u64).or_default();
+                while stack.last().is_some_and(|&end| ts >= end - 1e-4) {
+                    stack.pop();
                 }
-                *end = ts + dur;
+                if let Some(&outer) = stack.last() {
+                    if ts + dur > outer + 1e-4 {
+                        return Err(format!(
+                            "event {i}: [{ts}, {}] partially overlaps an event \
+                             ending at {outer} on tid {tid}",
+                            ts + dur
+                        ));
+                    }
+                }
+                stack.push(ts + dur);
                 summary.complete_events += 1;
             }
             other => return Err(format!("event {i}: unsupported ph {other:?}")),
         }
     }
-    summary.tracks = last_end_per_tid.len();
+    summary.tracks = open_ends_per_tid.len();
     Ok(summary)
 }
 
@@ -597,6 +700,55 @@ mod tests {
             {"name":"b","ph":"X","ts":5,"dur":10,"pid":0,"tid":1}
         ]}"#;
         assert!(validate_chrome_trace(json).is_ok());
+    }
+
+    #[test]
+    fn overlay_events_get_their_own_sorted_tracks() {
+        use crate::time::SimSpan;
+        let t = Trace::new(vec![rec(0, 0, 0, 100), rec(1, 1, 0, 50)]);
+        let overlays = vec![
+            OverlayEvent {
+                track: "faults".into(),
+                name: "throttle x0.5".into(),
+                cat: "fault".into(),
+                start: SimTime::from_nanos(2_000),
+                dur: SimSpan::from_nanos(1_000),
+                args: vec![("factor".into(), TraceArg::Num(0.5))],
+            },
+            // Out of order on purpose: the exporter must sort per track.
+            OverlayEvent {
+                track: "faults".into(),
+                name: "retry".into(),
+                cat: "fault".into(),
+                start: SimTime::from_nanos(500),
+                dur: SimSpan::ZERO,
+                args: Vec::new(),
+            },
+            OverlayEvent {
+                track: "faults:gpu".into(),
+                name: "lost".into(),
+                cat: "fault".into(),
+                start: SimTime::from_nanos(100),
+                dur: SimSpan::from_nanos(10),
+                args: Vec::new(),
+            },
+        ];
+        let json = export_with_overlays(&t, &[], |_| "t".into(), |_| Vec::new(), &overlays);
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.complete_events, 5);
+        // 2 resource tracks + 2 overlay tracks.
+        assert_eq!(summary.tracks, 4);
+        assert_eq!(summary.metadata_events, 4);
+        // Overlay tids sit above the resource tids.
+        let doc = JsonValue::parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let overlay_tid = events
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("retry"))
+            .and_then(|e| e.get("tid"))
+            .and_then(JsonValue::as_num)
+            .unwrap();
+        assert!(overlay_tid >= 2.0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use std::fmt;
 
 use crate::event::EventQueue;
+use crate::faults::{AttemptOutcome, AttemptRecord, FaultLog, FaultPlan, RetryPolicy};
 use crate::resource::{ResourceId, ResourcePool};
 use crate::time::{SimSpan, SimTime};
 use crate::trace::{TaskRecord, Trace};
@@ -129,12 +130,17 @@ pub struct SchedStats {
 #[derive(Clone, Debug, Default)]
 pub struct TaskGraph<T> {
     tasks: Vec<TaskSpec<T>>,
+    /// `(primary, fallback)` pairs registered via [`TaskGraph::add_fallback`].
+    fallbacks: Vec<(TaskId, TaskId)>,
 }
 
 impl<T> TaskGraph<T> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        TaskGraph { tasks: Vec::new() }
+        TaskGraph {
+            tasks: Vec::new(),
+            fallbacks: Vec::new(),
+        }
     }
 
     /// Adds a task with default (0) priority and returns its id.
@@ -191,6 +197,32 @@ impl<T> TaskGraph<T> {
         &self.tasks[id.0]
     }
 
+    /// Registers a conditional fallback for `primary` and returns its id.
+    ///
+    /// The fallback depends on its primary, and every task depending on
+    /// the primary transparently also waits for the fallback. When the
+    /// primary completes successfully the fallback is *skipped*: it keeps
+    /// a zero-span record in the trace (so task ids stay stable) and
+    /// costs nothing. When the primary fails permanently — retries
+    /// exhausted or its device lost — the fallback executes on its own
+    /// resource, recovering the work before dependents proceed.
+    ///
+    /// Fallbacks dispatch at the highest priority (`i8::MIN`): a skipped
+    /// fallback resolves before any simultaneously-ready real task, and a
+    /// recovering one jumps its resource's queue.
+    pub fn add_fallback(
+        &mut self,
+        label: impl Into<String>,
+        resource: ResourceId,
+        duration: SimSpan,
+        primary: TaskId,
+        payload: T,
+    ) -> TaskId {
+        let id = self.add_with_priority(label, resource, duration, &[primary], i8::MIN, payload);
+        self.fallbacks.push((primary, id));
+        id
+    }
+
     /// Schedules the graph over `pool`, consuming the graph.
     ///
     /// Tasks start as soon as all dependencies are complete and their
@@ -207,7 +239,42 @@ impl<T> TaskGraph<T> {
         self,
         pool: &mut ResourcePool,
     ) -> Result<(Trace<T>, SchedStats), ScheduleError> {
+        self.run_with_faults(pool, &FaultPlan::none(), &RetryPolicy::default())
+            .map(|(trace, stats, _)| (trace, stats))
+    }
+
+    /// Schedules the graph while realizing the perturbations of `faults`.
+    ///
+    /// Semantics:
+    ///
+    /// - A reservation starting inside a throttle window is stretched by
+    ///   the window's speed factor.
+    /// - A transiently-failed attempt occupies its resource for its full
+    ///   (throttle-adjusted) span — the watchdog timeout derived from the
+    ///   predicted duration — and is then retried with bounded
+    ///   exponential backoff, up to `policy.max_attempts` attempts.
+    /// - An attempt overlapping a device loss times out once and fails
+    ///   permanently (retrying a dead device is pointless).
+    /// - A permanently-failed task still "completes" (its dependents are
+    ///   released) so the schedule terminates; its registered fallback —
+    ///   see [`TaskGraph::add_fallback`] — executes and recovers the
+    ///   work, and tasks without one end up in `FaultLog::unrecovered`
+    ///   for the caller to turn into an error.
+    ///
+    /// The trace records each task's *final* attempt (or the skip instant
+    /// for skipped fallbacks, as a zero-span record); earlier failed
+    /// attempts are reported in `FaultLog::wasted` since they occupy
+    /// resource time that energy accounting must still see. With an empty
+    /// plan this is exactly [`TaskGraph::run_with_stats`]: the fault-free
+    /// schedule is byte-identical.
+    pub fn run_with_faults(
+        self,
+        pool: &mut ResourcePool,
+        faults: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<(Trace<T>, SchedStats, FaultLog), ScheduleError> {
         let n = self.tasks.len();
+        let max_attempts = policy.max_attempts.max(1);
 
         // Validate references up front so the event loop can't index OOB.
         for (i, t) in self.tasks.iter().enumerate() {
@@ -227,12 +294,29 @@ impl<T> TaskGraph<T> {
             }
         }
 
+        let mut fallback_of: Vec<Option<TaskId>> = vec![None; n];
+        let mut primary_of: Vec<Option<TaskId>> = vec![None; n];
+        for &(p, f) in &self.fallbacks {
+            fallback_of[p.0] = Some(f);
+            primary_of[f.0] = Some(p);
+        }
+
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
         for (i, t) in self.tasks.iter().enumerate() {
             indeg[i] = t.deps.len();
             for &d in &t.deps {
                 dependents[d.0].push(i);
+                // Anything waiting on a primary transparently waits for
+                // its fallback too, so recovered outputs are in place
+                // before dependents start. (The fallback itself already
+                // lists the primary as its dependency.)
+                if let Some(f) = fallback_of[d.0] {
+                    if f.0 != i {
+                        dependents[f.0].push(i);
+                        indeg[i] += 1;
+                    }
+                }
             }
         }
 
@@ -250,24 +334,117 @@ impl<T> TaskGraph<T> {
 
         let mut starts = vec![SimTime::ZERO; n];
         let mut ends = vec![SimTime::ZERO; n];
-        let mut done = vec![false; n];
+        let mut attempts = vec![0usize; n];
+        let mut ordinal: Vec<Option<usize>> = vec![None; n];
+        let mut dispatched = vec![0usize; pool.len()];
+        let mut skip = vec![false; n];
+        let mut failed = vec![false; n];
         let mut completed = 0usize;
+        let mut log = FaultLog::default();
 
         while let Some((now, ev)) = queue.pop() {
             match ev {
                 Ev::Ready(i) => {
                     let spec = &self.tasks[i];
-                    let iv = pool.get_mut(spec.resource).reserve(now, spec.duration);
+                    if skip[i] {
+                        // Skipped fallback: a zero-span trace record at
+                        // the skip instant, touching no timeline.
+                        starts[i] = now;
+                        ends[i] = now;
+                        queue.push_with_priority(now, i8::MIN, Ev::Done(i));
+                        continue;
+                    }
+                    attempts[i] += 1;
+                    let timeline = pool.get_mut(spec.resource);
+                    let start = now.max(timeline.available_at());
+                    let ord = match ordinal[i] {
+                        Some(o) => o,
+                        None => {
+                            let o = dispatched[spec.resource.0];
+                            dispatched[spec.resource.0] += 1;
+                            ordinal[i] = Some(o);
+                            o
+                        }
+                    };
+
+                    // Throttle: stretch the reservation by the inverse of
+                    // the speed factor at its start instant. Factor 1.0
+                    // keeps the exact nanosecond duration (no float
+                    // round-trip), preserving fault-free schedules.
+                    let factor = faults.speed_factor_at(spec.resource, start);
+                    let duration = if factor < 1.0 && !spec.duration.is_zero() {
+                        log.throttled += 1;
+                        log.injected += 1;
+                        SimSpan::from_nanos(
+                            (spec.duration.as_nanos() as f64 / factor).round() as u64
+                        )
+                    } else {
+                        spec.duration
+                    };
+
+                    let lost = faults
+                        .loss_at(spec.resource)
+                        .is_some_and(|l| start + duration > l || start >= l);
+                    let transient = !lost
+                        && faults
+                            .transient_for(spec.resource, ord)
+                            .is_some_and(|t| attempts[i] <= t.failures);
+
+                    let iv = timeline.reserve(now, duration);
                     starts[i] = iv.start;
                     ends[i] = iv.end;
-                    // Done events outrank Ready events at the same
-                    // instant so every task enabled at that time contends
-                    // by priority.
-                    queue.push_with_priority(iv.end, i8::MIN, Ev::Done(i));
+
+                    if lost {
+                        // The command never completes; the watchdog fires
+                        // after the predicted span. Retrying a dead
+                        // device is pointless: fail permanently now.
+                        log.injected += 1;
+                        failed[i] = true;
+                        log.failed.push(TaskId(i));
+                        queue.push_with_priority(iv.end, i8::MIN, Ev::Done(i));
+                    } else if transient {
+                        log.injected += 1;
+                        if attempts[i] < max_attempts {
+                            // Retry after bounded exponential backoff.
+                            // The failed attempt stays on the timeline
+                            // but not in the trace; record it for energy
+                            // accounting.
+                            log.retries += 1;
+                            log.wasted.push(AttemptRecord {
+                                task: TaskId(i),
+                                resource: spec.resource,
+                                start: iv.start,
+                                end: iv.end,
+                                outcome: AttemptOutcome::Transient,
+                            });
+                            let retry_at = iv.end + policy.backoff_before(attempts[i] + 1);
+                            queue.push_with_priority(retry_at, spec.priority, Ev::Ready(i));
+                        } else {
+                            failed[i] = true;
+                            log.failed.push(TaskId(i));
+                            queue.push_with_priority(iv.end, i8::MIN, Ev::Done(i));
+                        }
+                    } else {
+                        // Done events outrank Ready events at the same
+                        // instant so every task enabled at that time
+                        // contends by priority.
+                        queue.push_with_priority(iv.end, i8::MIN, Ev::Done(i));
+                    }
                 }
                 Ev::Done(i) => {
-                    done[i] = true;
                     completed += 1;
+                    if let Some(f) = fallback_of[i] {
+                        if !failed[i] {
+                            skip[f.0] = true;
+                        }
+                    }
+                    if primary_of[i].is_some() {
+                        if skip[i] {
+                            log.skipped.push(TaskId(i));
+                        } else if !failed[i] {
+                            log.recovered.push(TaskId(i));
+                        }
+                    }
                     for &j in &dependents[i] {
                         indeg[j] -= 1;
                         if indeg[j] == 0 {
@@ -283,6 +460,13 @@ impl<T> TaskGraph<T> {
             return Err(ScheduleError::Cycle {
                 unscheduled: n - completed,
             });
+        }
+
+        for &t in &log.failed {
+            let recovered = fallback_of[t.0].is_some_and(|f| !failed[f.0] && !skip[f.0]);
+            if !recovered {
+                log.unrecovered.push(t);
+            }
         }
 
         let stats = SchedStats {
@@ -304,7 +488,7 @@ impl<T> TaskGraph<T> {
             })
             .collect();
 
-        Ok((Trace::new(records), stats))
+        Ok((Trace::new(records), stats, log))
     }
 }
 
@@ -499,6 +683,174 @@ mod tests {
         // All four Ready events are enqueued up front.
         assert!(stats.peak_queue_depth >= 4);
         assert_eq!(trace.makespan(), span(40));
+    }
+
+    #[test]
+    fn fault_free_faulted_run_matches_plain_run() {
+        let build = || {
+            let mut pool = ResourcePool::new();
+            let cpu = pool.add("cpu");
+            let gpu = pool.add("gpu");
+            let mut g = TaskGraph::new();
+            let issue = g.add("issue", cpu, span(10), &[], ());
+            let k = g.add("kernel", gpu, span(100), &[issue], ());
+            let w = g.add("cpu-work", cpu, span(80), &[issue], ());
+            g.add("merge", cpu, span(5), &[k, w], ());
+            (pool, g)
+        };
+        let (mut pool, g) = build();
+        let (plain, _) = g.run_with_stats(&mut pool).unwrap();
+        let (mut pool, g) = build();
+        let (faulted, _, log) = g
+            .run_with_faults(&mut pool, &FaultPlan::none(), &RetryPolicy::default())
+            .unwrap();
+        let times = |t: &Trace<()>| {
+            t.records()
+                .iter()
+                .map(|r| (r.start, r.end))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(times(&plain), times(&faulted));
+        assert_eq!(log.injected, 0);
+        assert_eq!(log.retries, 0);
+        assert!(log.failed.is_empty() && log.unrecovered.is_empty());
+    }
+
+    #[test]
+    fn transient_failure_retries_with_backoff() {
+        let mut pool = ResourcePool::new();
+        let gpu = pool.add("gpu");
+        let mut g = TaskGraph::new();
+        let k = g.add("kernel", gpu, span(100), &[], ());
+        let faults = FaultPlan::none().with_transient(crate::faults::TransientFault {
+            resource: gpu,
+            ordinal: 0,
+            failures: 1,
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: span(10),
+        };
+        let (trace, _, log) = g.run_with_faults(&mut pool, &faults, &policy).unwrap();
+        // Attempt 1 occupies [0, 100us) and fails; the retry starts after
+        // the base backoff and succeeds.
+        assert_eq!(trace.start_of(k), SimTime::from_nanos(110_000));
+        assert_eq!(trace.end_of(k), SimTime::from_nanos(210_000));
+        assert_eq!(log.retries, 1);
+        assert_eq!(log.injected, 1);
+        assert_eq!(log.wasted.len(), 1);
+        assert_eq!(log.wasted[0].start, SimTime::ZERO);
+        assert_eq!(log.wasted[0].end, SimTime::from_nanos(100_000));
+        assert_eq!(log.wasted[0].outcome, AttemptOutcome::Transient);
+        assert!(log.failed.is_empty());
+    }
+
+    #[test]
+    fn persistent_failure_runs_fallback_and_gates_dependents() {
+        let mut pool = ResourcePool::new();
+        let cpu = pool.add("cpu");
+        let gpu = pool.add("gpu");
+        let mut g = TaskGraph::new();
+        let k = g.add("kernel", gpu, span(100), &[], ());
+        let merge = g.add("merge", cpu, span(5), &[k], ());
+        let fb = g.add_fallback("kernel::fallback", cpu, span(50), k, ());
+        let faults = FaultPlan::none().with_transient(crate::faults::TransientFault {
+            resource: gpu,
+            ordinal: 0,
+            failures: 3,
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: span(10),
+        };
+        let (trace, _, log) = g.run_with_faults(&mut pool, &faults, &policy).unwrap();
+        // Attempts: [0,100), retry +10 -> [110,210), retry +20 -> [230,330).
+        assert_eq!(trace.end_of(k), SimTime::from_nanos(330_000));
+        assert_eq!(trace.start_of(fb), SimTime::from_nanos(330_000));
+        assert_eq!(trace.end_of(fb), SimTime::from_nanos(380_000));
+        // The dependent waits for the fallback, not just the primary.
+        assert_eq!(trace.start_of(merge), SimTime::from_nanos(380_000));
+        assert_eq!(log.retries, 2);
+        assert_eq!(log.wasted.len(), 2);
+        assert_eq!(log.failed, vec![k]);
+        assert_eq!(log.recovered, vec![fb]);
+        assert!(log.unrecovered.is_empty());
+    }
+
+    #[test]
+    fn successful_primary_skips_fallback_without_cost() {
+        let build = |with_fallback: bool| {
+            let mut pool = ResourcePool::new();
+            let cpu = pool.add("cpu");
+            let gpu = pool.add("gpu");
+            let mut g = TaskGraph::new();
+            let k = g.add("kernel", gpu, span(100), &[], ());
+            let merge = g.add("merge", cpu, span(5), &[k], ());
+            if with_fallback {
+                g.add_fallback("kernel::fallback", cpu, span(50), k, ());
+            }
+            let (trace, _, log) = g
+                .run_with_faults(&mut pool, &FaultPlan::none(), &RetryPolicy::default())
+                .unwrap();
+            (trace.end_of(merge), trace, log)
+        };
+        let (plain_end, _, _) = build(false);
+        let (end, trace, log) = build(true);
+        assert_eq!(end, plain_end);
+        let fb = TaskId(2);
+        assert_eq!(log.skipped, vec![fb]);
+        assert!(log.recovered.is_empty());
+        // The skipped fallback is a zero-span record at the skip instant.
+        assert_eq!(trace.records()[fb.0].span(), SimSpan::ZERO);
+        // And it occupies no CPU time: cpu busy = merge only.
+        assert_eq!(trace.busy_per_resource()[&ResourceId(0)], span(5));
+    }
+
+    #[test]
+    fn device_loss_fails_permanently_without_retries() {
+        let mut pool = ResourcePool::new();
+        let gpu = pool.add("gpu");
+        let mut g = TaskGraph::new();
+        let k = g.add("kernel", gpu, span(100), &[], ());
+        let faults = FaultPlan::none().with_loss(crate::faults::DeviceLoss {
+            resource: gpu,
+            at: SimTime::from_nanos(50_000),
+        });
+        let (trace, _, log) = g
+            .run_with_faults(&mut pool, &faults, &RetryPolicy::default())
+            .unwrap();
+        // The watchdog times the attempt out after the predicted span;
+        // no retry is attempted against a dead device.
+        assert_eq!(trace.end_of(k), SimTime::from_nanos(100_000));
+        assert_eq!(log.retries, 0);
+        assert_eq!(log.failed, vec![k]);
+        // No fallback registered: the failure is unrecovered.
+        assert_eq!(log.unrecovered, vec![k]);
+    }
+
+    #[test]
+    fn throttle_window_stretches_reservations() {
+        let mut pool = ResourcePool::new();
+        let gpu = pool.add("gpu");
+        let mut g = TaskGraph::new();
+        let a = g.add("a", gpu, span(100), &[], ());
+        let b = g.add("b", gpu, span(100), &[a], ());
+        // Window covers a's start but ends before b starts.
+        let faults = FaultPlan::none().with_throttle(crate::faults::ThrottleWindow {
+            resource: gpu,
+            factor: 0.5,
+            from: SimTime::ZERO,
+            until: SimTime::from_nanos(150_000),
+        });
+        let (trace, _, log) = g
+            .run_with_faults(&mut pool, &faults, &RetryPolicy::default())
+            .unwrap();
+        // a runs at half speed: [0, 200us); b starts outside the window
+        // and runs at full speed.
+        assert_eq!(trace.end_of(a), SimTime::from_nanos(200_000));
+        assert_eq!(trace.end_of(b), SimTime::from_nanos(300_000));
+        assert_eq!(log.throttled, 1);
+        assert_eq!(log.injected, 1);
     }
 
     #[test]

@@ -1,0 +1,491 @@
+//! Deterministic fault injection for the discrete-event scheduler.
+//!
+//! A [`FaultPlan`] describes per-resource perturbations the scheduler
+//! realizes while it runs a task graph:
+//!
+//! - [`ThrottleWindow`] — the resource runs at `factor` of its nominal
+//!   speed over `[from, until)` (thermal throttling, a DVFS governor, or
+//!   a UI workload stealing the GPU).
+//! - [`TransientFault`] — the k-th task dispatched on a resource fails
+//!   its first `failures` attempts; the watchdog detects each failure
+//!   only after the attempt's full predicted span, and the retry policy
+//!   decides whether to try again.
+//! - [`DeviceLoss`] — the resource stops completing work at `at`; every
+//!   attempt from then on times out, and only a registered fallback task
+//!   can recover the work.
+//!
+//! Plans are plain data: built directly for targeted tests, or generated
+//! reproducibly from a [`Scenario`] + seed through [`testkit::Rng`], so a
+//! fault run is exactly repeatable under `TESTKIT_SEED`.
+
+use crate::resource::ResourceId;
+use crate::time::{SimSpan, SimTime};
+
+/// A speed perturbation of one resource over a half-open time window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThrottleWindow {
+    /// The throttled resource.
+    pub resource: ResourceId,
+    /// Speed multiplier in `(0, 1]`: 0.5 means half speed, so a task
+    /// whose reservation starts inside the window takes twice as long.
+    pub factor: f64,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// A transient failure of one dispatched task.
+///
+/// Tasks are identified positionally: `ordinal` is the index of the
+/// task's *first* dispatch among all first dispatches on `resource`, in
+/// schedule order — a stable, plan-independent coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransientFault {
+    /// The resource whose dispatch stream is faulted.
+    pub resource: ResourceId,
+    /// Zero-based index of the victim among first dispatches on the
+    /// resource.
+    pub ordinal: usize,
+    /// How many consecutive attempts fail before one succeeds. At or
+    /// above the retry policy's `max_attempts` the task fails
+    /// permanently and must be recovered by a fallback.
+    pub failures: usize,
+}
+
+/// A hard device loss: nothing completes on `resource` from `at` on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceLoss {
+    /// The lost resource.
+    pub resource: ResourceId,
+    /// The instant the device stops completing work.
+    pub at: SimTime,
+}
+
+/// A complete description of the perturbations of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Throttle windows (may target any resource; may be empty).
+    pub throttles: Vec<ThrottleWindow>,
+    /// Transient task failures.
+    pub transients: Vec<TransientFault>,
+    /// Hard device losses (at most one per resource is meaningful; the
+    /// earliest wins).
+    pub losses: Vec<DeviceLoss>,
+}
+
+impl FaultPlan {
+    /// The empty plan (a fault-free run).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan perturbs nothing.
+    pub fn is_empty(&self) -> bool {
+        self.throttles.is_empty() && self.transients.is_empty() && self.losses.is_empty()
+    }
+
+    /// Adds a throttle window (builder style).
+    pub fn with_throttle(mut self, w: ThrottleWindow) -> FaultPlan {
+        self.throttles.push(w);
+        self
+    }
+
+    /// Adds a transient fault (builder style).
+    pub fn with_transient(mut self, t: TransientFault) -> FaultPlan {
+        self.transients.push(t);
+        self
+    }
+
+    /// Adds a device loss (builder style).
+    pub fn with_loss(mut self, l: DeviceLoss) -> FaultPlan {
+        self.losses.push(l);
+        self
+    }
+
+    /// The speed factor of `resource` for a reservation starting at `t`
+    /// (the product of all windows containing `t`, clamped away from 0).
+    pub fn speed_factor_at(&self, resource: ResourceId, t: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for w in &self.throttles {
+            if w.resource == resource && w.from <= t && t < w.until {
+                factor *= w.factor;
+            }
+        }
+        factor.max(0.01)
+    }
+
+    /// The earliest loss instant of `resource`, if it is lost at all.
+    pub fn loss_at(&self, resource: ResourceId) -> Option<SimTime> {
+        self.losses
+            .iter()
+            .filter(|l| l.resource == resource)
+            .map(|l| l.at)
+            .min()
+    }
+
+    /// The transient fault targeting the `ordinal`-th dispatch on
+    /// `resource`, if any.
+    pub fn transient_for(&self, resource: ResourceId, ordinal: usize) -> Option<&TransientFault> {
+        self.transients
+            .iter()
+            .find(|t| t.resource == resource && t.ordinal == ordinal)
+    }
+
+    /// Shifts the plan's time-based faults `cursor` earlier, for
+    /// replaying a global fault timeline against a run that starts at
+    /// `cursor` (e.g. frame `k` of an adaptive stream). Windows entirely
+    /// in the past are dropped; a loss already in the past becomes a loss
+    /// at t = 0. Ordinal-based transients are positional, not temporal,
+    /// and are kept unchanged.
+    pub fn shifted_by(&self, cursor: SimTime) -> FaultPlan {
+        let c = cursor.as_nanos();
+        let shift = |t: SimTime| SimTime::from_nanos(t.as_nanos().saturating_sub(c));
+        FaultPlan {
+            throttles: self
+                .throttles
+                .iter()
+                .filter(|w| w.until > cursor)
+                .map(|w| ThrottleWindow {
+                    resource: w.resource,
+                    factor: w.factor,
+                    from: shift(w.from),
+                    until: shift(w.until),
+                })
+                .collect(),
+            transients: self.transients.clone(),
+            losses: self
+                .losses
+                .iter()
+                .map(|l| DeviceLoss {
+                    resource: l.resource,
+                    at: shift(l.at),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// How failed attempts are retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per task (first try included). At least 1.
+    pub max_attempts: usize,
+    /// Backoff before attempt 2; doubles per further attempt (bounded
+    /// exponential backoff).
+    pub backoff: SimSpan,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: SimSpan::from_micros(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff inserted before attempt number `next_attempt`
+    /// (2-based: the wait between attempt `n-1` failing and attempt `n`
+    /// starting). Doubles per attempt, capped at 64x.
+    pub fn backoff_before(&self, next_attempt: usize) -> SimSpan {
+        let exp = next_attempt.saturating_sub(2).min(6) as u32;
+        self.backoff * (1u64 << exp)
+    }
+}
+
+/// The outcome of one failed attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// A transient fault: the attempt completed "failed".
+    Transient,
+    /// The device was lost; the watchdog timed the attempt out.
+    Lost,
+}
+
+/// One failed attempt that was later retried (the retried attempts are
+/// the resource time the trace does not show: the trace records a task's
+/// *final* attempt only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// The task (index into the trace's records).
+    pub task: crate::dag::TaskId,
+    /// The resource the attempt occupied.
+    pub resource: ResourceId,
+    /// Attempt start.
+    pub start: SimTime,
+    /// Attempt end (when the watchdog detected the failure).
+    pub end: SimTime,
+    /// Why it failed.
+    pub outcome: AttemptOutcome,
+}
+
+/// Counters and records collected while scheduling under a [`FaultPlan`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    /// Number of injected perturbations (throttled reservations + failed
+    /// attempts).
+    pub injected: u64,
+    /// Number of retry attempts dispatched.
+    pub retries: u64,
+    /// Number of reservations slowed by a throttle window.
+    pub throttled: u64,
+    /// Failed attempts that were retried; their intervals occupy the
+    /// resource timelines but are not trace records (the trace shows the
+    /// final attempt), so energy accounting must add them explicitly.
+    pub wasted: Vec<AttemptRecord>,
+    /// Tasks that failed permanently (retries exhausted or device lost).
+    /// Their trace record is the last, failed attempt.
+    pub failed: Vec<crate::dag::TaskId>,
+    /// Fallback tasks that actually executed (their primary failed).
+    pub recovered: Vec<crate::dag::TaskId>,
+    /// Fallback tasks skipped because their primary succeeded (kept in
+    /// the trace as zero-span records).
+    pub skipped: Vec<crate::dag::TaskId>,
+    /// Permanently-failed tasks with no (successful) fallback: the run's
+    /// output is not trustworthy and the caller must surface an error.
+    pub unrecovered: Vec<crate::dag::TaskId>,
+}
+
+/// The built-in fault scenarios of the `repro faults` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Thermal-throttle windows on the target resource.
+    Throttle,
+    /// Transient task failures: one retried successfully, one exhausting
+    /// its retries (so the run provably exercises both the retry and the
+    /// fallback path).
+    FlakyGpu,
+    /// Hard device loss partway through the run.
+    GpuLoss,
+}
+
+impl Scenario {
+    /// Every scenario, in display order.
+    pub const ALL: [Scenario; 3] = [Scenario::Throttle, Scenario::FlakyGpu, Scenario::GpuLoss];
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Throttle => "throttle",
+            Scenario::FlakyGpu => "flaky-gpu",
+            Scenario::GpuLoss => "gpu-loss",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// Generates the scenario's fault plan against `resource`,
+    /// deterministically from `seed`.
+    ///
+    /// `horizon` is the fault-free makespan (times are placed inside it)
+    /// and `dispatches` the number of tasks the fault-free run dispatched
+    /// on the resource (transient ordinals are drawn from it).
+    /// `max_attempts` is the retry policy's limit, used to make one
+    /// flaky-gpu fault persistent by construction.
+    pub fn plan(
+        self,
+        resource: ResourceId,
+        horizon: SimSpan,
+        dispatches: usize,
+        max_attempts: usize,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut rng = testkit::Rng::seed_from_u64(
+            seed ^ testkit::rng::fnv1a(self.name().as_bytes()).rotate_left(17),
+        );
+        let at = |frac: f64| SimTime::ZERO + horizon * frac;
+        match self {
+            Scenario::Throttle => {
+                let mut plan = FaultPlan::none();
+                let windows = rng.gen_range(1..3usize);
+                let mut lo = 0.15;
+                for _ in 0..windows {
+                    let from = lo + rng.unit_f64() * 0.1;
+                    let until = from + 0.2 + rng.unit_f64() * 0.15;
+                    plan = plan.with_throttle(ThrottleWindow {
+                        resource,
+                        factor: 0.3 + rng.unit_f64() * 0.4,
+                        from: at(from),
+                        until: at(until.min(0.9)),
+                    });
+                    lo = until + 0.05;
+                }
+                plan
+            }
+            Scenario::FlakyGpu => {
+                // One transient that a single retry fixes, and one that
+                // exhausts the retry budget and forces a fallback — both
+                // guaranteed, so the smoke run always counts >= 1 retry
+                // and >= 1 fallback.
+                let n = dispatches.max(1);
+                let retried = rng.gen_range(0..n);
+                let persistent = if n > 1 {
+                    let mut p = rng.gen_range(0..n - 1);
+                    if p >= retried {
+                        p += 1;
+                    }
+                    p
+                } else {
+                    // Degenerate single-dispatch run: keep only the
+                    // persistent fault (it still retries before falling
+                    // back, so both counters stay nonzero).
+                    retried
+                };
+                let mut plan = FaultPlan::none().with_transient(TransientFault {
+                    resource,
+                    ordinal: persistent,
+                    failures: max_attempts,
+                });
+                if persistent != retried {
+                    plan = plan.with_transient(TransientFault {
+                        resource,
+                        ordinal: retried,
+                        failures: 1,
+                    });
+                }
+                plan
+            }
+            Scenario::GpuLoss => FaultPlan::none().with_loss(DeviceLoss {
+                resource,
+                at: at(0.25 + rng.unit_f64() * 0.25),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_factor_composes_windows() {
+        let r = ResourceId(1);
+        let plan = FaultPlan::none()
+            .with_throttle(ThrottleWindow {
+                resource: r,
+                factor: 0.5,
+                from: SimTime::from_nanos(100),
+                until: SimTime::from_nanos(200),
+            })
+            .with_throttle(ThrottleWindow {
+                resource: r,
+                factor: 0.5,
+                from: SimTime::from_nanos(150),
+                until: SimTime::from_nanos(300),
+            });
+        assert_eq!(plan.speed_factor_at(r, SimTime::from_nanos(50)), 1.0);
+        assert_eq!(plan.speed_factor_at(r, SimTime::from_nanos(120)), 0.5);
+        assert_eq!(plan.speed_factor_at(r, SimTime::from_nanos(160)), 0.25);
+        // Half-open: the window end is not inside.
+        assert_eq!(plan.speed_factor_at(r, SimTime::from_nanos(300)), 1.0);
+        // Other resources are unaffected.
+        assert_eq!(
+            plan.speed_factor_at(ResourceId(0), SimTime::from_nanos(160)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn loss_picks_earliest() {
+        let r = ResourceId(0);
+        let plan = FaultPlan::none()
+            .with_loss(DeviceLoss {
+                resource: r,
+                at: SimTime::from_nanos(500),
+            })
+            .with_loss(DeviceLoss {
+                resource: r,
+                at: SimTime::from_nanos(200),
+            });
+        assert_eq!(plan.loss_at(r), Some(SimTime::from_nanos(200)));
+        assert_eq!(plan.loss_at(ResourceId(1)), None);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff: SimSpan::from_micros(10),
+        };
+        assert_eq!(p.backoff_before(2), SimSpan::from_micros(10));
+        assert_eq!(p.backoff_before(3), SimSpan::from_micros(20));
+        assert_eq!(p.backoff_before(4), SimSpan::from_micros(40));
+        assert_eq!(p.backoff_before(12), SimSpan::from_micros(640));
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let r = ResourceId(1);
+        for s in Scenario::ALL {
+            let a = s.plan(r, SimSpan::from_millis(10), 12, 3, 42);
+            let b = s.plan(r, SimSpan::from_millis(10), 12, 3, 42);
+            assert_eq!(a, b, "{}", s.name());
+            assert!(!a.is_empty(), "{}", s.name());
+        }
+        // Different seeds give different throttle plans.
+        let a = Scenario::Throttle.plan(r, SimSpan::from_millis(10), 12, 3, 1);
+        let b = Scenario::Throttle.plan(r, SimSpan::from_millis(10), 12, 3, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flaky_scenario_always_has_retry_and_persistent_faults() {
+        let r = ResourceId(1);
+        for seed in 0..50 {
+            let plan = Scenario::FlakyGpu.plan(r, SimSpan::from_millis(5), 7, 3, seed);
+            assert!(
+                plan.transients.iter().any(|t| t.failures >= 3),
+                "seed {seed}: no persistent fault"
+            );
+            assert!(
+                plan.transients.iter().any(|t| t.failures < 3),
+                "seed {seed}: no retried fault"
+            );
+            let mut ords: Vec<usize> = plan.transients.iter().map(|t| t.ordinal).collect();
+            assert!(ords.iter().all(|&o| o < 7));
+            ords.dedup();
+            assert_eq!(ords.len(), plan.transients.len(), "seed {seed}: collision");
+        }
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+
+    #[test]
+    fn shifted_plan_drops_past_windows_and_clamps_losses() {
+        let r = ResourceId(0);
+        let plan = FaultPlan::none()
+            .with_throttle(ThrottleWindow {
+                resource: r,
+                factor: 0.5,
+                from: SimTime::from_nanos(100),
+                until: SimTime::from_nanos(200),
+            })
+            .with_throttle(ThrottleWindow {
+                resource: r,
+                factor: 0.5,
+                from: SimTime::from_nanos(400),
+                until: SimTime::from_nanos(600),
+            })
+            .with_loss(DeviceLoss {
+                resource: r,
+                at: SimTime::from_nanos(300),
+            });
+        let shifted = plan.shifted_by(SimTime::from_nanos(350));
+        assert_eq!(shifted.throttles.len(), 1);
+        assert_eq!(shifted.throttles[0].from, SimTime::from_nanos(50));
+        assert_eq!(shifted.throttles[0].until, SimTime::from_nanos(250));
+        // The loss already happened: it is a loss at t = 0 now.
+        assert_eq!(shifted.loss_at(r), Some(SimTime::ZERO));
+    }
+}

@@ -20,13 +20,18 @@
 pub mod chrome;
 pub mod dag;
 pub mod event;
+pub mod faults;
 pub mod resource;
 pub mod time;
 pub mod trace;
 
-pub use chrome::{validate_chrome_trace, ChromeTraceSummary, JsonValue, TraceArg};
+pub use chrome::{validate_chrome_trace, ChromeTraceSummary, JsonValue, OverlayEvent, TraceArg};
 pub use dag::{SchedStats, ScheduleError, TaskGraph, TaskId, TaskSpec};
 pub use event::EventQueue;
+pub use faults::{
+    AttemptOutcome, AttemptRecord, DeviceLoss, FaultLog, FaultPlan, RetryPolicy, Scenario,
+    ThrottleWindow, TransientFault,
+};
 pub use resource::{BusyInterval, ResourceId, ResourcePool, Timeline};
 pub use time::{SimSpan, SimTime};
 pub use trace::{GanttOptions, TaskRecord, Trace};

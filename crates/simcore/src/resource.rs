@@ -108,15 +108,23 @@ impl Timeline {
 
     /// Idle time within `[0, horizon)`: the horizon minus the busy time
     /// that falls inside it. Reservations past the horizon contribute
-    /// nothing.
+    /// nothing. A zero or degenerate horizon (shorter than the clipped
+    /// busy time) yields zero rather than underflowing.
     pub fn idle_time(&self, horizon: SimTime) -> SimSpan {
+        if horizon == SimTime::ZERO {
+            return SimSpan::ZERO;
+        }
         let busy: SimSpan = self
             .intervals
             .iter()
             .filter(|iv| iv.start < horizon)
             .map(|iv| iv.end.min(horizon) - iv.start)
             .sum();
-        (horizon - SimTime::ZERO) - busy
+        let total = horizon - SimTime::ZERO;
+        if busy >= total {
+            return SimSpan::ZERO;
+        }
+        total - busy
     }
 
     /// Clears all reservations, returning the timeline to idle.
@@ -248,6 +256,31 @@ mod tests {
         // A horizon cutting through a reservation counts only the part
         // inside it.
         assert_eq!(t.idle_time(SimTime::from_nanos(350)).as_nanos(), 200);
+    }
+
+    #[test]
+    fn idle_time_degenerate_horizons() {
+        let mut t = Timeline::new("cpu");
+        // Zero horizon on an idle timeline.
+        assert_eq!(t.idle_time(SimTime::ZERO), SimSpan::ZERO);
+        t.reserve(SimTime::ZERO, SimSpan::from_nanos(100));
+        // Zero horizon with reservations present.
+        assert_eq!(t.idle_time(SimTime::ZERO), SimSpan::ZERO);
+        // Horizon entirely inside the first reservation: fully busy.
+        assert_eq!(t.idle_time(SimTime::from_nanos(40)), SimSpan::ZERO);
+        // Horizon exactly at the reservation edge: still fully busy.
+        assert_eq!(t.idle_time(SimTime::from_nanos(100)), SimSpan::ZERO);
+        assert_eq!(t.idle_time(SimTime::from_nanos(150)).as_nanos(), 50);
+    }
+
+    #[test]
+    fn utilization_degenerate_horizons() {
+        let mut t = Timeline::new("cpu");
+        assert_eq!(t.utilization(SimTime::ZERO), 0.0);
+        t.reserve(SimTime::ZERO, SimSpan::from_nanos(100));
+        assert_eq!(t.utilization(SimTime::ZERO), 0.0);
+        let u = t.utilization(SimTime::from_nanos(50));
+        assert!((u - 1.0).abs() < 1e-12, "fully busy horizon: {u}");
     }
 
     #[test]
