@@ -36,4 +36,16 @@ echo "==> repro faults smoke (resilient execution under injected faults)"
 cargo run --release --offline -p ubench --bin repro -- \
   faults squeezenet --scenario=flaky-gpu --seed=42 --miniature >/dev/null
 
+echo "==> chrome trace parser fuzz property (mutated/truncated/random input)"
+# The std-only JSON parser must return Err — never panic, overflow, or
+# loop — on arbitrary bytes. Seeded, so failures replay exactly.
+cargo test -q --offline -p simcore --test chrome_fuzz >/dev/null
+
+echo "==> repro serve smoke (bursty overload, bounded queue, exact accounting)"
+# Seeded bursty arrivals at 2x the service rate; the subcommand exits
+# non-zero if the bounded queue exceeds its capacity or offered frames
+# do not partition exactly into completed + degraded + shed.
+cargo run --release --offline -p ubench --bin repro -- \
+  serve squeezenet --arrivals=bursty --seed=42 --frames=64 --miniature >/dev/null
+
 echo "ci.sh: all green"

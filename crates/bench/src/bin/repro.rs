@@ -4,6 +4,8 @@
 //! repro [fig5|fig6|fig8|fig10|fig12|fig16|fig17|fig18|table1|npu|all]
 //! repro trace [net] [--miniature] [--trace-out=FILE]
 //! repro faults [net] [--scenario=throttle|flaky-gpu|gpu-loss] [--seed=N] [--miniature]
+//! repro serve [net] [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS]
+//!             [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]
 //! ```
 //!
 //! Each subcommand prints paper-style rows; `all` runs everything.
@@ -46,6 +48,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("faults") {
         faults(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        serve(&args[1..]);
         return;
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -274,6 +280,159 @@ fn faults(args: &[String]) {
     if !violations.is_empty() {
         for v in &violations {
             eprintln!("FAULT-RUN VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `repro serve [net] [--arrivals=NAME] [--rate=FPS] [--deadline=MS]
+/// [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]`:
+/// overload-robust serving of a seeded arrival stream through the
+/// μLayer degradation ladder. Prints the SLO table (per-rung counts,
+/// shed/rejected, latency percentiles) and exits non-zero if a serving
+/// invariant breaks — the queue exceeding its bound, or offered frames
+/// not partitioning exactly into completed/degraded/shed.
+fn serve(args: &[String]) {
+    let mut model = unn::ModelId::SqueezeNet;
+    let mut arrivals = simcore::ArrivalKind::Bursty;
+    let mut miniature = false;
+    let mut rate_fps = 0.0f64;
+    let mut deadline_ms = 0.0f64;
+    let mut queue = 8usize;
+    let mut frames = 96usize;
+    let mut seed = 42u64;
+    let mut out_path: Option<String> = None;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: repro serve [vgg16|alexnet|squeezenet|googlenet|mobilenet] \
+             [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS] \
+             [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]"
+        );
+        std::process::exit(2);
+    };
+    for a in args {
+        if a == "--miniature" {
+            miniature = true;
+        } else if let Some(s) = a.strip_prefix("--arrivals=") {
+            match simcore::ArrivalKind::from_name(s) {
+                Some(k) => arrivals = k,
+                None => usage(),
+            }
+        } else if let Some(s) = a.strip_prefix("--rate=") {
+            match s.parse::<f64>() {
+                Ok(v) if v >= 0.0 => rate_fps = v,
+                _ => usage(),
+            }
+        } else if let Some(s) = a.strip_prefix("--deadline=") {
+            match s.parse::<f64>() {
+                Ok(v) if v >= 0.0 => deadline_ms = v,
+                _ => usage(),
+            }
+        } else if let Some(s) = a.strip_prefix("--queue=") {
+            match s.parse::<usize>() {
+                Ok(v) if v >= 1 => queue = v,
+                _ => usage(),
+            }
+        } else if let Some(s) = a.strip_prefix("--frames=") {
+            match s.parse::<usize>() {
+                Ok(v) if v >= 1 => frames = v,
+                _ => usage(),
+            }
+        } else if let Some(s) = a.strip_prefix("--seed=") {
+            match s.parse() {
+                Ok(n) => seed = n,
+                Err(_) => usage(),
+            }
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            out_path = Some(p.to_string());
+        } else if let Some(m) = parse_model(a) {
+            model = m;
+        } else {
+            usage();
+        }
+    }
+
+    heading(&format!(
+        "Overload serving: uLayer {} under {} arrivals (seed {seed}, {frames} frames, queue {queue})",
+        model.name(),
+        arrivals,
+    ));
+    let reports = figures::serve_overload(
+        model,
+        arrivals,
+        miniature,
+        frames,
+        rate_fps,
+        deadline_ms,
+        queue,
+        seed,
+    );
+    let mut violations = Vec::new();
+    for rep in &reports {
+        let r = &rep.report;
+        println!(
+            "\n--- {} (mean interval {}, deadline {}) ---",
+            rep.soc,
+            ms(rep.mean_interval_ms),
+            ms(rep.deadline_ms)
+        );
+        let mut t = Table::new(&["Rung", "Service (ms)", "Frames"]);
+        for ((label, lat_ms), count) in rep.rungs.iter().zip(&r.rung_counts) {
+            t.row(vec![label.clone(), ms(*lat_ms), count.to_string()]);
+        }
+        print!("{}", t.render());
+        let mut t = Table::new(&[
+            "Offered",
+            "Completed",
+            "Degraded",
+            "Shed",
+            "Rejected",
+            "Queue peak/cap",
+            "p50",
+            "p95",
+            "p99",
+        ]);
+        t.row(vec![
+            r.offered.to_string(),
+            r.completed.to_string(),
+            r.degraded.to_string(),
+            r.shed.to_string(),
+            r.rejected.to_string(),
+            format!("{}/{}", r.queue_peak, r.queue_capacity),
+            ms(r.latency_percentile(0.50).as_secs_f64() * 1e3),
+            ms(r.latency_percentile(0.95).as_secs_f64() * 1e3),
+            ms(r.latency_percentile(0.99).as_secs_f64() * 1e3),
+        ]);
+        print!("{}", t.render());
+        if let Err(e) = r.check_invariants() {
+            violations.push(format!("{} / {}: {e}", rep.soc, rep.network));
+        }
+    }
+
+    // Optionally export the high-end SoC's serving timeline.
+    if let Some(path) = out_path {
+        let json = reports[0].report.chrome_trace_json();
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        match simcore::validate_chrome_trace(&json) {
+            Ok(summary) => println!(
+                "\nwrote {path}: {} events on {} tracks (admission/rung/shed overlays)",
+                summary.complete_events, summary.tracks
+            ),
+            Err(e) => {
+                eprintln!("exported serving trace failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("\n(bounded admission rejects at the door; the ladder degrades per-frame");
+    println!(" from predicted slack and climbs back once the backlog drains)");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("SERVE INVARIANT VIOLATION: {v}");
         }
         std::process::exit(1);
     }

@@ -564,6 +564,96 @@ pub fn fault_scenarios(
         .collect()
 }
 
+/// One SoC's serving outcome under a seeded arrival process: the
+/// degradation ladder μLayer emitted plus the full [`uruntime::ServeReport`].
+#[derive(Clone, Debug)]
+pub struct ServeScenarioReport {
+    /// SoC name.
+    pub soc: String,
+    /// Network name.
+    pub network: String,
+    /// The arrival process driven against the ladder.
+    pub arrivals: simcore::ArrivalKind,
+    /// Seed of the arrival process.
+    pub seed: u64,
+    /// Mean inter-arrival interval (ms) the process was sized with.
+    pub mean_interval_ms: f64,
+    /// Per-frame deadline (ms).
+    pub deadline_ms: f64,
+    /// Ladder rungs: label and realized single-frame latency (ms).
+    pub rungs: Vec<(String, f64)>,
+    /// The serving outcome (frame accounting, percentiles, metrics).
+    pub report: uruntime::ServeReport,
+}
+
+/// Serves `frames` seeded arrivals of `model` through the μLayer-emitted
+/// degradation ladder on both evaluated SoCs.
+///
+/// `rate_fps == 0` sizes the offered load automatically at 2x each SoC's
+/// full-rung service rate (guaranteed overload); `deadline_ms == 0`
+/// defaults to 2x the full rung's latency. `miniature` swaps in the
+/// small functional-test network so smoke runs stay fast.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_overload(
+    model: ModelId,
+    arrivals: simcore::ArrivalKind,
+    miniature: bool,
+    frames: usize,
+    rate_fps: f64,
+    deadline_ms: f64,
+    queue: usize,
+    seed: u64,
+) -> Vec<ServeScenarioReport> {
+    use simcore::{ArrivalProcess, SimSpan};
+
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let g = if miniature {
+                model.build_miniature()
+            } else {
+                model.build()
+            };
+            let rt = ULayer::new(spec.clone()).expect("ulayer");
+            let ladder = rt.degradation_ladder(&g, None).expect("ladder");
+            let full = uruntime::execute_plan(&spec, &g, &ladder[0].plan)
+                .expect("full rung")
+                .latency;
+            let mean = if rate_fps > 0.0 {
+                SimSpan::from_secs_f64(1.0 / rate_fps)
+            } else {
+                SimSpan::from_nanos((full.as_nanos() / 2).max(1))
+            };
+            let deadline = if deadline_ms > 0.0 {
+                SimSpan::from_secs_f64(deadline_ms / 1e3)
+            } else {
+                full * 2u64
+            };
+            let times = ArrivalProcess::from_kind(arrivals, mean).times(frames, seed);
+            let cfg = uruntime::ServeConfig {
+                queue_capacity: queue,
+                deadline,
+            };
+            let report = uruntime::serve_stream(&spec, &g, &ladder, &times, &cfg).expect("serve");
+            let rungs = ladder
+                .iter()
+                .zip(&report.rung_latency)
+                .map(|(r, lat)| (r.label.clone(), lat.as_secs_f64() * 1e3))
+                .collect();
+            ServeScenarioReport {
+                soc: spec.name.clone(),
+                network: model.name().to_string(),
+                arrivals,
+                seed,
+                mean_interval_ms: mean.as_secs_f64() * 1e3,
+                deadline_ms: deadline.as_secs_f64() * 1e3,
+                rungs,
+                report,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,6 +709,25 @@ mod tests {
             // 30.5% / 35.3%.
             let geo = 1.0 - geomean(&imps.iter().map(|v| 1.0 - v).collect::<Vec<_>>());
             assert!((0.15..0.60).contains(&geo), "{}: geomean = {geo}", eval.soc);
+        }
+    }
+
+    #[test]
+    fn serve_overload_accounts_every_frame() {
+        for rep in serve_overload(
+            ModelId::SqueezeNet,
+            simcore::ArrivalKind::Bursty,
+            true,
+            48,
+            0.0,
+            0.0,
+            6,
+            7,
+        ) {
+            rep.report.check_invariants().expect("serving invariants");
+            assert_eq!(rep.report.offered, 48);
+            assert!(rep.report.queue_peak <= 6);
+            assert!(!rep.rungs.is_empty());
         }
     }
 

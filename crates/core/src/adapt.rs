@@ -32,6 +32,16 @@ use crate::runtime::ULayer;
 /// nanosecond arithmetic.
 const LOST_FACTOR: f64 = 1e6;
 
+/// Bounds on a single observation's observed/predicted ratio and on the
+/// EWMA factor itself. A near-zero prediction paired with a large
+/// observation (e.g. a watchdog-timeout span fed back for a trivial
+/// kernel) must not drive the factor to infinity — and the ceiling stays
+/// well below [`LOST_FACTOR`] so an actually-lost device always costs
+/// more than the worst drift. The floor keeps an implausibly fast
+/// observation from zeroing every later cost estimate.
+const MIN_CORRECTION: f64 = 1e-3;
+const MAX_CORRECTION: f64 = 1e4;
+
 /// EWMA tracker of observed/predicted kernel latency per
 /// `(device, work class)`.
 #[derive(Clone, Debug)]
@@ -81,7 +91,12 @@ impl DriftAdapter {
     }
 
     /// Feeds one realized kernel: `observed` time against the
-    /// predictor's `predicted` time. Zero predictions are ignored.
+    /// predictor's `predicted` time. Zero predictions are ignored, and
+    /// both the single observation's ratio and the running factor are
+    /// clamped to `[MIN_CORRECTION, MAX_CORRECTION]` so one degenerate
+    /// sample (near-zero prediction, watchdog-length observation) cannot
+    /// push the correction unboundedly far. Observations for a device
+    /// already marked lost are ignored — [`LOST_FACTOR`] stays pinned.
     pub fn observe(
         &mut self,
         device: DeviceId,
@@ -90,12 +105,16 @@ impl DriftAdapter {
         observed: SimSpan,
     ) {
         let p = predicted.as_secs_f64();
-        if p <= 0.0 {
+        if p <= 0.0 || self.lost.contains(&device.0) {
             return;
         }
         let ratio = observed.as_secs_f64() / p;
+        if !ratio.is_finite() {
+            return;
+        }
+        let ratio = ratio.clamp(MIN_CORRECTION, MAX_CORRECTION);
         let f = self.factors.entry((device.0, class)).or_insert(1.0);
-        *f = *f * (1.0 - self.alpha) + ratio * self.alpha;
+        *f = (*f * (1.0 - self.alpha) + ratio * self.alpha).clamp(MIN_CORRECTION, MAX_CORRECTION);
         self.touched.insert((device.0, class));
     }
 
@@ -340,6 +359,98 @@ mod tests {
         let relaxed = a.factor(d, WorkClass::Gemm);
         assert!(relaxed < inflated);
         assert!((relaxed - 1.0).abs() < 0.02, "relaxed = {relaxed}");
+    }
+
+    #[test]
+    fn zero_and_near_zero_predictions_cannot_explode_the_factor() {
+        let mut a = DriftAdapter::new();
+        let d = DeviceId(0);
+        // Exactly zero prediction: ignored entirely.
+        a.observe(d, WorkClass::Gemm, SimSpan::ZERO, SimSpan::from_millis(50));
+        assert_eq!(a.factor(d, WorkClass::Gemm), 1.0);
+        // Near-zero prediction (1 ns) against a watchdog-scale
+        // observation (1 s): the raw ratio is 1e9 but the correction is
+        // clamped, and stays strictly below the lost-device pin.
+        for _ in 0..64 {
+            a.observe(
+                d,
+                WorkClass::Gemm,
+                SimSpan::from_nanos(1),
+                SimSpan::from_secs_f64(1.0),
+            );
+            a.finish_frame();
+        }
+        let f = a.factor(d, WorkClass::Gemm);
+        assert!(f <= MAX_CORRECTION, "unbounded correction: {f}");
+        assert!(f < LOST_FACTOR, "drift must stay below the lost pin: {f}");
+        assert!(f > 1.0, "the slowdown signal itself must survive: {f}");
+    }
+
+    #[test]
+    fn implausibly_fast_observations_floor_not_zero() {
+        let mut a = DriftAdapter::new();
+        let d = DeviceId(1);
+        for _ in 0..64 {
+            a.observe(d, WorkClass::Gemm, SimSpan::from_millis(100), SimSpan::ZERO);
+            a.finish_frame();
+        }
+        let f = a.factor(d, WorkClass::Gemm);
+        assert!(f >= MIN_CORRECTION, "factor collapsed to {f}");
+        assert!(f < 1.0);
+        // A floored factor still yields a usable (non-zero, finite) cost.
+        let corrected = SimSpan::from_millis(10) * f;
+        assert!(corrected > SimSpan::ZERO && corrected < SimSpan::from_millis(10));
+    }
+
+    #[test]
+    fn observations_on_a_device_mid_loss_do_not_unpin_it() {
+        // A device can die mid-frame: the trace still carries kernels
+        // that completed before the loss, and the feedback loop replays
+        // them *after* mark_lost. Those stale observations must not
+        // soften the pin.
+        let mut a = DriftAdapter::new();
+        let d = DeviceId(1);
+        a.mark_lost(d);
+        a.observe(
+            d,
+            WorkClass::Gemm,
+            SimSpan::from_micros(100),
+            SimSpan::from_micros(100),
+        );
+        a.finish_frame();
+        assert_eq!(a.factor(d, WorkClass::Gemm), LOST_FACTOR);
+        assert_eq!(a.worst_factor(d), LOST_FACTOR);
+        // And the reverse order: an in-flight healthy observation
+        // followed by the loss in the same frame.
+        let mut a = DriftAdapter::new();
+        a.observe(
+            d,
+            WorkClass::Gemm,
+            SimSpan::from_micros(100),
+            SimSpan::from_micros(400),
+        );
+        a.mark_lost(d);
+        a.finish_frame();
+        assert_eq!(a.factor(d, WorkClass::Gemm), LOST_FACTOR);
+    }
+
+    #[test]
+    fn ewma_stays_clamped_and_finite_under_extreme_streams() {
+        let mut a = DriftAdapter::new();
+        let d = DeviceId(0);
+        // Alternate absurd slowdowns and absurd speedups; the factor must
+        // remain finite and inside the documented band throughout.
+        for i in 0..100u64 {
+            let (p, o) = if i % 2 == 0 {
+                (SimSpan::from_nanos(1), SimSpan::from_secs_f64(10.0))
+            } else {
+                (SimSpan::from_secs_f64(10.0), SimSpan::from_nanos(1))
+            };
+            a.observe(d, WorkClass::Gemm, p, o);
+            let f = a.factor(d, WorkClass::Gemm);
+            assert!(f.is_finite());
+            assert!((MIN_CORRECTION..=MAX_CORRECTION).contains(&f), "f = {f}");
+        }
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Degradation-ladder emission: an ordered set of plans trading
+//! fidelity and latency for resource footprint.
+//!
+//! The serving frontend ([`uruntime::serve`]) needs more than one plan
+//! per network: under overload the full cooperative plan — which
+//! occupies *every* processor for each frame — cannot drain a backlog,
+//! but cheaper plans that pin a frame to a single processor let
+//! consecutive frames overlap on disjoint devices. The partitioner
+//! already knows how to produce each rung; this module lines them up:
+//!
+//! 1. **`full`** — the complete μLayer plan under the runtime's active
+//!    configuration (channel distribution at every configured `p`,
+//!    processor-friendly quantization, branch distribution).
+//! 2. **`coarse`** — channel distribution restricted to the single
+//!    `p = 0.5` candidate with branch distribution off: a cheaper
+//!    pre-computed cooperative plan (coarser split granularity, fewer
+//!    management tasks). Skipped when it degenerates to the full plan.
+//! 3. **`single-<dev>`** — one single-processor plan per device, in
+//!    QUInt8, ordered fastest-predicted first.
+//!
+//! Every rung's `predicted` latency runs through the same
+//! [`LayerCoster`] the partitioner uses, including the PR 3
+//! [`DriftAdapter`] correction — so a throttled GPU inflates the
+//! predicted latency of every rung that touches the GPU, the serving
+//! loop sees less slack for those rungs, and degradation kicks in
+//! earlier; a lost device pushes its single-processor rung to the
+//! bottom of the ladder (and its predicted latency beyond any
+//! plausible deadline).
+
+use simcore::SimSpan;
+use unn::{Graph, NodeId};
+use uruntime::{single_processor_plan, ExecutionPlan, LadderRung};
+use usoc::DeviceId;
+use utensor::DType;
+
+use crate::adapt::DriftAdapter;
+use crate::config::ULayerConfig;
+use crate::error::ULayerError;
+use crate::partitioner::{partition_with_drift, LayerCoster};
+use crate::runtime::ULayer;
+
+impl ULayer {
+    /// Emits the degradation ladder for `graph`: highest fidelity
+    /// first, cheapest resource footprint last. `drift` (the PR 3
+    /// adapter) corrects every rung's predicted latency, which is what
+    /// the serving loop's slack estimate consumes.
+    pub fn degradation_ladder(
+        &self,
+        graph: &Graph,
+        drift: Option<&DriftAdapter>,
+    ) -> Result<Vec<LadderRung>, ULayerError> {
+        let spec = self.spec();
+        let mut ladder = Vec::new();
+
+        // Rung 0: the full cooperative plan.
+        let full = self.plan_with_drift(graph, drift)?;
+        let full_placements = full.plan.placements.clone();
+        ladder.push(LadderRung {
+            label: "full".into(),
+            plan: full.plan,
+            predicted: full.predicted_serial_latency,
+        });
+
+        // Rung 1: coarse cooperative plan — single p = 0.5 candidate, no
+        // branch distribution. Cheaper to realize (fewer candidate
+        // placements, fewer management tasks) but still cooperative.
+        if self.config().channel_distribution {
+            let coarse_cfg = ULayerConfig {
+                branch_distribution: false,
+                p_candidates: vec![0.5],
+                ..self.config().clone()
+            };
+            let (placements, costs) =
+                partition_with_drift(spec, self.predictor(), &coarse_cfg, graph, drift)?;
+            if placements != full_placements {
+                let predicted: SimSpan = costs.iter().copied().sum();
+                let plan = ExecutionPlan::new(graph, spec, placements, "ulayer-coarse")?;
+                ladder.push(LadderRung {
+                    label: "coarse".into(),
+                    plan,
+                    predicted,
+                });
+            }
+        }
+
+        // Single-processor rungs: one per device, fastest predicted
+        // first. Uniform QUInt8 keeps every rung's storage dtype
+        // compatible with the quantized network regardless of the
+        // active quantization config.
+        let mut singles = Vec::new();
+        for device in spec.device_ids() {
+            let predicted = self.predict_single_processor(graph, device, drift)?;
+            let plan = single_processor_plan(graph, spec, device, DType::QUInt8)?;
+            let label = format!(
+                "single-{}",
+                spec.devices[device.0].kind.name().to_ascii_lowercase()
+            );
+            singles.push(LadderRung {
+                label,
+                plan,
+                predicted,
+            });
+        }
+        singles.sort_by_key(|r| r.predicted);
+        // Duplicate kinds (two CPU clusters, say) get their ladder
+        // position appended so labels stay unique metric keys.
+        for i in 0..singles.len() {
+            let label = singles[i].label.clone();
+            if singles.iter().filter(|r| r.label == label).count() > 1 {
+                for (j, r) in singles.iter_mut().enumerate() {
+                    if r.label == label {
+                        r.label = format!("{label}#{j}");
+                    }
+                }
+            }
+        }
+        ladder.extend(singles);
+        Ok(ladder)
+    }
+
+    /// Drift-corrected predicted serial latency of running the whole
+    /// network on one device in uniform QUInt8 — the single-processor
+    /// rungs' slack estimate.
+    fn predict_single_processor(
+        &self,
+        graph: &Graph,
+        device: DeviceId,
+        drift: Option<&DriftAdapter>,
+    ) -> Result<SimSpan, ULayerError> {
+        let uniform_cfg = ULayerConfig {
+            channel_distribution: false,
+            proc_friendly_quant: false,
+            branch_distribution: false,
+            ..self.config().clone()
+        };
+        let coster = LayerCoster {
+            spec: self.spec(),
+            predictor: self.predictor(),
+            cfg: &uniform_cfg,
+            drift,
+        };
+        let shapes = graph.infer_shapes()?;
+        let mut total = SimSpan::ZERO;
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let in_shape = graph.node_input_shape(NodeId(i), &shapes);
+            let cost = coster
+                .single_cost(device, &node.kind, in_shape, &shapes[i])
+                .ok_or_else(|| {
+                    ULayerError::Plan(format!(
+                        "no single-device cost for node {i} on device {device}"
+                    ))
+                })?;
+            total += cost;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usoc::SocSpec;
+
+    #[test]
+    fn ladder_orders_full_coarse_singles() {
+        let rt = ULayer::new(SocSpec::exynos_7420()).unwrap();
+        let g = unn::ModelId::SqueezeNet.build();
+        let ladder = rt.degradation_ladder(&g, None).unwrap();
+        assert!(ladder.len() >= 3, "got {} rungs", ladder.len());
+        assert_eq!(ladder[0].label, "full");
+        let labels: Vec<&str> = ladder.iter().map(|r| r.label.as_str()).collect();
+        assert!(labels.contains(&"single-cpu"), "labels: {labels:?}");
+        assert!(labels.contains(&"single-gpu"), "labels: {labels:?}");
+        // Labels are unique (they become metric keys).
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        // Every rung has a positive predicted latency and a valid plan.
+        for r in &ladder {
+            assert!(r.predicted > SimSpan::ZERO, "{}", r.label);
+            assert_eq!(r.plan.placements.len(), g.len(), "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn single_rungs_have_single_device_footprint() {
+        let rt = ULayer::new(SocSpec::exynos_7880()).unwrap();
+        let g = unn::ModelId::SqueezeNet.build_miniature();
+        let ladder = rt.degradation_ladder(&g, None).unwrap();
+        for r in &ladder {
+            if r.label.starts_with("single-") {
+                let mut devs: Vec<usize> = r
+                    .plan
+                    .placements
+                    .iter()
+                    .flat_map(|p| p.devices())
+                    .map(|d| d.0)
+                    .collect();
+                devs.sort();
+                devs.dedup();
+                assert_eq!(devs.len(), 1, "{} touches {devs:?}", r.label);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_inflates_gpu_rung_predictions_and_reorders_singles() {
+        let spec = SocSpec::exynos_7420();
+        let rt = ULayer::new(spec.clone()).unwrap();
+        let g = unn::ModelId::SqueezeNet.build();
+        let clean = rt.degradation_ladder(&g, None).unwrap();
+
+        // Pretend the GPU runs 50x slower than predicted across classes.
+        let mut drift = DriftAdapter::with_rates(1.0, 0.5);
+        for class in [
+            usoc::WorkClass::Gemm,
+            usoc::WorkClass::Depthwise,
+            usoc::WorkClass::Pool,
+            usoc::WorkClass::Elementwise,
+            usoc::WorkClass::Norm,
+            usoc::WorkClass::Copy,
+        ] {
+            drift.observe(
+                spec.gpu(),
+                class,
+                SimSpan::from_micros(100),
+                SimSpan::from_micros(5_000),
+            );
+        }
+        let drifted = rt.degradation_ladder(&g, Some(&drift)).unwrap();
+
+        let find = |l: &[LadderRung], name: &str| -> SimSpan {
+            l.iter().find(|r| r.label == name).unwrap().predicted
+        };
+        // The GPU-only rung's slack estimate inflates by the drift.
+        assert!(
+            find(&drifted, "single-gpu") > find(&clean, "single-gpu") * 10u64,
+            "drift did not feed the gpu rung's estimate"
+        );
+        // The CPU-only rung is untouched.
+        assert_eq!(find(&drifted, "single-cpu"), find(&clean, "single-cpu"));
+        // Fastest-first ordering now puts the CPU rung ahead of the GPU.
+        let pos = |l: &[LadderRung], name: &str| l.iter().position(|r| r.label == name).unwrap();
+        assert!(pos(&drifted, "single-cpu") < pos(&drifted, "single-gpu"));
+    }
+
+    #[test]
+    fn lost_device_sinks_its_rung_beyond_any_deadline() {
+        let spec = SocSpec::exynos_7420();
+        let rt = ULayer::new(spec.clone()).unwrap();
+        let g = unn::ModelId::SqueezeNet.build_miniature();
+        let mut drift = DriftAdapter::new();
+        drift.mark_lost(spec.gpu());
+        let ladder = rt.degradation_ladder(&g, Some(&drift)).unwrap();
+        let gpu = ladder.iter().find(|r| r.label == "single-gpu").unwrap();
+        let cpu = ladder.iter().find(|r| r.label == "single-cpu").unwrap();
+        assert!(gpu.predicted > cpu.predicted * 1000u64);
+        assert_eq!(ladder.last().unwrap().label, "single-gpu");
+        // The full rung plans around the lost device entirely: nothing
+        // lands on the GPU.
+        let full = &ladder[0];
+        assert!(full
+            .plan
+            .placements
+            .iter()
+            .all(|p| p.devices().iter().all(|d| *d != spec.gpu())));
+    }
+}

@@ -38,6 +38,7 @@ pub mod adapt;
 pub mod branch;
 pub mod config;
 pub mod error;
+pub mod ladder;
 pub mod partitioner;
 pub mod predictor;
 pub mod predictor_eval;

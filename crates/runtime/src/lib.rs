@@ -19,6 +19,9 @@
 //!   nanosecond of every resource classified as compute, issue, sync,
 //!   map, unmap, merge, arrival, fallback, or idle) and Chrome
 //!   trace-event export, with fault windows as overlay tracks.
+//! - [`serve`] — the overload-robust serving frontend: bounded
+//!   admission with explicit backpressure, a deadline-aware degradation
+//!   ladder over pre-computed plans, and exact shed-frame accounting.
 //! - [`metrics`] — the counters/gauges registry every executor fills.
 //!
 //! # Examples
@@ -42,6 +45,7 @@ pub mod metrics;
 pub mod observe;
 pub mod pipeline;
 pub mod plan;
+pub mod serve;
 
 pub use baselines::{
     layer_to_processor_plan, run_layer_to_processor, run_network_to_processor,
@@ -59,3 +63,4 @@ pub use observe::{
 };
 pub use pipeline::{execute_pipeline, execute_pipeline_with_faults, PipelineResult};
 pub use plan::{ExecutionPlan, NodePlacement};
+pub use serve::{serve_stream, FrameFate, FrameRecord, LadderRung, ServeConfig, ServeReport};

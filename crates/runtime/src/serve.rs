@@ -1,0 +1,457 @@
+//! Overload-robust serving: bounded admission and a deadline-aware
+//! degradation ladder over the plan-execution engine.
+//!
+//! [`crate::execute_pipeline`] models a camera at a fixed interval with
+//! an *unbounded* backlog: past saturation, latency grows without bound
+//! and every frame still runs the full cooperative plan. This module is
+//! the serving frontend the ROADMAP's "heavy traffic" goal needs:
+//!
+//! - **Bounded admission queue.** A frame arriving when `queue_capacity`
+//!   admitted frames are still waiting is *rejected* at the door
+//!   (explicit backpressure) instead of silently queueing forever.
+//! - **Degradation ladder.** Each admitted frame is dispatched against
+//!   an ordered list of pre-computed [`LadderRung`]s — full cooperative
+//!   plan first, cheaper coarse-grained plans next, single-processor
+//!   plans last. Per frame the highest-fidelity rung whose predicted
+//!   completion meets the frame's deadline wins; if none fits, the
+//!   frame is *shed*. Cheaper rungs occupy fewer devices, so under
+//!   pressure consecutive frames overlap on disjoint processors — the
+//!   ladder trades per-frame fidelity/latency for throughput.
+//! - **Exact accounting.** Every offered frame ends in exactly one of
+//!   completed (rung 0), degraded (rung > 0), or shed (rejected at
+//!   admission or dropped at dispatch): `offered = completed +
+//!   degraded + shed` is an invariant
+//!   [`ServeReport::check_invariants`] enforces, along with the queue
+//!   bound itself.
+//! - **Recovery.** Rung selection is re-evaluated from slack every
+//!   frame, so when the backlog drains the stream climbs back to the
+//!   full cooperative plan on its own.
+//!
+//! Timing uses the same discrete simulation as everything else: each
+//! rung's plan is executed once by [`crate::execute_plan`] (the engine
+//! is deterministic, so one execution is the rung's service time), and
+//! the serving loop plays arrivals against per-device availability.
+
+use std::collections::BTreeSet;
+
+use simcore::chrome::export_with_overlays;
+use simcore::{OverlayEvent, SimSpan, SimTime, Trace, TraceArg};
+use unn::Graph;
+use usoc::SocSpec;
+
+use crate::engine::{execute_plan, RunError, RunResult, TaskMeta};
+use crate::metrics::MetricsRegistry;
+use crate::plan::ExecutionPlan;
+
+/// One rung of the degradation ladder: a pre-computed plan plus the
+/// planner's predicted latency (what admission control reasons with —
+/// the realized latency comes from executing the plan).
+#[derive(Clone, Debug)]
+pub struct LadderRung {
+    /// Short rung label (`"full"`, `"coarse"`, `"single-gpu"`, ...).
+    pub label: String,
+    /// The executable plan for this rung.
+    pub plan: ExecutionPlan,
+    /// Predicted serial latency of the plan (drift-corrected when the
+    /// ladder was built with a `DriftAdapter`).
+    pub predicted: SimSpan,
+}
+
+/// Serving-loop configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Maximum number of admitted-but-not-yet-dispatched frames. A
+    /// frame arriving at a full queue is rejected (and counted shed).
+    pub queue_capacity: usize,
+    /// Per-frame deadline, measured from the frame's arrival.
+    pub deadline: SimSpan,
+}
+
+/// What became of one offered frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Executed on ladder rung `rung` (0 = full fidelity).
+    Executed {
+        /// Index into the ladder.
+        rung: usize,
+    },
+    /// Rejected at admission: the bounded queue was full.
+    Rejected,
+    /// Admitted, but at dispatch no rung could meet the deadline.
+    Shed,
+}
+
+/// One frame's serving record.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameRecord {
+    /// Frame index in arrival order.
+    pub frame: usize,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Dispatch instant (service start); for rejected/shed frames, the
+    /// instant the frame left the system.
+    pub start: SimTime,
+    /// Completion instant (equals `start` for rejected/shed frames).
+    pub finish: SimTime,
+    /// Waiting frames observed at this frame's arrival (pre-admission).
+    pub depth_at_arrival: usize,
+    /// The outcome.
+    pub fate: FrameFate,
+}
+
+/// The outcome of [`serve_stream`].
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-frame records, in arrival order.
+    pub frames: Vec<FrameRecord>,
+    /// Rung labels, ladder order.
+    pub rung_labels: Vec<String>,
+    /// Each rung's realized (simulated) service latency.
+    pub rung_latency: Vec<SimSpan>,
+    /// Frames executed per rung.
+    pub rung_counts: Vec<u64>,
+    /// Frames offered (== `frames.len()`).
+    pub offered: u64,
+    /// Frames executed at full fidelity (rung 0).
+    pub completed: u64,
+    /// Frames executed on a degraded rung (rung > 0).
+    pub degraded: u64,
+    /// Frames shed: rejected at admission + dropped at dispatch.
+    pub shed: u64,
+    /// The admission-rejection subset of `shed`.
+    pub rejected: u64,
+    /// The configured queue bound.
+    pub queue_capacity: usize,
+    /// Peak waiting-room occupancy ever observed.
+    pub queue_peak: usize,
+    /// Arrival→finish latencies of executed frames, sorted ascending.
+    pub latencies: Vec<SimSpan>,
+    /// Counters and gauges (`frames.*`, `queue.*`, `serve.*`).
+    pub metrics: MetricsRegistry,
+}
+
+impl ServeReport {
+    /// Nearest-rank percentile of executed-frame latency (`q` in 0..=1);
+    /// zero when nothing executed.
+    pub fn latency_percentile(&self, q: f64) -> SimSpan {
+        if self.latencies.is_empty() {
+            return SimSpan::ZERO;
+        }
+        let rank = ((self.latencies.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+        self.latencies[rank.clamp(1, self.latencies.len()) - 1]
+    }
+
+    /// Checks the serving invariants, returning the first violation:
+    ///
+    /// 1. the waiting room never exceeded its bound;
+    /// 2. offered frames partition exactly into completed/degraded/shed
+    ///    (nothing lost, nothing double-counted);
+    /// 3. per-rung counts sum to the executed total, and the latency
+    ///    list covers exactly the executed frames;
+    /// 4. per-frame times are causal (`arrival <= start <= finish`).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.queue_peak > self.queue_capacity {
+            return Err(format!(
+                "queue depth {} exceeded its bound {}",
+                self.queue_peak, self.queue_capacity
+            ));
+        }
+        if self.completed + self.degraded + self.shed != self.offered {
+            return Err(format!(
+                "frame accounting leaks: completed {} + degraded {} + shed {} != offered {}",
+                self.completed, self.degraded, self.shed, self.offered
+            ));
+        }
+        if self.rejected > self.shed {
+            return Err(format!(
+                "rejected {} exceeds shed {}",
+                self.rejected, self.shed
+            ));
+        }
+        let executed: u64 = self.rung_counts.iter().sum();
+        if executed != self.completed + self.degraded {
+            return Err(format!(
+                "rung counts sum to {executed}, but {} frames executed",
+                self.completed + self.degraded
+            ));
+        }
+        if self.latencies.len() as u64 != executed {
+            return Err(format!(
+                "{} latencies recorded for {executed} executed frames",
+                self.latencies.len()
+            ));
+        }
+        for r in &self.frames {
+            if r.start < r.arrival || r.finish < r.start {
+                return Err(format!(
+                    "frame {}: non-causal times {} <= {} <= {} violated",
+                    r.frame, r.arrival, r.start, r.finish
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the serving timeline as a Chrome trace-event JSON
+    /// document: one track per ladder rung (an `X` event per executed
+    /// frame) plus `serve:admission` and `serve:shed` overlay tracks
+    /// with zero-duration admission/rejection/shed markers.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut overlays: Vec<OverlayEvent> = Vec::new();
+        for rec in &self.frames {
+            let (adm_name, adm_args) = match rec.fate {
+                FrameFate::Rejected => ("reject", vec![]),
+                _ => ("admit", vec![]),
+            };
+            let mut args = adm_args;
+            args.push((
+                "depth".to_string(),
+                TraceArg::Num(rec.depth_at_arrival as f64),
+            ));
+            args.push(("frame".to_string(), TraceArg::Num(rec.frame as f64)));
+            overlays.push(OverlayEvent {
+                track: "serve:admission".into(),
+                name: adm_name.into(),
+                cat: "serve".into(),
+                start: rec.arrival,
+                dur: SimSpan::ZERO,
+                args,
+            });
+            match rec.fate {
+                FrameFate::Executed { rung } => overlays.push(OverlayEvent {
+                    track: format!("serve:rung:{}", self.rung_labels[rung]),
+                    name: format!("frame {}", rec.frame),
+                    cat: "serve".into(),
+                    start: rec.start,
+                    dur: rec.finish.since(rec.start),
+                    args: vec![
+                        (
+                            "rung".to_string(),
+                            TraceArg::Str(self.rung_labels[rung].clone()),
+                        ),
+                        (
+                            "wait_us".to_string(),
+                            TraceArg::Num(rec.start.since(rec.arrival).as_micros_f64()),
+                        ),
+                    ],
+                }),
+                FrameFate::Shed | FrameFate::Rejected => overlays.push(OverlayEvent {
+                    track: "serve:shed".into(),
+                    name: if rec.fate == FrameFate::Rejected {
+                        format!("rejected {}", rec.frame)
+                    } else {
+                        format!("shed {}", rec.frame)
+                    },
+                    cat: "serve".into(),
+                    start: rec.start,
+                    dur: SimSpan::ZERO,
+                    args: vec![("frame".to_string(), TraceArg::Num(rec.frame as f64))],
+                }),
+            }
+        }
+        let empty: Trace<TaskMeta> = Trace::new(Vec::new());
+        export_with_overlays(&empty, &[], |_| String::new(), |_| Vec::new(), &overlays)
+    }
+}
+
+/// Serves `arrivals` through the degradation `ladder` on `spec`.
+///
+/// The model is FIFO with per-device channels: each rung's service time
+/// and device footprint come from executing its plan once (the engine is
+/// deterministic); a frame dispatches no earlier than its arrival, the
+/// previous frame's dispatch (FIFO), and the availability of every
+/// device its chosen rung touches. Rung choice is first-fit by fidelity:
+/// the first rung whose projected completion meets `arrival + deadline`.
+/// Frames meeting no rung are shed; frames arriving at a full waiting
+/// room are rejected. Because cheaper rungs touch fewer devices, a
+/// backlogged cooperative stream degrades into frames running
+/// *concurrently* on disjoint processors, which is what drains the queue.
+///
+/// Errors if the ladder is empty, the arrivals are not sorted, or any
+/// rung's plan fails to execute.
+pub fn serve_stream(
+    spec: &SocSpec,
+    graph: &Graph,
+    ladder: &[LadderRung],
+    arrivals: &[SimTime],
+    cfg: &ServeConfig,
+) -> Result<ServeReport, RunError> {
+    if ladder.is_empty() {
+        return Err(RunError::MalformedPlan(
+            "serve: degradation ladder is empty".into(),
+        ));
+    }
+    if cfg.queue_capacity == 0 {
+        return Err(RunError::MalformedPlan(
+            "serve: queue capacity must be >= 1".into(),
+        ));
+    }
+    if arrivals.windows(2).any(|w| w[1] < w[0]) {
+        return Err(RunError::MalformedPlan(
+            "serve: arrivals must be sorted".into(),
+        ));
+    }
+
+    // Execute each rung once: realized service latency + device footprint.
+    let mut rung_latency = Vec::with_capacity(ladder.len());
+    let mut rung_devices: Vec<BTreeSet<usize>> = Vec::with_capacity(ladder.len());
+    let mut rung_energy_j = Vec::with_capacity(ladder.len());
+    for rung in ladder {
+        let result: RunResult = execute_plan(spec, graph, &rung.plan)?;
+        rung_latency.push(result.latency);
+        rung_energy_j.push(result.energy.total_j());
+        rung_devices.push(
+            rung.plan
+                .placements
+                .iter()
+                .flat_map(|p| p.devices())
+                .map(|d| d.0)
+                .collect(),
+        );
+    }
+
+    let ndev = spec.devices.len();
+    let mut device_free = vec![SimTime::ZERO; ndev];
+    let mut prev_dispatch = SimTime::ZERO; // FIFO: no frame starts before its predecessor.
+    let mut frames: Vec<FrameRecord> = Vec::with_capacity(arrivals.len());
+    let mut rung_counts = vec![0u64; ladder.len()];
+    let mut queue_peak = 0usize;
+    let mut rejected = 0u64;
+    let mut dropped = 0u64;
+    let mut latencies: Vec<SimSpan> = Vec::new();
+    let mut energy_j = 0.0f64;
+
+    for (k, &arrival) in arrivals.iter().enumerate() {
+        // Waiting room: admitted frames that have not yet dispatched.
+        let depth = frames
+            .iter()
+            .filter(|r| r.fate != FrameFate::Rejected && r.start > arrival)
+            .count();
+        if depth >= cfg.queue_capacity {
+            rejected += 1;
+            frames.push(FrameRecord {
+                frame: k,
+                arrival,
+                start: arrival,
+                finish: arrival,
+                depth_at_arrival: depth,
+                fate: FrameFate::Rejected,
+            });
+            continue;
+        }
+
+        let ready = arrival.max(prev_dispatch);
+        let deadline_at = arrival + cfg.deadline;
+        let mut chosen: Option<(usize, SimTime)> = None;
+        for (r, _) in ladder.iter().enumerate() {
+            let start = rung_devices[r]
+                .iter()
+                .fold(ready, |acc, &d| acc.max(device_free[d]));
+            if start + rung_latency[r] <= deadline_at {
+                chosen = Some((r, start));
+                break;
+            }
+        }
+        match chosen {
+            Some((r, start)) => {
+                let finish = start + rung_latency[r];
+                for &d in &rung_devices[r] {
+                    device_free[d] = finish;
+                }
+                prev_dispatch = start;
+                rung_counts[r] += 1;
+                latencies.push(finish.since(arrival));
+                energy_j += rung_energy_j[r];
+                // This frame occupied the waiting room from arrival to
+                // start; it was present at its own arrival if it waited.
+                let waited = usize::from(start > arrival);
+                queue_peak = queue_peak.max(depth + waited);
+                frames.push(FrameRecord {
+                    frame: k,
+                    arrival,
+                    start,
+                    finish,
+                    depth_at_arrival: depth,
+                    fate: FrameFate::Executed { rung: r },
+                });
+            }
+            None => {
+                // No rung can meet the deadline: drop now (zero service
+                // time), releasing the waiting room immediately.
+                dropped += 1;
+                prev_dispatch = ready;
+                let waited = usize::from(ready > arrival);
+                queue_peak = queue_peak.max(depth + waited);
+                frames.push(FrameRecord {
+                    frame: k,
+                    arrival,
+                    start: ready,
+                    finish: ready,
+                    depth_at_arrival: depth,
+                    fate: FrameFate::Shed,
+                });
+            }
+        }
+    }
+
+    latencies.sort();
+    let offered = frames.len() as u64;
+    let completed = rung_counts.first().copied().unwrap_or(0);
+    let degraded: u64 = rung_counts.iter().skip(1).sum();
+    let shed = rejected + dropped;
+
+    let mut report = ServeReport {
+        frames,
+        rung_labels: ladder.iter().map(|r| r.label.clone()).collect(),
+        rung_latency,
+        rung_counts,
+        offered,
+        completed,
+        degraded,
+        shed,
+        rejected,
+        queue_capacity: cfg.queue_capacity,
+        queue_peak,
+        latencies,
+        metrics: MetricsRegistry::new(),
+    };
+    fill_serve_metrics(&mut report, ladder, energy_j);
+    Ok(report)
+}
+
+fn fill_serve_metrics(report: &mut ServeReport, ladder: &[LadderRung], energy_j: f64) {
+    let mut m = MetricsRegistry::new();
+    m.inc("frames.offered", report.offered);
+    m.inc("frames.completed", report.completed);
+    m.inc("frames.degraded_load", report.degraded);
+    m.inc("frames.shed", report.shed);
+    m.inc("queue.rejected", report.rejected);
+    m.counter_max("queue.peak_depth", report.queue_peak as u64);
+    m.counter_max("queue.capacity", report.queue_capacity as u64);
+    for (rung, count) in ladder.iter().zip(&report.rung_counts) {
+        m.inc(&format!("serve.rung.{}", rung.label), *count);
+    }
+    m.gauge(
+        "serve.latency_p50_ms",
+        report.latency_percentile(0.50).as_millis_f64(),
+    );
+    m.gauge(
+        "serve.latency_p95_ms",
+        report.latency_percentile(0.95).as_millis_f64(),
+    );
+    m.gauge(
+        "serve.latency_p99_ms",
+        report.latency_percentile(0.99).as_millis_f64(),
+    );
+    m.gauge("serve.energy_j", energy_j);
+    if let (Some(first), Some(last)) = (report.frames.first(), report.frames.last()) {
+        let makespan = last.finish.since(first.arrival).as_secs_f64();
+        if makespan > 0.0 {
+            m.gauge(
+                "serve.goodput_ips",
+                (report.completed + report.degraded) as f64 / makespan,
+            );
+        }
+    }
+    report.metrics = m;
+}

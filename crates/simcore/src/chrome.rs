@@ -336,6 +336,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -413,7 +414,14 @@ impl JsonValue {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
+
+/// Containers deeper than this are rejected rather than recursed into:
+/// `value`/`array`/`object` are mutually recursive, so without a bound a
+/// short input like `"[".repeat(100_000)` would overflow the stack. Real
+/// trace documents nest 4 levels.
+const MAX_DEPTH: usize = 128;
 
 impl Parser<'_> {
     fn skip_ws(&mut self) {
@@ -459,8 +467,8 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'"') => self.string().map(JsonValue::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             other => Err(format!(
                 "unexpected {:?} at byte {}",
@@ -468,6 +476,22 @@ impl Parser<'_> {
                 self.pos
             )),
         }
+    }
+
+    fn nested(
+        &mut self,
+        parse: impl FnOnce(&mut Self) -> Result<JsonValue, String>,
+    ) -> Result<JsonValue, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = parse(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<JsonValue, String> {
@@ -628,6 +652,26 @@ mod tests {
         assert!(JsonValue::parse("123 x").is_err());
         assert!(JsonValue::parse("\"unterminated").is_err());
         assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_pathological_nesting_without_overflowing() {
+        // Regression: `value`/`array`/`object` recurse per nesting level,
+        // so unbounded depth on a tiny input overflowed the stack.
+        for open in ["[", "{\"k\":"] {
+            let deep = open.repeat(50_000);
+            let err = JsonValue::parse(&deep).unwrap_err();
+            assert!(err.contains("nesting"), "unexpected error: {err}");
+        }
+        // Nesting at the bound still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(JsonValue::parse(&too_deep).is_err());
     }
 
     #[test]

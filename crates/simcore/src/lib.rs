@@ -17,6 +17,7 @@
 //! The engine is deterministic: scheduling the same graph twice yields the
 //! same trace, which the test suites rely on.
 
+pub mod arrivals;
 pub mod chrome;
 pub mod dag;
 pub mod event;
@@ -25,6 +26,7 @@ pub mod resource;
 pub mod time;
 pub mod trace;
 
+pub use arrivals::{ArrivalKind, ArrivalProcess};
 pub use chrome::{validate_chrome_trace, ChromeTraceSummary, JsonValue, OverlayEvent, TraceArg};
 pub use dag::{SchedStats, ScheduleError, TaskGraph, TaskId, TaskSpec};
 pub use event::EventQueue;

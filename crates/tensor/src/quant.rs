@@ -103,14 +103,39 @@ impl QuantParams {
     }
 
     /// Quantizes one real value with round-to-nearest and saturation.
+    ///
+    /// Non-finite inputs saturate deterministically instead of relying
+    /// on float→int cast edge semantics: `+∞` → 255, `-∞` → 0, and
+    /// `NaN` → `zero_point` (NaN carries no usable magnitude, so it
+    /// maps to real zero rather than either rail). The same rails apply
+    /// if a hand-constructed `scale` of 0 or NaN makes the intermediate
+    /// division non-finite.
     pub fn quantize(&self, real: f32) -> u8 {
         let q = (real / self.scale).round() + self.zero_point as f32;
-        q.clamp(0.0, 255.0) as u8
+        if q.is_nan() {
+            self.zero_point
+        } else if q >= 255.0 {
+            255
+        } else if q <= 0.0 {
+            0
+        } else {
+            q as u8
+        }
     }
 
     /// Dequantizes one 8-bit value.
+    ///
+    /// With the finite positive `scale` that [`QuantParams::from_range`]
+    /// guarantees this is exact affine arithmetic. A hand-constructed
+    /// non-finite scale saturates instead of propagating: `NaN` results
+    /// become 0.0 and infinite results clamp to `±f32::MAX`.
     pub fn dequantize(&self, q: u8) -> f32 {
-        (q as i32 - self.zero_point as i32) as f32 * self.scale
+        let real = (q as i32 - self.zero_point as i32) as f32 * self.scale;
+        if real.is_nan() {
+            0.0
+        } else {
+            real.clamp(f32::MIN, f32::MAX)
+        }
     }
 
     /// Quantizes a slice.
@@ -304,6 +329,54 @@ mod tests {
         let p = QuantParams::from_range(-1.0, 1.0).unwrap();
         assert_eq!(p.quantize(100.0), 255);
         assert_eq!(p.quantize(-100.0), 0);
+    }
+
+    #[test]
+    fn non_finite_inputs_saturate_deterministically() {
+        let p = QuantParams::from_range(-1.0, 1.0).unwrap();
+        assert_eq!(p.quantize(f32::INFINITY), 255);
+        assert_eq!(p.quantize(f32::NEG_INFINITY), 0);
+        assert_eq!(p.quantize(f32::NAN), p.zero_point);
+        // NaN maps to real zero, exactly.
+        assert_eq!(p.dequantize(p.quantize(f32::NAN)), 0.0);
+        // The documented rails hold for every zero point, including the
+        // extremes where one rail *is* the zero point.
+        for zp in [0u8, 1, 127, 254, 255] {
+            let p = QuantParams {
+                scale: 0.5,
+                zero_point: zp,
+            };
+            assert_eq!(p.quantize(f32::INFINITY), 255, "zp {zp}");
+            assert_eq!(p.quantize(f32::NEG_INFINITY), 0, "zp {zp}");
+            assert_eq!(p.quantize(f32::NAN), zp, "zp {zp}");
+        }
+    }
+
+    #[test]
+    fn degenerate_scales_never_produce_non_finite_results() {
+        // `from_range` rejects these scales; hand-constructed params must
+        // still saturate instead of emitting NaN/∞ or tripping UB-adjacent
+        // casts.
+        for scale in [0.0f32, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let p = QuantParams {
+                scale,
+                zero_point: 128,
+            };
+            for v in [0.0f32, 1.0, -1.0, f32::NAN, f32::INFINITY] {
+                let q = p.quantize(v); // must not panic; u8 by construction
+                assert!(p.dequantize(q).is_finite(), "scale {scale}, v {v}");
+            }
+            assert!(p.dequantize(0).is_finite(), "scale {scale}");
+            assert!(p.dequantize(255).is_finite(), "scale {scale}");
+        }
+        // 0/0 inside quantize (real 0, scale 0) hits the NaN rail.
+        let p = QuantParams {
+            scale: 0.0,
+            zero_point: 7,
+        };
+        assert_eq!(p.quantize(0.0), 7);
+        assert_eq!(p.quantize(1.0), 255);
+        assert_eq!(p.quantize(-1.0), 0);
     }
 
     #[test]
