@@ -48,4 +48,22 @@ echo "==> repro serve smoke (bursty overload, bounded queue, exact accounting)"
 cargo run --release --offline -p ubench --bin repro -- \
   serve squeezenet --arrivals=bursty --seed=42 --frames=64 --miniature >/dev/null
 
+echo "==> blocked-GEMM equivalence properties (blocked == naive, bit-exact QUInt8)"
+# Seeded property tests: blocked f32/F16 kernels match the naive
+# reference within ULP bounds, blocked QUInt8 is bit-identical, and
+# repeated convolutions never grow the per-thread scratch arena.
+cargo test -q --offline -p ukernels --test blocked_props >/dev/null
+
+echo "==> repro measure smoke (worker pools + predictor calibration + baseline schema)"
+# Real-thread execution of the miniature net on two workers per pool;
+# writes a measurement document and schema-checks the checked-in
+# BENCH_exec.json baseline. Wall-clock values vary by host, so only the
+# document structure is gated, never the timings.
+smoke_measure="$(mktemp -t ulayer-smoke-measure.XXXXXX.json)"
+trap 'rm -f "$smoke_trace" "$smoke_measure"' EXIT
+cargo run --release --offline -p ubench --bin repro -- \
+  measure squeezenet --miniature --threads=2 --repeat=1 \
+  "--out=$smoke_measure" --baseline=BENCH_exec.json >/dev/null
+test -s "$smoke_measure"
+
 echo "ci.sh: all green"

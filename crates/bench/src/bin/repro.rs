@@ -6,6 +6,8 @@
 //! repro faults [net] [--scenario=throttle|flaky-gpu|gpu-loss] [--seed=N] [--miniature]
 //! repro serve [net] [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS]
 //!             [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]
+//! repro measure [net] [--miniature] [--threads=N] [--repeat=N] [--out=FILE]
+//!               [--baseline=FILE]
 //! ```
 //!
 //! Each subcommand prints paper-style rows; `all` runs everything.
@@ -52,6 +54,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("serve") {
         serve(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("measure") {
+        measure_cmd(&args[1..]);
         return;
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -436,6 +442,297 @@ fn serve(args: &[String]) {
         }
         std::process::exit(1);
     }
+}
+
+/// `repro measure [net] [--miniature] [--threads=N] [--repeat=N]
+/// [--out=FILE] [--baseline=FILE]`: wall-clock measurement of the
+/// μLayer cooperative plan against the single-processor CPU baseline on
+/// real worker threads, plus predictor calibration from the measured
+/// samples. Writes a machine-readable `BENCH_exec.json`; with
+/// `--baseline=FILE` also schema-checks a checked-in baseline document.
+fn measure_cmd(args: &[String]) {
+    let mut model = unn::ModelId::SqueezeNet;
+    let mut miniature = false;
+    let mut threads = uexec::ExecConfig::from_env().cpu_threads;
+    let mut repeat = 3usize;
+    let mut out_path = "BENCH_exec.json".to_string();
+    let mut baseline: Option<String> = None;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: repro measure [vgg16|alexnet|squeezenet|googlenet|mobilenet] \
+             [--miniature] [--threads=N] [--repeat=N] [--out=FILE] [--baseline=FILE]"
+        );
+        std::process::exit(2);
+    };
+    for a in args {
+        if a == "--miniature" {
+            miniature = true;
+        } else if let Some(s) = a.strip_prefix("--threads=") {
+            match s.parse::<usize>() {
+                Ok(v) if v >= 1 => threads = v,
+                _ => usage(),
+            }
+        } else if let Some(s) = a.strip_prefix("--repeat=") {
+            match s.parse::<usize>() {
+                Ok(v) if v >= 1 => repeat = v,
+                _ => usage(),
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            out_path = p.to_string();
+        } else if let Some(p) = a.strip_prefix("--baseline=") {
+            baseline = Some(p.to_string());
+        } else if let Some(m) = parse_model(a) {
+            model = m;
+        } else {
+            usage();
+        }
+    }
+
+    heading(&format!(
+        "Measured execution: uLayer {} on real worker pools ({threads} threads/pool, best of {repeat})",
+        model.name()
+    ));
+
+    let g = if miniature {
+        model.build_miniature()
+    } else {
+        model.build()
+    };
+    let w = unn::Weights::random(&g, 5).expect("weights");
+    let shape = g.input_shape().clone();
+    let x = utensor::Tensor::from_f32(
+        shape.clone(),
+        (0..shape.numel())
+            .map(|i| (((i * 31) % 200) as f32) / 100.0 - 1.0)
+            .collect(),
+    )
+    .expect("input");
+    let calib = unn::calibrate(&g, &w, std::slice::from_ref(&x)).expect("calibrate");
+
+    let spec = usoc::SocSpec::exynos_7420();
+    let runtime = ulayer::ULayer::new(spec.clone()).expect("ulayer runtime");
+    let coop_plan = runtime.plan(&g).expect("ulayer plan").plan;
+    let single_plan =
+        uruntime::single_processor_plan(&g, &spec, spec.cpu(), utensor::DType::QUInt8)
+            .expect("single plan");
+
+    let report = uexec::measure(
+        &spec,
+        &g,
+        &w,
+        &calib,
+        &x,
+        &coop_plan,
+        &single_plan,
+        &uexec::MeasureConfig { threads, repeat },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("measurement failed: {e}");
+        std::process::exit(1);
+    });
+
+    // Calibrate the predictor from the measured cooperative samples.
+    let measured: Vec<ulayer::MeasuredSample> = report
+        .samples
+        .iter()
+        .map(|s| ulayer::MeasuredSample {
+            device: s.device,
+            class: s.class,
+            compute_dtype: s.compute_dtype,
+            macs: s.macs,
+            bytes: s.bytes,
+            seconds: s.seconds,
+        })
+        .collect();
+    let (_fitted, fit) = ulayer::LatencyPredictor::fit_from_measurements(&measured);
+
+    let mut t = Table::new(&["Layer", "Kind", "Coop (ms)", "Single (ms)"]);
+    for row in &report.layers {
+        t.row(vec![
+            row.name.clone(),
+            row.kind.clone(),
+            ms(row.coop_s * 1e3),
+            ms(row.single_s * 1e3),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\ntotal wall: cooperative {} vs single-pool {} => measured speedup {}",
+        ms(report.coop_total_s * 1e3),
+        ms(report.single_total_s * 1e3),
+        ratio(report.measured_speedup),
+    );
+    println!(
+        "modeled speedup (simulator): {}",
+        ratio(report.modeled_speedup)
+    );
+    if report.host_parallelism < 2 {
+        println!(
+            "note: host has {} core(s); the two pools time-share, so cooperative \
+             execution cannot beat the single pool here (expected on CI)",
+            report.host_parallelism
+        );
+    } else if report.measured_speedup <= 1.0 {
+        println!(
+            "WARN: cooperative did not beat single-pool on this {}-core host",
+            report.host_parallelism
+        );
+    }
+
+    println!(
+        "\npredictor calibration: {} samples fitted into {} models ({} skipped), \
+         mean in-sample rel. err {}",
+        fit.samples_used,
+        fit.groups.len(),
+        fit.samples_skipped,
+        pct(fit.mean_rel_err()),
+    );
+    let mut t = Table::new(&["Device", "Class", "Dtype", "Samples", "Rel. err"]);
+    for gfit in &fit.groups {
+        t.row(vec![
+            spec.device(gfit.device)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|_| format!("{}", gfit.device)),
+            format!("{:?}", gfit.class),
+            format!("{}", gfit.compute_dtype),
+            gfit.samples.to_string(),
+            pct(gfit.mean_rel_err),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let json = measure_json(&spec, &report, &fit);
+    if let Err(e) = std::fs::write(&out_path, json.render()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(doc) => {
+                if let Err(missing) = check_measure_schema(&doc) {
+                    eprintln!("baseline {path} fails the schema check: missing {missing}");
+                    std::process::exit(1);
+                }
+                println!("baseline {path}: schema ok");
+            }
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The machine-readable measurement document (`BENCH_exec.json`).
+fn measure_json(
+    spec: &usoc::SocSpec,
+    report: &uexec::MeasureReport,
+    fit: &ulayer::FitReport,
+) -> ubench::Json {
+    use ubench::Json;
+    let dev_name = |id: usoc::DeviceId| {
+        spec.device(id)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|_| format!("{id}"))
+    };
+    Json::obj(vec![
+        ("schema", Json::s(MEASURE_SCHEMA)),
+        ("model", Json::s(report.model.clone())),
+        ("soc", Json::s(spec.name.clone())),
+        ("threads", Json::n(report.threads as f64)),
+        ("repeat", Json::n(report.repeat as f64)),
+        ("host_parallelism", Json::n(report.host_parallelism as f64)),
+        (
+            "coop",
+            Json::obj(vec![
+                ("label", Json::s(report.coop_label.clone())),
+                ("total_s", Json::n(report.coop_total_s)),
+            ]),
+        ),
+        (
+            "single",
+            Json::obj(vec![
+                ("label", Json::s(report.single_label.clone())),
+                ("total_s", Json::n(report.single_total_s)),
+            ]),
+        ),
+        ("measured_speedup", Json::n(report.measured_speedup)),
+        ("modeled_speedup", Json::n(report.modeled_speedup)),
+        (
+            "fit",
+            Json::obj(vec![
+                ("samples_used", Json::n(fit.samples_used as f64)),
+                ("samples_skipped", Json::n(fit.samples_skipped as f64)),
+                ("mean_rel_err", Json::n(fit.mean_rel_err())),
+                (
+                    "groups",
+                    Json::Arr(
+                        fit.groups
+                            .iter()
+                            .map(|gf| {
+                                Json::obj(vec![
+                                    ("device", Json::s(dev_name(gf.device))),
+                                    ("class", Json::s(format!("{:?}", gf.class))),
+                                    ("dtype", Json::s(format!("{}", gf.compute_dtype))),
+                                    ("samples", Json::n(gf.samples as f64)),
+                                    ("mean_rel_err", Json::n(gf.mean_rel_err)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "layers",
+            Json::Arr(
+                report
+                    .layers
+                    .iter()
+                    .map(|l| {
+                        Json::obj(vec![
+                            ("node", Json::n(l.node as f64)),
+                            ("name", Json::s(l.name.clone())),
+                            ("kind", Json::s(l.kind.clone())),
+                            ("coop_s", Json::n(l.coop_s)),
+                            ("single_s", Json::n(l.single_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Schema tag of the measurement document.
+const MEASURE_SCHEMA: &str = "ulayer-exec-measure/v1";
+
+/// Checks that `doc` carries the measurement schema tag and every
+/// required top-level key. Returns the first missing marker.
+fn check_measure_schema(doc: &str) -> Result<(), &'static str> {
+    let required = [
+        "\"schema\":\"ulayer-exec-measure/v1\"",
+        "\"model\"",
+        "\"soc\"",
+        "\"threads\"",
+        "\"repeat\"",
+        "\"host_parallelism\"",
+        "\"coop\"",
+        "\"single\"",
+        "\"measured_speedup\"",
+        "\"modeled_speedup\"",
+        "\"fit\"",
+        "\"layers\"",
+    ];
+    for marker in required {
+        if !doc.contains(marker) {
+            return Err(marker);
+        }
+    }
+    Ok(())
 }
 
 fn heading(title: &str) {

@@ -50,6 +50,6 @@ pub use adapt::{
 pub use branch::BranchMapping;
 pub use config::ULayerConfig;
 pub use error::ULayerError;
-pub use predictor::{FittedModel, LatencyPredictor};
+pub use predictor::{FitReport, FittedModel, GroupFit, LatencyPredictor, MeasuredSample};
 pub use predictor_eval::{evaluate_predictor, DeviceAccuracy, PredictorReport};
 pub use runtime::{PlanReport, ULayer};

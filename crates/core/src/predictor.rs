@@ -124,6 +124,38 @@ fn fit_log(samples: &[(f64, f64, f64)]) -> Option<FittedModel> {
     Some(FittedModel::LogLinear { a, b })
 }
 
+/// Constant model at the sample mean — the fallback when a group is too
+/// small (or too degenerate) to constrain a slope.
+fn mean_model(samples: &[(f64, f64, f64)]) -> FittedModel {
+    let mean = samples.iter().map(|&(_, _, y)| y).sum::<f64>() / samples.len().max(1) as f64;
+    FittedModel::Linear {
+        a: 0.0,
+        b: 0.0,
+        c: mean,
+    }
+}
+
+/// Stable sort index of a kernel class (grouping order in fit reports).
+fn class_idx(class: WorkClass) -> u8 {
+    match class {
+        WorkClass::Gemm => 0,
+        WorkClass::Depthwise => 1,
+        WorkClass::Pool => 2,
+        WorkClass::Elementwise => 3,
+        WorkClass::Norm => 4,
+        WorkClass::Copy => 5,
+    }
+}
+
+/// Stable sort index of a compute dtype.
+fn dtype_idx(dtype: DType) -> u8 {
+    match dtype {
+        DType::F32 => 0,
+        DType::F16 => 1,
+        DType::QUInt8 => 2,
+    }
+}
+
 fn residual(model: &FittedModel, samples: &[(f64, f64, f64)]) -> f64 {
     samples
         .iter()
@@ -132,6 +164,71 @@ fn residual(model: &FittedModel, samples: &[(f64, f64, f64)]) -> f64 {
             e * e
         })
         .sum()
+}
+
+/// One wall-clock-measured kernel execution, as produced by the real
+/// execution backend's measurement harness (`uexec::measure`): the
+/// part's analytic work summary paired with the seconds its worker
+/// chunk actually took.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredSample {
+    /// The processor the part ran as (per the plan's placement).
+    pub device: DeviceId,
+    /// Kernel class of the work.
+    pub class: WorkClass,
+    /// Dtype the arithmetic ran in.
+    pub compute_dtype: DType,
+    /// Multiply-accumulates of the part.
+    pub macs: u64,
+    /// Total bytes the part moved.
+    pub bytes: u64,
+    /// Measured wall seconds.
+    pub seconds: f64,
+}
+
+/// Fit diagnostics of one `(device, class, dtype)` measurement group.
+#[derive(Clone, Debug)]
+pub struct GroupFit {
+    /// The group's device.
+    pub device: DeviceId,
+    /// The group's kernel class.
+    pub class: WorkClass,
+    /// The group's compute dtype.
+    pub compute_dtype: DType,
+    /// Samples the fit consumed.
+    pub samples: usize,
+    /// Mean relative prediction error over the group's own samples
+    /// (the in-sample fit error the CLI reports).
+    pub mean_rel_err: f64,
+    /// The model that was kept.
+    pub model: FittedModel,
+}
+
+/// The result of fitting a predictor from measured samples.
+#[derive(Clone, Debug)]
+pub struct FitReport {
+    /// Per-group diagnostics, in deterministic (device, class, dtype)
+    /// order.
+    pub groups: Vec<GroupFit>,
+    /// Total samples consumed.
+    pub samples_used: usize,
+    /// Samples discarded for non-finite or negative measured time.
+    pub samples_skipped: usize,
+}
+
+impl FitReport {
+    /// Sample-weighted mean relative fit error across all groups.
+    pub fn mean_rel_err(&self) -> f64 {
+        let n: usize = self.groups.iter().map(|g| g.samples).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        self.groups
+            .iter()
+            .map(|g| g.mean_rel_err * g.samples as f64)
+            .sum::<f64>()
+            / n as f64
+    }
 }
 
 /// The trained latency predictor.
@@ -201,6 +298,88 @@ impl LatencyPredictor {
             }
         }
         Ok(LatencyPredictor { models })
+    }
+
+    /// Fits a predictor from wall-clock measurements instead of the
+    /// simulator's analytic model — the calibration loop of §6: run the
+    /// network on the real execution backend, read the per-part timer,
+    /// and regress `(macs, bytes) → seconds` per (device, kernel class,
+    /// compute dtype).
+    ///
+    /// Groups with at least three samples get the same linear-vs-log
+    /// model selection as [`LatencyPredictor::train`]; smaller groups
+    /// fall back to a constant model at the group's mean (one
+    /// measurement cannot constrain a slope). Non-finite or negative
+    /// measurements are skipped and counted in the report.
+    pub fn fit_from_measurements(samples: &[MeasuredSample]) -> (LatencyPredictor, FitReport) {
+        // Deterministic grouping: BTreeMap over explicit sort indices.
+        type GroupKey = (usize, u8, u8);
+        type Group = (MeasuredSample, Vec<(f64, f64, f64)>);
+        let mut grouped: std::collections::BTreeMap<GroupKey, Group> =
+            std::collections::BTreeMap::new();
+        let mut skipped = 0usize;
+        for s in samples {
+            if !s.seconds.is_finite() || s.seconds < 0.0 {
+                skipped += 1;
+                continue;
+            }
+            let key = (s.device.0, class_idx(s.class), dtype_idx(s.compute_dtype));
+            grouped
+                .entry(key)
+                .or_insert_with(|| (*s, Vec::new()))
+                .1
+                .push((s.macs as f64, s.bytes as f64, s.seconds));
+        }
+
+        let mut models = HashMap::new();
+        let mut groups = Vec::with_capacity(grouped.len());
+        let mut used = 0usize;
+        for (rep, points) in grouped.into_values() {
+            used += points.len();
+            let model = if points.len() >= 3 {
+                let lin = fit_linear(&points);
+                let log = fit_log(&points);
+                match (lin, log) {
+                    (Some(a), Some(b)) => {
+                        if residual(&a, &points) <= residual(&b, &points) {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => mean_model(&points),
+                }
+            } else {
+                mean_model(&points)
+            };
+            let mean_rel_err = points
+                .iter()
+                .map(|&(m, b, y)| {
+                    let p = model.predict_secs(m, b);
+                    (p - y).abs() / y.max(1e-12)
+                })
+                .sum::<f64>()
+                / points.len() as f64;
+            models.insert((rep.device, rep.class, rep.compute_dtype), model);
+            groups.push(GroupFit {
+                device: rep.device,
+                class: rep.class,
+                compute_dtype: rep.compute_dtype,
+                samples: points.len(),
+                mean_rel_err,
+                model,
+            });
+        }
+        (
+            LatencyPredictor { models },
+            FitReport {
+                groups,
+                samples_used: used,
+                samples_skipped: skipped,
+            },
+        )
     }
 
     /// Predicts the latency of `work` on `device`.
@@ -342,6 +521,94 @@ mod tests {
         let mut q = work;
         q.compute_dtype = DType::QUInt8;
         assert!(pred.predict(npu, &q).is_ok());
+    }
+
+    #[test]
+    fn fit_from_measurements_round_trips_a_known_model() {
+        // Samples generated from an exact linear law must be recovered
+        // with near-zero reported fit error, and predictions must
+        // round-trip through the fitted model.
+        let spec = SocSpec::exynos_7420();
+        let truth = |m: f64, b: f64| 3e-10 * m + 8e-11 * b + 2e-5;
+        let samples: Vec<MeasuredSample> = (1..40)
+            .map(|i| {
+                let macs = (i * i) as u64 * 4096;
+                let bytes = i as u64 * 2048;
+                MeasuredSample {
+                    device: spec.cpu(),
+                    class: WorkClass::Gemm,
+                    compute_dtype: DType::QUInt8,
+                    macs,
+                    bytes,
+                    seconds: truth(macs as f64, bytes as f64),
+                }
+            })
+            .collect();
+        let (pred, report) = LatencyPredictor::fit_from_measurements(&samples);
+        assert_eq!(pred.model_count(), 1);
+        assert_eq!(report.samples_used, samples.len());
+        assert_eq!(report.samples_skipped, 0);
+        assert_eq!(report.groups.len(), 1);
+        assert!(
+            report.mean_rel_err() < 1e-4,
+            "rel err = {}",
+            report.mean_rel_err()
+        );
+        for s in &samples {
+            let work = KernelWork {
+                class: s.class,
+                macs: s.macs,
+                bytes_in: s.bytes,
+                bytes_weights: 0,
+                bytes_out: 0,
+                compute_dtype: s.compute_dtype,
+            };
+            let p = pred.predict(s.device, &work).unwrap().as_secs_f64();
+            let rel = (p - s.seconds).abs() / s.seconds;
+            assert!(rel < 1e-3, "rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn fit_from_measurements_groups_and_falls_back() {
+        let spec = SocSpec::exynos_7420();
+        let mk = |device: DeviceId, class, dtype, macs: u64, secs: f64| MeasuredSample {
+            device,
+            class,
+            compute_dtype: dtype,
+            macs,
+            bytes: macs / 8,
+            seconds: secs,
+        };
+        let samples = vec![
+            // A two-sample group: constant fallback at the mean.
+            mk(spec.cpu(), WorkClass::Pool, DType::QUInt8, 1000, 1e-4),
+            mk(spec.cpu(), WorkClass::Pool, DType::QUInt8, 2000, 3e-4),
+            // A different device => separate group.
+            mk(spec.gpu(), WorkClass::Pool, DType::F16, 1000, 5e-5),
+            // Garbage measurements are skipped, not fitted.
+            mk(spec.cpu(), WorkClass::Gemm, DType::QUInt8, 1000, f64::NAN),
+            mk(spec.cpu(), WorkClass::Gemm, DType::QUInt8, 1000, -1.0),
+        ];
+        let (pred, report) = LatencyPredictor::fit_from_measurements(&samples);
+        assert_eq!(pred.model_count(), 2);
+        assert_eq!(report.samples_used, 3);
+        assert_eq!(report.samples_skipped, 2);
+        // The constant fallback predicts the mean regardless of size.
+        let work = KernelWork {
+            class: WorkClass::Pool,
+            macs: 999_999,
+            bytes_in: 0,
+            bytes_weights: 0,
+            bytes_out: 0,
+            compute_dtype: DType::QUInt8,
+        };
+        let p = pred.predict(spec.cpu(), &work).unwrap().as_secs_f64();
+        assert!((p - 2e-4).abs() < 1e-12, "p = {p}");
+        // Unfitted (device, class, dtype) triples stay errors.
+        let mut other = work;
+        other.compute_dtype = DType::F32;
+        assert!(pred.predict(spec.cpu(), &other).is_err());
     }
 
     #[test]

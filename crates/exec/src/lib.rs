@@ -1,0 +1,24 @@
+//! Real parallel execution: worker pools, blocked kernels, wall-clock
+//! measurement.
+//!
+//! Everything else in the repo *simulates* the SoC; this crate runs the
+//! same plans on actual host threads:
+//!
+//! - [`pool`] — scoped worker pools for the two compute clusters, with
+//!   join-based layer barriers ([`Engine::run_pair`]).
+//! - [`backend`] — the [`ParallelBackend`] implementing
+//!   `uruntime::ExecBackend`: parts routed to their cluster's pool,
+//!   channel ranges subdivided per worker, outputs merged bit-exactly.
+//! - [`measure`] — best-of-N wall-clock measurement of cooperative vs
+//!   single-processor plans, producing per-part samples that calibrate
+//!   the latency predictor (`repro measure`).
+//!
+//! The crate is std-only, like the rest of the workspace.
+
+pub mod backend;
+pub mod measure;
+pub mod pool;
+
+pub use backend::{NodeTiming, ParallelBackend, PartTiming, PoolMode};
+pub use measure::{measure, LayerRow, MeasureConfig, MeasureError, MeasureReport, PartSample};
+pub use pool::{Engine, ExecConfig, ScopedTask, WorkerPool};

@@ -1,0 +1,291 @@
+//! Wall-clock measurement of plan execution on the worker pools.
+//!
+//! The simulator half of the repo *models* latency; this harness
+//! *measures* it: it runs a cooperative plan and a single-processor
+//! plan through the [`ParallelBackend`] on real threads, times every
+//! layer barrier, and pairs each part's wall time with its analytic
+//! work summary (`usoc::layer_work`). The paired samples feed
+//! `LatencyPredictor::fit_from_measurements`, closing the loop the
+//! paper closes on real hardware: the predictor is calibrated from the
+//! same timer the runtime schedules by.
+//!
+//! Each plan runs `repeat` times and the fastest repetition is kept
+//! (standard practice for wall-clock microbenchmarks — the minimum is
+//! the least noisy estimator of the achievable time).
+
+use unn::{Calibration, Graph, Weights};
+use uruntime::{evaluate_plan_with_backend, execute_plan, ExecutionPlan, RunError};
+use usoc::{DeviceId, DtypePlan, SocSpec, WorkClass};
+use utensor::{DType, Tensor, TensorError};
+
+use crate::backend::{NodeTiming, ParallelBackend, PoolMode};
+use crate::pool::ExecConfig;
+
+/// Knobs of one measurement run.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Worker threads per pool.
+    pub threads: usize,
+    /// Repetitions per plan (best-of). Clamped to at least 1.
+    pub repeat: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> MeasureConfig {
+        MeasureConfig {
+            threads: ExecConfig::from_env().cpu_threads,
+            repeat: 3,
+        }
+    }
+}
+
+/// Errors of the measurement harness.
+#[derive(Debug)]
+pub enum MeasureError {
+    /// Numeric evaluation failed.
+    Tensor(TensorError),
+    /// The modeled (simulated) run failed.
+    Run(RunError),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Tensor(e) => write!(f, "measurement evaluation failed: {e}"),
+            MeasureError::Run(e) => write!(f, "modeled run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+impl From<TensorError> for MeasureError {
+    fn from(e: TensorError) -> MeasureError {
+        MeasureError::Tensor(e)
+    }
+}
+
+impl From<RunError> for MeasureError {
+    fn from(e: RunError) -> MeasureError {
+        MeasureError::Run(e)
+    }
+}
+
+/// One measured part execution paired with its analytic work summary —
+/// the unit the predictor's measurement-fit consumes.
+#[derive(Clone, Debug)]
+pub struct PartSample {
+    /// Graph node index.
+    pub node: usize,
+    /// Node name.
+    pub name: String,
+    /// Layer operation name.
+    pub kind: String,
+    /// The processor the plan assigned the part to.
+    pub device: DeviceId,
+    /// Kernel class of the work.
+    pub class: WorkClass,
+    /// Dtype the arithmetic ran in.
+    pub compute_dtype: DType,
+    /// Multiply-accumulates of the part.
+    pub macs: u64,
+    /// Total bytes moved by the part.
+    pub bytes: u64,
+    /// Measured wall seconds of the part.
+    pub seconds: f64,
+}
+
+/// Per-layer wall times under both pool modes.
+#[derive(Clone, Debug)]
+pub struct LayerRow {
+    /// Graph node index.
+    pub node: usize,
+    /// Node name.
+    pub name: String,
+    /// Layer operation name.
+    pub kind: String,
+    /// Wall seconds of the layer barrier under the cooperative plan.
+    pub coop_s: f64,
+    /// Wall seconds under the single-processor plan.
+    pub single_s: f64,
+}
+
+/// The result of one measurement run.
+#[derive(Clone, Debug)]
+pub struct MeasureReport {
+    /// Network name.
+    pub model: String,
+    /// Worker threads per pool.
+    pub threads: usize,
+    /// Repetitions per plan.
+    pub repeat: usize,
+    /// `available_parallelism` of the measuring host — on a single-core
+    /// host the two pools time-share and cooperative execution cannot
+    /// beat the single pool, so consumers gate the speedup expectation
+    /// on this.
+    pub host_parallelism: usize,
+    /// Labels of the two plans.
+    pub coop_label: String,
+    /// Label of the single-processor plan.
+    pub single_label: String,
+    /// Best-of-`repeat` total wall seconds of the cooperative plan.
+    pub coop_total_s: f64,
+    /// Best-of-`repeat` total wall seconds of the single-processor plan.
+    pub single_total_s: f64,
+    /// `single_total_s / coop_total_s` (measured on this host).
+    pub measured_speedup: f64,
+    /// The same ratio from the simulator's latency model.
+    pub modeled_speedup: f64,
+    /// Per-layer wall times (from the best repetitions).
+    pub layers: Vec<LayerRow>,
+    /// Per-part samples of the cooperative run, for predictor
+    /// calibration.
+    pub samples: Vec<PartSample>,
+}
+
+/// Sum of node wall times of one repetition.
+fn total_wall(timings: &[NodeTiming]) -> f64 {
+    timings.iter().map(|t| t.wall_s).sum()
+}
+
+/// Runs `plan` `repeat` times on `backend`, returning the per-node
+/// timings of the fastest repetition.
+fn run_best(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    weights: &Weights,
+    calib: &Calibration,
+    input: &Tensor,
+    backend: &ParallelBackend,
+    repeat: usize,
+) -> Result<Vec<NodeTiming>, TensorError> {
+    let mut best: Option<Vec<NodeTiming>> = None;
+    for _ in 0..repeat.max(1) {
+        evaluate_plan_with_backend(graph, plan, weights, calib, input, backend)?;
+        let timings = backend.take_timings();
+        let better = best
+            .as_ref()
+            .is_none_or(|b| total_wall(&timings) < total_wall(b));
+        if better {
+            best = Some(timings);
+        }
+    }
+    Ok(best.expect("repeat >= 1"))
+}
+
+/// The `(dtypes, frac)` of one part of a node placement.
+fn part_config(plan: &ExecutionPlan, node: usize, part_index: usize) -> (DtypePlan, f64) {
+    match &plan.placements[node] {
+        uruntime::NodePlacement::Single { dtypes, .. } => (*dtypes, 1.0),
+        uruntime::NodePlacement::Split { parts } => {
+            let (_, dtypes, frac) = parts[part_index];
+            (dtypes, frac)
+        }
+    }
+}
+
+/// Measures `coop_plan` against `single_plan` on the worker pools and
+/// reports measured and modeled speedups plus per-part samples for
+/// predictor calibration.
+#[allow(clippy::too_many_arguments)]
+pub fn measure(
+    spec: &SocSpec,
+    graph: &Graph,
+    weights: &Weights,
+    calib: &Calibration,
+    input: &Tensor,
+    coop_plan: &ExecutionPlan,
+    single_plan: &ExecutionPlan,
+    cfg: &MeasureConfig,
+) -> Result<MeasureReport, MeasureError> {
+    let shapes = graph.infer_shapes()?;
+    let exec_cfg = ExecConfig::with_threads(cfg.threads);
+    let coop = ParallelBackend::new(spec, &exec_cfg, PoolMode::Cooperative);
+    let single = ParallelBackend::new(spec, &exec_cfg, PoolMode::SinglePool);
+
+    // Warm-up: first run pays thread spawn, arena growth, page faults.
+    evaluate_plan_with_backend(graph, coop_plan, weights, calib, input, &coop)?;
+    coop.take_timings();
+    evaluate_plan_with_backend(graph, single_plan, weights, calib, input, &single)?;
+    single.take_timings();
+
+    let coop_t = run_best(graph, coop_plan, weights, calib, input, &coop, cfg.repeat)?;
+    let single_t = run_best(
+        graph,
+        single_plan,
+        weights,
+        calib,
+        input,
+        &single,
+        cfg.repeat,
+    )?;
+
+    let layers = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| LayerRow {
+            node: i,
+            name: node.name.clone(),
+            kind: node.kind.op_name().to_string(),
+            coop_s: coop_t
+                .iter()
+                .find(|t| t.node == i)
+                .map_or(0.0, |t| t.wall_s),
+            single_s: single_t
+                .iter()
+                .find(|t| t.node == i)
+                .map_or(0.0, |t| t.wall_s),
+        })
+        .collect();
+
+    // Pair every cooperative part's wall time with its analytic work.
+    let mut samples = Vec::new();
+    for timing in &coop_t {
+        let node = &graph.nodes()[timing.node];
+        let in_shape = node
+            .inputs
+            .first()
+            .map_or(graph.input_shape(), |d| &shapes[d.0]);
+        let out_shape = &shapes[timing.node];
+        for part in &timing.parts {
+            let (dtypes, frac) = part_config(coop_plan, timing.node, part.part_index);
+            let work = usoc::layer_work(&node.kind, in_shape, out_shape, dtypes, frac);
+            samples.push(PartSample {
+                node: timing.node,
+                name: node.name.clone(),
+                kind: node.kind.op_name().to_string(),
+                device: part.device,
+                class: work.class,
+                compute_dtype: work.compute_dtype,
+                macs: work.macs,
+                bytes: work.total_bytes(),
+                seconds: part.seconds,
+            });
+        }
+    }
+
+    let coop_total_s = total_wall(&coop_t);
+    let single_total_s = total_wall(&single_t);
+    let modeled_coop = execute_plan(spec, graph, coop_plan)?.latency.as_secs_f64();
+    let modeled_single = execute_plan(spec, graph, single_plan)?
+        .latency
+        .as_secs_f64();
+
+    Ok(MeasureReport {
+        model: graph.name().to_string(),
+        threads: cfg.threads,
+        repeat: cfg.repeat.max(1),
+        host_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        coop_label: coop_plan.label.clone(),
+        single_label: single_plan.label.clone(),
+        coop_total_s,
+        single_total_s,
+        measured_speedup: single_total_s / coop_total_s.max(f64::MIN_POSITIVE),
+        modeled_speedup: modeled_single / modeled_coop.max(f64::MIN_POSITIVE),
+        layers,
+        samples,
+    })
+}

@@ -1,0 +1,215 @@
+//! Integration tests of the parallel backend: bit-reproducibility
+//! across thread counts and against the sequential evaluator, plus the
+//! measurement harness end to end.
+
+use uexec::{measure, ExecConfig, MeasureConfig, ParallelBackend, PoolMode};
+use unn::{Calibration, Graph, ModelId, Weights};
+use uruntime::{
+    evaluate_plan, evaluate_plan_with_backend, single_processor_plan, ExecutionPlan, NodePlacement,
+};
+use usoc::{DtypePlan, SocSpec};
+use utensor::{DType, Tensor};
+
+fn setup() -> (Graph, Weights, Calibration, Tensor) {
+    let g = ModelId::SqueezeNet.build_miniature();
+    let w = Weights::random(&g, 5).unwrap();
+    let shape = g.input_shape().clone();
+    let x = Tensor::from_f32(
+        shape.clone(),
+        (0..shape.numel())
+            .map(|i| (((i * 31) % 200) as f32) / 100.0 - 1.0)
+            .collect(),
+    )
+    .unwrap();
+    let calib = unn::calibrate(&g, &w, std::slice::from_ref(&x)).unwrap();
+    (g, w, calib, x)
+}
+
+/// A cooperative split plan: every distributable layer shared between
+/// CPU and GPU in the given dtype plans.
+fn split_plan(
+    g: &Graph,
+    spec: &SocSpec,
+    cpu_dt: DtypePlan,
+    gpu_dt: DtypePlan,
+    label: &str,
+) -> ExecutionPlan {
+    ExecutionPlan::new(
+        g,
+        spec,
+        g.nodes()
+            .iter()
+            .map(|n| {
+                if n.kind.is_distributable() {
+                    NodePlacement::Split {
+                        parts: vec![(spec.cpu(), cpu_dt, 0.5), (spec.gpu(), gpu_dt, 0.5)],
+                    }
+                } else {
+                    NodePlacement::single(spec.cpu(), DType::QUInt8)
+                }
+            })
+            .collect(),
+        label,
+    )
+    .unwrap()
+}
+
+#[test]
+fn parallel_quint8_bit_identical_to_sequential_at_any_thread_count() {
+    // The headline invariant: integer arithmetic is associative, so the
+    // worker pools — blocked kernels, per-worker chunking and all —
+    // must reproduce the sequential evaluator bit for bit.
+    let (g, w, calib, x) = setup();
+    let spec = SocSpec::exynos_7420();
+    let plan = split_plan(
+        &g,
+        &spec,
+        DtypePlan::uniform(DType::QUInt8),
+        DtypePlan::uniform(DType::QUInt8),
+        "q8-split",
+    );
+    let want = evaluate_plan(&g, &plan, &w, &calib, &x).unwrap();
+    for threads in [1, 2, 4] {
+        let backend = ParallelBackend::new(
+            &spec,
+            &ExecConfig::with_threads(threads),
+            PoolMode::Cooperative,
+        );
+        let got = evaluate_plan_with_backend(&g, &plan, &w, &calib, &x, &backend).unwrap();
+        assert_eq!(want.len(), got.len());
+        for (node, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert!(
+                a.bit_equal(b),
+                "threads={threads}: node {node} diverged from sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_execution_deterministic_across_thread_counts() {
+    // Mixed-precision (CPU QUInt8 + GPU F16) outputs must not depend on
+    // how many workers each pool has: chunking splits GEMM rows, and a
+    // row's accumulation order depends only on the K-panel size.
+    let (g, w, calib, x) = setup();
+    let spec = SocSpec::exynos_7420();
+    let plan = split_plan(
+        &g,
+        &spec,
+        DtypePlan::proc_friendly_cpu(),
+        DtypePlan::proc_friendly_gpu(),
+        "ulayer-split",
+    );
+    let reference = {
+        let backend =
+            ParallelBackend::new(&spec, &ExecConfig::with_threads(1), PoolMode::Cooperative);
+        evaluate_plan_with_backend(&g, &plan, &w, &calib, &x, &backend).unwrap()
+    };
+    for threads in [2, 4] {
+        let backend = ParallelBackend::new(
+            &spec,
+            &ExecConfig::with_threads(threads),
+            PoolMode::Cooperative,
+        );
+        let got = evaluate_plan_with_backend(&g, &plan, &w, &calib, &x, &backend).unwrap();
+        for (node, (a, b)) in reference.iter().zip(&got).enumerate() {
+            assert!(
+                a.bit_equal(b),
+                "threads={threads}: node {node} not deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_pool_mode_matches_cooperative_bitwise() {
+    // Pool routing is a scheduling choice, never a numeric one.
+    let (g, w, calib, x) = setup();
+    let spec = SocSpec::exynos_7420();
+    let plan = split_plan(
+        &g,
+        &spec,
+        DtypePlan::proc_friendly_cpu(),
+        DtypePlan::proc_friendly_gpu(),
+        "ulayer-split",
+    );
+    let coop = ParallelBackend::new(&spec, &ExecConfig::with_threads(2), PoolMode::Cooperative);
+    let single = ParallelBackend::new(&spec, &ExecConfig::with_threads(2), PoolMode::SinglePool);
+    let a = evaluate_plan_with_backend(&g, &plan, &w, &calib, &x, &coop).unwrap();
+    let b = evaluate_plan_with_backend(&g, &plan, &w, &calib, &x, &single).unwrap();
+    for (node, (ta, tb)) in a.iter().zip(&b).enumerate() {
+        assert!(ta.bit_equal(tb), "node {node} differs between pool modes");
+    }
+    assert_eq!(uruntime::ExecBackend::name(&coop), "parallel-cooperative");
+    assert_eq!(uruntime::ExecBackend::name(&single), "parallel-single-pool");
+}
+
+#[test]
+fn backend_records_per_node_timings() {
+    let (g, w, calib, x) = setup();
+    let spec = SocSpec::exynos_7420();
+    let plan = split_plan(
+        &g,
+        &spec,
+        DtypePlan::proc_friendly_cpu(),
+        DtypePlan::proc_friendly_gpu(),
+        "ulayer-split",
+    );
+    let backend = ParallelBackend::new(&spec, &ExecConfig::with_threads(2), PoolMode::Cooperative);
+    evaluate_plan_with_backend(&g, &plan, &w, &calib, &x, &backend).unwrap();
+    let timings = backend.take_timings();
+    assert_eq!(timings.len(), g.len(), "one timing record per node");
+    for t in &timings {
+        assert!(t.wall_s >= 0.0);
+        assert!(!t.parts.is_empty());
+        for p in &t.parts {
+            assert!(p.seconds >= 0.0 && p.seconds <= t.wall_s + 1e-9);
+            assert!(p.chunks >= 1);
+        }
+    }
+    // Draining leaves the buffer empty.
+    assert!(backend.take_timings().is_empty());
+}
+
+#[test]
+fn measure_reports_speedups_and_samples() {
+    let (g, w, calib, x) = setup();
+    let spec = SocSpec::exynos_7420();
+    let coop_plan = split_plan(
+        &g,
+        &spec,
+        DtypePlan::proc_friendly_cpu(),
+        DtypePlan::proc_friendly_gpu(),
+        "ulayer-split",
+    );
+    let single_plan = single_processor_plan(&g, &spec, spec.cpu(), DType::QUInt8).unwrap();
+    let report = measure(
+        &spec,
+        &g,
+        &w,
+        &calib,
+        &x,
+        &coop_plan,
+        &single_plan,
+        &MeasureConfig {
+            threads: 2,
+            repeat: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.layers.len(), g.len());
+    assert!(report.coop_total_s > 0.0);
+    assert!(report.single_total_s > 0.0);
+    assert!(report.measured_speedup.is_finite() && report.measured_speedup > 0.0);
+    // A naive 50/50 split of a miniature net need not model faster than
+    // the CPU baseline (map/unmap overheads dominate tiny layers) — but
+    // the ratio must be a sane positive number.
+    assert!(report.modeled_speedup.is_finite() && report.modeled_speedup > 0.0);
+    // Every cooperative part contributed a calibration sample, and split
+    // layers contributed one per part.
+    assert!(report.samples.len() >= g.len());
+    assert!(report.samples.iter().any(|s| s.macs > 0));
+    assert!(report.samples.iter().all(|s| s.seconds >= 0.0));
+    assert_eq!(report.threads, 2);
+    assert_eq!(report.model, g.name());
+}

@@ -11,8 +11,8 @@
 
 use utensor::{DType, QuantParams, Shape, Tensor, TensorError, F16};
 
-use crate::gemm::{gemm_f16, gemm_f32, gemm_quint8};
-use crate::im2col::im2col;
+use crate::gemm::{gemm_f16_into, gemm_f32_into, gemm_quint8_into};
+use crate::im2col::im2col_into;
 use crate::out_dim;
 
 /// Geometry and fusion options of a convolution.
@@ -109,7 +109,11 @@ pub fn conv2d(
     let cols = oh * ow;
     let plane = ic * h * w;
 
-    match input.dtype() {
+    // Patch matrices and the quantized accumulator row come from the
+    // per-thread scratch arena: repeated convolutions (one per layer per
+    // frame) reuse capacity instead of allocating in the hot loop.
+    let mut arena = crate::arena::take_thread_arena();
+    let result = match input.dtype() {
         DType::F32 => {
             if out_params.is_some() {
                 return Err(TensorError::BadQuantParams(
@@ -118,9 +122,13 @@ pub fn conv2d(
             }
             let x = input.as_f32()?;
             let f = filters.as_f32()?;
-            let mut out = Vec::with_capacity(out_shape.numel());
+            let mut out = vec![0.0f32; out_shape.numel()];
+            // Move the patch buffer out so the blocked kernel can borrow
+            // the arena's pack buffers mutably alongside it.
+            let mut patches = std::mem::take(&mut arena.patches_f32);
             for b in 0..n {
-                let patches = im2col(
+                im2col_into(
+                    &mut patches,
                     &x[b * plane..(b + 1) * plane],
                     ic,
                     h,
@@ -131,8 +139,24 @@ pub fn conv2d(
                     params.pad,
                     0.0f32,
                 );
-                out.extend(gemm_f32(oc, k, cols, f, &patches, bias, params.relu));
+                let c = &mut out[b * oc * cols..(b + 1) * oc * cols];
+                if crate::blocked::blocked_kernels_enabled() {
+                    crate::blocked::gemm_f32_blocked(
+                        c,
+                        oc,
+                        k,
+                        cols,
+                        f,
+                        &patches,
+                        bias,
+                        params.relu,
+                        &mut arena,
+                    );
+                } else {
+                    gemm_f32_into(c, oc, k, cols, f, &patches, bias, params.relu);
+                }
             }
+            arena.patches_f32 = patches;
             Tensor::from_f32(out_shape, out)
         }
         DType::F16 => {
@@ -143,9 +167,11 @@ pub fn conv2d(
             }
             let x = input.as_f16()?;
             let f = filters.as_f16()?;
-            let mut out: Vec<F16> = Vec::with_capacity(out_shape.numel());
+            let mut out: Vec<F16> = vec![F16::ZERO; out_shape.numel()];
+            let mut patches = std::mem::take(&mut arena.patches_f16);
             for b in 0..n {
-                let patches = im2col(
+                im2col_into(
+                    &mut patches,
                     &x[b * plane..(b + 1) * plane],
                     ic,
                     h,
@@ -156,8 +182,24 @@ pub fn conv2d(
                     params.pad,
                     F16::ZERO,
                 );
-                out.extend(gemm_f16(oc, k, cols, f, &patches, bias, params.relu));
+                let c = &mut out[b * oc * cols..(b + 1) * oc * cols];
+                if crate::blocked::blocked_kernels_enabled() {
+                    crate::blocked::gemm_f16_blocked(
+                        c,
+                        oc,
+                        k,
+                        cols,
+                        f,
+                        &patches,
+                        bias,
+                        params.relu,
+                        &mut arena,
+                    );
+                } else {
+                    gemm_f16_into(c, oc, k, cols, f, &patches, bias, params.relu);
+                }
             }
+            arena.patches_f16 = patches;
             Tensor::new(out_shape, utensor::TensorData::F16(out))
         }
         DType::QUInt8 => {
@@ -166,9 +208,12 @@ pub fn conv2d(
             })?;
             let (x, x_p) = input.as_quint8()?;
             let (f, f_p) = filters.as_quint8()?;
-            let mut out: Vec<u8> = Vec::with_capacity(out_shape.numel());
+            let mut out: Vec<u8> = vec![0u8; out_shape.numel()];
+            let mut patches = std::mem::take(&mut arena.patches_u8);
+            let mut res: Result<(), TensorError> = Ok(());
             for b in 0..n {
-                let patches = im2col(
+                im2col_into(
+                    &mut patches,
                     &x[b * plane..(b + 1) * plane],
                     ic,
                     h,
@@ -179,22 +224,49 @@ pub fn conv2d(
                     params.pad,
                     x_p.zero_point,
                 );
-                out.extend(gemm_quint8(
-                    oc,
-                    k,
-                    cols,
-                    f,
-                    f_p,
-                    &patches,
-                    x_p,
-                    bias,
-                    out_params,
-                    params.relu,
-                )?);
+                let c = &mut out[b * oc * cols..(b + 1) * oc * cols];
+                let r = if crate::blocked::blocked_kernels_enabled() {
+                    crate::blocked::gemm_quint8_blocked(
+                        c,
+                        oc,
+                        k,
+                        cols,
+                        f,
+                        f_p,
+                        &patches,
+                        x_p,
+                        bias,
+                        out_params,
+                        params.relu,
+                        &mut arena,
+                    )
+                } else {
+                    gemm_quint8_into(
+                        c,
+                        oc,
+                        k,
+                        cols,
+                        f,
+                        f_p,
+                        &patches,
+                        x_p,
+                        bias,
+                        out_params,
+                        params.relu,
+                        &mut arena.acc_i32,
+                    )
+                };
+                if let Err(e) = r {
+                    res = Err(e);
+                    break;
+                }
             }
-            Tensor::from_quantized(out_shape, out, out_params)
+            arena.patches_u8 = patches;
+            res.and_then(|()| Tensor::from_quantized(out_shape, out, out_params))
         }
-    }
+    };
+    crate::arena::restore_thread_arena(arena);
+    result
 }
 
 /// Naive direct f32 convolution: the independent test oracle.

@@ -10,7 +10,7 @@
 
 use utensor::{DType, QuantParams, Shape, Tensor, TensorError};
 
-use crate::gemm::{gemm_f16, gemm_f32, gemm_quint8};
+use crate::gemm::{gemm_f16_into, gemm_f32_into, gemm_quint8_into};
 
 /// Fully-connected layer: `input` (any shape with `n` as dim 0) ×
 /// `weights [out_features, in_features]` → `[n, out_features, 1, 1]`.
@@ -59,7 +59,10 @@ pub fn fully_connected(
     }
     let out_shape = Shape::nchw(n, out_f, 1, 1);
 
-    match input.dtype() {
+    // GEMM scratch (the blocked path's pack buffers, the quantized
+    // accumulator) comes from the per-thread arena.
+    let mut arena = crate::arena::take_thread_arena();
+    let result = match input.dtype() {
         DType::F32 => {
             if out_params.is_some() {
                 return Err(TensorError::BadQuantParams(
@@ -68,17 +71,17 @@ pub fn fully_connected(
             }
             let w = weights.as_f32()?;
             let x = input.as_f32()?;
-            let mut out = Vec::with_capacity(n * out_f);
+            let mut out = vec![0.0f32; n * out_f];
             for b in 0..n {
-                out.extend(gemm_f32(
-                    out_f,
-                    in_f,
-                    1,
-                    w,
-                    &x[b * in_f..(b + 1) * in_f],
-                    bias,
-                    relu,
-                ));
+                let c = &mut out[b * out_f..(b + 1) * out_f];
+                let xb = &x[b * in_f..(b + 1) * in_f];
+                if crate::blocked::blocked_kernels_enabled() {
+                    crate::blocked::gemm_f32_blocked(
+                        c, out_f, in_f, 1, w, xb, bias, relu, &mut arena,
+                    );
+                } else {
+                    gemm_f32_into(c, out_f, in_f, 1, w, xb, bias, relu);
+                }
             }
             Tensor::from_f32(out_shape, out)
         }
@@ -90,17 +93,17 @@ pub fn fully_connected(
             }
             let w = weights.as_f16()?;
             let x = input.as_f16()?;
-            let mut out = Vec::with_capacity(n * out_f);
+            let mut out = vec![utensor::F16::ZERO; n * out_f];
             for b in 0..n {
-                out.extend(gemm_f16(
-                    out_f,
-                    in_f,
-                    1,
-                    w,
-                    &x[b * in_f..(b + 1) * in_f],
-                    bias,
-                    relu,
-                ));
+                let c = &mut out[b * out_f..(b + 1) * out_f];
+                let xb = &x[b * in_f..(b + 1) * in_f];
+                if crate::blocked::blocked_kernels_enabled() {
+                    crate::blocked::gemm_f16_blocked(
+                        c, out_f, in_f, 1, w, xb, bias, relu, &mut arena,
+                    );
+                } else {
+                    gemm_f16_into(c, out_f, in_f, 1, w, xb, bias, relu);
+                }
             }
             Tensor::new(out_shape, utensor::TensorData::F16(out))
         }
@@ -110,24 +113,41 @@ pub fn fully_connected(
             })?;
             let (w, w_p) = weights.as_quint8()?;
             let (x, x_p) = input.as_quint8()?;
-            let mut out = Vec::with_capacity(n * out_f);
+            let mut out = vec![0u8; n * out_f];
+            let mut res: Result<(), TensorError> = Ok(());
             for b in 0..n {
-                out.extend(gemm_quint8(
-                    out_f,
-                    in_f,
-                    1,
-                    w,
-                    w_p,
-                    &x[b * in_f..(b + 1) * in_f],
-                    x_p,
-                    bias,
-                    out_params,
-                    relu,
-                )?);
+                let c = &mut out[b * out_f..(b + 1) * out_f];
+                let xb = &x[b * in_f..(b + 1) * in_f];
+                let r = if crate::blocked::blocked_kernels_enabled() {
+                    crate::blocked::gemm_quint8_blocked(
+                        c, out_f, in_f, 1, w, w_p, xb, x_p, bias, out_params, relu, &mut arena,
+                    )
+                } else {
+                    gemm_quint8_into(
+                        c,
+                        out_f,
+                        in_f,
+                        1,
+                        w,
+                        w_p,
+                        xb,
+                        x_p,
+                        bias,
+                        out_params,
+                        relu,
+                        &mut arena.acc_i32,
+                    )
+                };
+                if let Err(e) = r {
+                    res = Err(e);
+                    break;
+                }
             }
-            Tensor::from_quantized(out_shape, out, out_params)
+            res.and_then(|()| Tensor::from_quantized(out_shape, out, out_params))
         }
-    }
+    };
+    crate::arena::restore_thread_arena(arena);
+    result
 }
 
 #[cfg(test)]

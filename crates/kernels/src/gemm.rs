@@ -30,12 +30,31 @@ pub fn gemm_f32(
     bias: Option<&[f32]>,
     relu: bool,
 ) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    gemm_f32_into(&mut c, m, k, n, a, b, bias, relu);
+    c
+}
+
+/// [`gemm_f32`] writing into a caller-provided `m*n` buffer (overwritten,
+/// not accumulated into).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f32_into(
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
     assert_eq!(a.len(), m * k, "gemm_f32: A length");
     assert_eq!(b.len(), k * n, "gemm_f32: B length");
+    assert_eq!(c.len(), m * n, "gemm_f32: C length");
     if let Some(bias) = bias {
         assert_eq!(bias.len(), m, "gemm_f32: bias length");
     }
-    let mut c = vec![0.0f32; m * n];
+    c.iter_mut().for_each(|v| *v = 0.0);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -61,7 +80,6 @@ pub fn gemm_f32(
             }
         }
     }
-    c
 }
 
 /// `C = A × B (+ bias) (then ReLU)` with every operation rounded to
@@ -81,12 +99,31 @@ pub fn gemm_f16(
     bias: Option<&[f32]>,
     relu: bool,
 ) -> Vec<F16> {
+    let mut c = vec![F16::ZERO; m * n];
+    gemm_f16_into(&mut c, m, k, n, a, b, bias, relu);
+    c
+}
+
+/// [`gemm_f16`] writing into a caller-provided `m*n` buffer (overwritten,
+/// not accumulated into).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f16_into(
+    c: &mut [F16],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[F16],
+    b: &[F16],
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
     assert_eq!(a.len(), m * k, "gemm_f16: A length");
     assert_eq!(b.len(), k * n, "gemm_f16: B length");
+    assert_eq!(c.len(), m * n, "gemm_f16: C length");
     if let Some(bias) = bias {
         assert_eq!(bias.len(), m, "gemm_f16: bias length");
     }
-    let mut c = vec![F16::ZERO; m * n];
+    c.iter_mut().for_each(|v| *v = F16::ZERO);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -112,7 +149,6 @@ pub fn gemm_f16(
             }
         }
     }
-    c
 }
 
 /// Quantized `C = A × B` with gemmlowp semantics.
@@ -141,8 +177,40 @@ pub fn gemm_quint8(
     out_params: QuantParams,
     relu: bool,
 ) -> Result<Vec<u8>, TensorError> {
+    let mut c = vec![0u8; m * n];
+    // Accumulator row from the per-thread arena: repeated calls (one per
+    // layer per frame on the exec backend) stop allocating once warm.
+    let mut arena = crate::arena::take_thread_arena();
+    let mut acc = std::mem::take(&mut arena.acc_i32);
+    let res = gemm_quint8_into(
+        &mut c, m, k, n, a, a_params, b, b_params, bias, out_params, relu, &mut acc,
+    );
+    arena.acc_i32 = acc;
+    crate::arena::restore_thread_arena(arena);
+    res.map(|()| c)
+}
+
+/// [`gemm_quint8`] writing into a caller-provided `m*n` buffer, with the
+/// `i32` accumulator row borrowed from the caller (typically a
+/// [`crate::arena::ScratchArena`] slot).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_quint8_into(
+    c: &mut [u8],
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[u8],
+    a_params: QuantParams,
+    b: &[u8],
+    b_params: QuantParams,
+    bias: Option<&[f32]>,
+    out_params: QuantParams,
+    relu: bool,
+    acc: &mut Vec<i32>,
+) -> Result<(), TensorError> {
     assert_eq!(a.len(), m * k, "gemm_quint8: A length");
     assert_eq!(b.len(), k * n, "gemm_quint8: B length");
+    assert_eq!(c.len(), m * n, "gemm_quint8: C length");
     if let Some(bias) = bias {
         assert_eq!(bias.len(), m, "gemm_quint8: bias length");
     }
@@ -157,8 +225,8 @@ pub fn gemm_quint8(
     let b_zp = b_params.zero_point as i32;
     let out_zp = out_params.zero_point;
 
-    let mut acc = vec![0i32; n];
-    let mut c = vec![0u8; m * n];
+    acc.clear();
+    acc.resize(n, 0);
     for i in 0..m {
         acc.iter_mut().for_each(|v| *v = 0);
         let a_row = &a[i * k..(i + 1) * k];
@@ -187,7 +255,7 @@ pub fn gemm_quint8(
             *cv = q;
         }
     }
-    Ok(c)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -28,12 +28,41 @@ pub fn im2col<T: Copy>(
     pad: usize,
     pad_value: T,
 ) -> Vec<T> {
+    let mut out = Vec::new();
+    im2col_into(&mut out, input, c, h, w, kh, kw, stride, pad, pad_value);
+    out
+}
+
+/// [`im2col`] writing into a caller-provided buffer.
+///
+/// `out` is cleared and resized to `(c*kh*kw) × (oh*ow)`; its existing
+/// capacity is reused, so a buffer borrowed from a
+/// [`crate::arena::ScratchArena`] makes repeated convolutions
+/// allocation-free once warm.
+///
+/// # Panics
+///
+/// Same contract as [`im2col`].
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into<T: Copy>(
+    out: &mut Vec<T>,
+    input: &[T],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    pad_value: T,
+) {
     assert_eq!(input.len(), c * h * w, "im2col: input length");
     let oh = crate::out_dim(h, kh, stride, pad).expect("im2col: bad window geometry (h)");
     let ow = crate::out_dim(w, kw, stride, pad).expect("im2col: bad window geometry (w)");
 
     let cols = oh * ow;
-    let mut out = vec![pad_value; c * kh * kw * cols];
+    out.clear();
+    out.resize(c * kh * kw * cols, pad_value);
     for ci in 0..c {
         let plane = &input[ci * h * w..(ci + 1) * h * w];
         for ky in 0..kh {
@@ -57,7 +86,6 @@ pub fn im2col<T: Copy>(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -127,5 +155,22 @@ mod tests {
     #[should_panic(expected = "input length")]
     fn length_mismatch_panics() {
         im2col(&[0.0f32; 5], 1, 2, 3, 1, 1, 1, 0, 0.0);
+    }
+
+    #[test]
+    fn into_reuses_capacity_and_overwrites_stale_contents() {
+        let big: Vec<f32> = (0..48).map(|i| i as f32).collect();
+        let small: Vec<f32> = (1..=9).map(|i| i as f32).collect();
+        let mut buf = Vec::new();
+        // Large extraction first: buffer grows once.
+        im2col_into(&mut buf, &big, 3, 4, 4, 2, 2, 1, 0, 0.0);
+        let cap = buf.capacity();
+        // Smaller extraction with padding: every element (including the
+        // pad positions) must be rewritten, none inherited from the big
+        // run, and the capacity must be reused.
+        im2col_into(&mut buf, &small, 1, 3, 3, 3, 3, 1, 1, -7.0);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.len(), 9 * 9);
+        assert_eq!(buf, im2col(&small, 1, 3, 3, 3, 3, 1, 1, -7.0));
     }
 }

@@ -22,6 +22,8 @@
 //! the host-side speed of these loops never affects reported results.
 
 pub mod activation;
+pub mod arena;
+pub mod blocked;
 pub mod conv;
 pub mod eltwise;
 pub mod fc;
@@ -31,6 +33,13 @@ pub mod norm;
 pub mod pool;
 
 pub use activation::{relu, softmax_f32};
+pub use arena::{
+    restore_thread_arena, take_thread_arena, thread_arena_capacity_bytes, ScratchArena,
+};
+pub use blocked::{
+    blocked_kernels_enabled, gemm_f16_blocked, gemm_f32_blocked, gemm_quint8_blocked,
+    set_blocked_kernels,
+};
 pub use conv::{conv2d, conv2d_naive_f32, depthwise_conv2d, Conv2dParams};
 pub use eltwise::add;
 pub use fc::fully_connected;

@@ -1,0 +1,180 @@
+//! Property tests: blocked packed GEMM kernels vs the naive references.
+//!
+//! The equivalence contract (ISSUE 5):
+//! - **QUInt8**: bit-identical for every shape (i32 accumulation is
+//!   associative, so blocking cannot change a single bit);
+//! - **f32/F16**: ULP-bounded (identical while `k <= KC`, re-associated
+//!   panel sums beyond);
+//!
+//! and the scratch-arena contract: repeated layer executions reuse
+//! capacity instead of growing monotonically.
+
+use testkit::{bools, prop_assert, prop_assume, props};
+use ukernels::blocked::{gemm_f16_blocked, gemm_f32_blocked, gemm_quint8_blocked, KC};
+use ukernels::gemm::{gemm_f16, gemm_f32, gemm_quint8};
+use ukernels::{
+    conv2d, set_blocked_kernels, thread_arena_capacity_bytes, Conv2dParams, ScratchArena,
+};
+use utensor::{QuantParams, Shape, Tensor, F16};
+
+fn pseudo_f32(n: usize, seed: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((((i + seed) * 2654435761) % 2000) as f32 - 1000.0) / 1000.0)
+        .collect()
+}
+
+fn pseudo_u8(n: usize, seed: usize) -> Vec<u8> {
+    (0..n).map(|i| (((i + seed) * 48271) % 256) as u8).collect()
+}
+
+props! {
+    #![cases(40)]
+
+    /// f32 blocked GEMM matches the naive loop within a tight relative
+    /// bound across random shapes, including multi-panel `k > KC`.
+    fn f32_blocked_equals_naive(
+        m in 1usize..24,
+        k_small in 1usize..64,
+        multi_panel in bools(),
+        n in 1usize..24,
+        relu in bools(),
+        seed in 0usize..1000,
+    ) {
+        let k = if multi_panel { KC + k_small } else { k_small };
+        let a = pseudo_f32(m * k, seed);
+        let b = pseudo_f32(k * n, seed + 7);
+        let bias = pseudo_f32(m, seed + 13);
+        let want = gemm_f32(m, k, n, &a, &b, Some(&bias), relu);
+        let mut got = vec![0.0f32; m * n];
+        let mut arena = ScratchArena::new();
+        gemm_f32_blocked(&mut got, m, k, n, &a, &b, Some(&bias), relu, &mut arena);
+        if !multi_panel {
+            // One panel: identical accumulation order, bit-equal.
+            prop_assert!(got == want);
+        } else {
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()));
+            }
+        }
+    }
+
+    /// F16 blocked GEMM is bit-equal to the naive loop for `k <= KC` and
+    /// tolerance-bounded beyond (binary16 panel sums re-associate).
+    fn f16_blocked_equals_naive(
+        m in 1usize..16,
+        k_small in 1usize..48,
+        multi_panel in bools(),
+        n in 1usize..16,
+        seed in 0usize..1000,
+    ) {
+        let k = if multi_panel { KC + k_small } else { k_small };
+        let a: Vec<F16> = pseudo_f32(m * k, seed).iter().map(|&v| F16::from_f32(v)).collect();
+        let b: Vec<F16> = pseudo_f32(k * n, seed + 3).iter().map(|&v| F16::from_f32(v)).collect();
+        let want = gemm_f16(m, k, n, &a, &b, None, false);
+        let mut got = vec![F16::ZERO; m * n];
+        let mut arena = ScratchArena::new();
+        gemm_f16_blocked(&mut got, m, k, n, &a, &b, None, false, &mut arena);
+        if !multi_panel {
+            prop_assert!(got == want);
+        } else {
+            for (g, w) in got.iter().zip(&want) {
+                let (g, w) = (g.to_f32(), w.to_f32());
+                // Values are O(sqrt(k)); binary16 has ~3 decimal digits.
+                prop_assert!((g - w).abs() <= 0.05 * (1.0 + w.abs()));
+            }
+        }
+    }
+
+    /// QUInt8 blocked GEMM is bit-identical to gemmlowp-style naive for
+    /// every shape, bias, ReLU, and zero-point combination.
+    fn quint8_blocked_bit_identical(
+        m in 1usize..20,
+        k_small in 1usize..80,
+        multi_panel in bools(),
+        n in 1usize..20,
+        relu in bools(),
+        with_bias in bools(),
+        seed in 0usize..1000,
+    ) {
+        let k = if multi_panel { KC + k_small } else { k_small };
+        let a = pseudo_u8(m * k, seed);
+        let b = pseudo_u8(k * n, seed + 11);
+        let a_p = QuantParams::from_range(-1.0, 1.0).unwrap();
+        let b_p = QuantParams::from_range(-3.0, 2.0).unwrap();
+        let out_p = QuantParams::from_range(-60.0, 60.0).unwrap();
+        let bias = pseudo_f32(m, seed + 17);
+        let bias = with_bias.then_some(&bias[..]);
+        let want = gemm_quint8(m, k, n, &a, a_p, &b, b_p, bias, out_p, relu).unwrap();
+        let mut got = vec![0u8; m * n];
+        let mut arena = ScratchArena::new();
+        gemm_quint8_blocked(
+            &mut got, m, k, n, &a, a_p, &b, b_p, bias, out_p, relu, &mut arena,
+        ).unwrap();
+        prop_assert!(got == want);
+    }
+
+    /// The thread-local dispatch flag routes `conv2d` through the blocked
+    /// kernels without changing QUInt8 results by a single bit.
+    fn conv2d_blocked_flag_quint8_bit_identical(
+        ic in 1usize..4,
+        oc in 1usize..6,
+        hw in 3usize..8,
+        k in 1usize..4,
+        seed in 0usize..1000,
+    ) {
+        prop_assume!(hw >= k);
+        let qp = QuantParams::from_range(-1.0, 1.0).unwrap();
+        let out_qp = QuantParams::from_range(-8.0, 8.0).unwrap();
+        let input = Tensor::from_f32(
+            Shape::nchw(1, ic, hw, hw), pseudo_f32(ic * hw * hw, seed),
+        ).unwrap().cast(utensor::DType::QUInt8, Some(qp)).unwrap();
+        let filters = Tensor::from_f32(
+            Shape::oihw(oc, ic, k, k), pseudo_f32(oc * ic * k * k, seed + 5),
+        ).unwrap().cast(utensor::DType::QUInt8, Some(qp)).unwrap();
+        let p = Conv2dParams { stride: 1, pad: 0, relu: false };
+        let naive = conv2d(&input, &filters, None, &p, Some(out_qp)).unwrap();
+        let prev = set_blocked_kernels(true);
+        let blocked = conv2d(&input, &filters, None, &p, Some(out_qp));
+        set_blocked_kernels(prev);
+        prop_assert!(blocked.unwrap().bit_equal(&naive));
+    }
+}
+
+/// Satellite: repeated layer executions reuse arena capacity — the
+/// footprint ratchets to a high-water mark and then stays flat.
+#[test]
+fn repeated_conv_does_not_grow_the_arena() {
+    let run = |seed: usize| {
+        let input =
+            Tensor::from_f32(Shape::nchw(1, 8, 14, 14), pseudo_f32(8 * 14 * 14, seed)).unwrap();
+        let filters =
+            Tensor::from_f32(Shape::oihw(16, 8, 3, 3), pseudo_f32(16 * 8 * 9, seed + 1)).unwrap();
+        let p = Conv2dParams {
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        conv2d(&input, &filters, None, &p, None).unwrap();
+    };
+    // Warm-up: the first call grows the arena to this workload's needs.
+    run(0);
+    let warm = thread_arena_capacity_bytes();
+    assert!(warm > 0, "arena should hold capacity after a conv");
+    for i in 1..12 {
+        run(i);
+        assert_eq!(
+            thread_arena_capacity_bytes(),
+            warm,
+            "arena grew on iteration {i}"
+        );
+    }
+    // Same for the blocked path: pack buffers also reach a fixed point.
+    let prev = set_blocked_kernels(true);
+    run(0);
+    let warm_blocked = thread_arena_capacity_bytes();
+    for i in 1..12 {
+        run(i);
+        assert_eq!(thread_arena_capacity_bytes(), warm_blocked);
+    }
+    set_blocked_kernels(prev);
+}

@@ -1,0 +1,106 @@
+//! The execution-backend seam.
+//!
+//! [`crate::functional::evaluate_plan_with_backend`] walks the graph,
+//! builds each node's [`PartTask`]s, and hands them to an [`ExecBackend`]
+//! as one batch per node — the layer barrier of §6: parts of one layer
+//! may run concurrently, but the next layer does not start until all of
+//! them returned (the map/unmap sync points of the real runtime).
+//!
+//! Two implementations exist:
+//!
+//! - [`SimulatedBackend`] (here) — runs tasks sequentially on the calling
+//!   thread with the naive reference kernels; identical numerics to
+//!   [`crate::evaluate_plan`].
+//! - `uexec::ParallelBackend` (crates/exec) — dispatches tasks to real
+//!   worker pools and blocked kernels, recording wall-clock timings.
+
+use utensor::{Tensor, TensorError};
+
+use crate::functional::{eval_part_task, PartTask};
+
+/// Executes the parts of one node, one node at a time.
+///
+/// Contract: `run_node` returns one raw output (in the part's compute
+/// dtype) per task, **in task order**, and does not return until every
+/// task of the batch has completed — the caller merges immediately, so a
+/// straggler part must block the layer, exactly like a kernel still in
+/// flight at a §6 sync point.
+pub trait ExecBackend: Sync {
+    /// A short human-readable backend name for reports.
+    fn name(&self) -> &str;
+
+    /// Runs all `tasks` of one node, returning raw outputs in task order.
+    fn run_node(&self, tasks: &[PartTask<'_>]) -> Result<Vec<Tensor>, TensorError>;
+}
+
+/// The sequential reference backend: tasks run in order on the calling
+/// thread with the default (naive) kernels.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimulatedBackend;
+
+impl ExecBackend for SimulatedBackend {
+    fn name(&self) -> &str {
+        "simulated"
+    }
+
+    fn run_node(&self, tasks: &[PartTask<'_>]) -> Result<Vec<Tensor>, TensorError> {
+        tasks.iter().map(eval_part_task).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{evaluate_plan, evaluate_plan_with_backend};
+    use crate::plan::{ExecutionPlan, NodePlacement};
+    use unn::ModelId;
+    use usoc::{DtypePlan, SocSpec};
+    use utensor::DType;
+
+    #[test]
+    fn simulated_backend_matches_sequential_evaluator_bitwise() {
+        // The backend seam must be a pure refactor: routing every part
+        // through SimulatedBackend::run_node yields the same bits as the
+        // in-line evaluator, for a plan mixing singles and splits.
+        let g = ModelId::SqueezeNet.build_miniature();
+        let w = unn::Weights::random(&g, 5).unwrap();
+        let shape = g.input_shape().clone();
+        let x = Tensor::from_f32(
+            shape.clone(),
+            (0..shape.numel())
+                .map(|i| (((i * 31) % 200) as f32) / 100.0 - 1.0)
+                .collect(),
+        )
+        .unwrap();
+        let calib = unn::calibrate(&g, &w, std::slice::from_ref(&x)).unwrap();
+        let spec = SocSpec::exynos_7420();
+        let plan = ExecutionPlan::new(
+            &g,
+            &spec,
+            g.nodes()
+                .iter()
+                .map(|n| {
+                    if n.kind.is_distributable() {
+                        NodePlacement::Split {
+                            parts: vec![
+                                (spec.cpu(), DtypePlan::proc_friendly_cpu(), 0.5),
+                                (spec.gpu(), DtypePlan::proc_friendly_gpu(), 0.5),
+                            ],
+                        }
+                    } else {
+                        NodePlacement::single(spec.cpu(), DType::QUInt8)
+                    }
+                })
+                .collect(),
+            "seam-test",
+        )
+        .unwrap();
+        let want = evaluate_plan(&g, &plan, &w, &calib, &x).unwrap();
+        let got = evaluate_plan_with_backend(&g, &plan, &w, &calib, &x, &SimulatedBackend).unwrap();
+        assert_eq!(want.len(), got.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert!(a.bit_equal(b));
+        }
+        assert_eq!(SimulatedBackend.name(), "simulated");
+    }
+}

@@ -47,7 +47,8 @@ fn compute_part(
 }
 
 /// How a layer kind is split channel-wise (§3.2).
-enum SplitAxis {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitAxis {
     /// Filters sliced along output channels; input shared (Figure 7a).
     Filters,
     /// Input sliced along channels (Figure 7b); filters sliced alongside
@@ -55,13 +56,169 @@ enum SplitAxis {
     InputChannels,
 }
 
-fn split_axis(kind: &LayerKind) -> Option<SplitAxis> {
+/// The split axis of a layer kind, or `None` for kinds that cannot be
+/// channel-split.
+pub fn split_axis(kind: &LayerKind) -> Option<SplitAxis> {
     match kind {
         LayerKind::Conv { .. } | LayerKind::FullyConnected { .. } => Some(SplitAxis::Filters),
         LayerKind::DepthwiseConv { .. } | LayerKind::Pool { .. } | LayerKind::GlobalAvgPool => {
             Some(SplitAxis::InputChannels)
         }
         _ => None,
+    }
+}
+
+/// One schedulable unit of plan execution: a whole single-placement
+/// layer, or one channel-range part of a split layer.
+///
+/// A task is self-contained — everything needed to compute its raw
+/// output (in the part's *compute* dtype) is borrowed here, and the
+/// borrowed data is all `Sync` — so an [`crate::backend::ExecBackend`]
+/// may run tasks of one node on any threads, in any order, as long as it
+/// returns the outputs in task order. A part's arithmetic depends only
+/// on its dtypes and channel range, never on the executing thread, which
+/// is what makes parallel execution bit-reproducible.
+///
+/// Tasks are `Clone` so a backend may subdivide one part's channel
+/// range into finer chunks (same borrows, narrower `split`).
+#[derive(Clone)]
+pub struct PartTask<'a> {
+    /// The graph node this task belongs to.
+    pub node: NodeId,
+    /// Index of this part within the node's placement (0 for single).
+    pub part_index: usize,
+    /// The processor the plan assigns this part to.
+    pub device: usoc::DeviceId,
+    /// The layer operation.
+    pub kind: &'a LayerKind,
+    /// The node's name (diagnostics).
+    pub name: &'a str,
+    /// Stored inputs, in the plan's storage dtype.
+    pub inputs: Vec<&'a Tensor>,
+    /// The node's full (unsliced, uncast) filter, if any.
+    pub filter: Option<&'a Tensor>,
+    /// The node's full bias, if any.
+    pub bias: Option<&'a [f32]>,
+    /// Quantization parameters for casting the filter.
+    pub weight_params: Option<QuantParams>,
+    /// The node's calibrated activation parameters.
+    pub act: QuantParams,
+    /// Storage/compute dtypes of this part.
+    pub dtypes: DtypePlan,
+    /// `Some((axis, lo, hi))` for a split part owning channels
+    /// `lo..hi`; `None` for a whole-layer task.
+    pub split: Option<(SplitAxis, usize, usize)>,
+}
+
+/// Executes one [`PartTask`], returning the raw output in the part's
+/// compute dtype (the caller applies [`finish`] and merges).
+pub fn eval_part_task(t: &PartTask<'_>) -> Result<Tensor, TensorError> {
+    if matches!(t.kind, LayerKind::Concat | LayerKind::Add) {
+        // Multi-input joins consume stored tensors directly
+        // (requantizing QUInt8 inputs to the node's range).
+        return unn::run_layer(t.kind, &t.inputs, None, None, Some(t.act));
+    }
+    let x = t.inputs[0];
+    match t.split {
+        None => {
+            let filter = t
+                .filter
+                .map(|f| f.cast(t.dtypes.compute, t.weight_params))
+                .transpose()?;
+            compute_part(t.kind, x, filter.as_ref(), t.bias, t.dtypes, t.act)
+        }
+        Some((SplitAxis::Filters, lo, hi)) => {
+            let f = t.filter.ok_or_else(|| {
+                TensorError::BadConcat(format!("{} has no filter to split", t.name))
+            })?;
+            let f_part = f
+                .slice_axis(0, lo, hi)?
+                .cast(t.dtypes.compute, t.weight_params)?;
+            let b_part = t.bias.map(|b| &b[lo..hi]);
+            compute_part(t.kind, x, Some(&f_part), b_part, t.dtypes, t.act)
+        }
+        Some((SplitAxis::InputChannels, lo, hi)) => {
+            let x_part = x.slice_axis(1, lo, hi)?;
+            let f_part = t
+                .filter
+                .map(|f| {
+                    f.slice_axis(0, lo, hi)
+                        .and_then(|f| f.cast(t.dtypes.compute, t.weight_params))
+                })
+                .transpose()?;
+            let b_part = t.bias.map(|b| &b[lo..hi]);
+            compute_part(t.kind, &x_part, f_part.as_ref(), b_part, t.dtypes, t.act)
+        }
+    }
+}
+
+/// Builds the [`PartTask`]s of one node under its placement. Empty
+/// shares (zero channels after rounding) are skipped; the channel cuts
+/// come from the same shared helpers as the timing engine
+/// (`usoc::split_cuts`), so the two co-simulation halves cannot disagree
+/// about which channels each part owns.
+#[allow(clippy::too_many_arguments)]
+fn node_tasks<'a>(
+    id: NodeId,
+    kind: &'a LayerKind,
+    name: &'a str,
+    placement: &NodePlacement,
+    inputs: Vec<&'a Tensor>,
+    filter: Option<&'a Tensor>,
+    bias: Option<&'a [f32]>,
+    weight_params: Option<QuantParams>,
+    act: QuantParams,
+) -> Result<Vec<PartTask<'a>>, TensorError> {
+    match placement {
+        NodePlacement::Single { device, dtypes } => Ok(vec![PartTask {
+            node: id,
+            part_index: 0,
+            device: *device,
+            kind,
+            name,
+            inputs,
+            filter,
+            bias,
+            weight_params,
+            act,
+            dtypes: *dtypes,
+            split: None,
+        }]),
+        NodePlacement::Split { parts } => {
+            let axis = split_axis(kind).ok_or_else(|| {
+                TensorError::BadConcat(format!("{} cannot be channel-split", kind.op_name()))
+            })?;
+            let x = inputs[0];
+            let channels =
+                usoc::split_channel_count(kind, x.shape()).unwrap_or_else(|| match axis {
+                    SplitAxis::Filters => filter.map(|f| f.shape().dim(0)).unwrap_or(0),
+                    SplitAxis::InputChannels => x.shape().c(),
+                });
+            let fracs: Vec<f64> = parts.iter().map(|p| p.2).collect();
+            let cuts = usoc::split_cuts(channels, &fracs);
+            let mut tasks = Vec::with_capacity(parts.len());
+            for (p, (device, dtypes, _)) in parts.iter().enumerate() {
+                let (lo, hi) = (cuts[p], cuts[p + 1]);
+                if lo == hi {
+                    continue; // empty share (rounding on tiny layers)
+                }
+                tasks.push(PartTask {
+                    node: id,
+                    part_index: p,
+                    device: *device,
+                    kind,
+                    name,
+                    inputs: inputs.clone(),
+                    filter,
+                    bias,
+                    weight_params,
+                    act,
+                    dtypes: *dtypes,
+                    split: Some((axis, lo, hi)),
+                });
+            }
+            Ok(tasks)
+        }
     }
 }
 
@@ -98,6 +255,38 @@ pub fn evaluate_plan_with_recovery(
     for f in recovered {
         redo.entry(f.node.0).or_default().push(f);
     }
+    evaluate_plan_inner(graph, plan, weights, calib, input, &|task| {
+        let mut raw = eval_part_task(task)?;
+        let hit = redo.get(&task.node.0).is_some_and(|fs| {
+            fs.iter().any(|f| match (f.scope, task.split) {
+                (FallbackScope::WholeNode, None) => true,
+                (FallbackScope::Channels { index, .. }, Some(_)) => index == task.part_index,
+                _ => false,
+            })
+        });
+        if hit {
+            // This task's kernel failed on its device: discard the
+            // attempt and re-execute the same channel range (the
+            // fallback). Same cuts, same dtypes — exact.
+            raw = eval_part_task(task)?;
+        }
+        Ok(raw)
+    })
+}
+
+/// [`evaluate_plan`] with part execution delegated to an
+/// [`crate::backend::ExecBackend`]: each node's tasks are handed to the
+/// backend as one batch (the layer barrier), raw outputs come back in
+/// task order, and the evaluator converts and merges them exactly as the
+/// sequential path does.
+pub fn evaluate_plan_with_backend(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    weights: &Weights,
+    calib: &Calibration,
+    input: &Tensor,
+    backend: &dyn crate::backend::ExecBackend,
+) -> Result<Vec<Tensor>, TensorError> {
     let storage = plan.storage_dtype();
     let x0 = input.cast(storage, Some(calib.input_params))?;
 
@@ -110,129 +299,98 @@ pub fn evaluate_plan_with_recovery(
         } else {
             node.inputs.iter().map(|d| &outputs[d.0]).collect()
         };
-        // Quantization-preserving layers (pooling, ReLU, LRN) keep their
-        // input's parameters on the integer path, so every part of a
-        // split — including F16-computed GPU parts — must requantize to
-        // those, not to the calibrated range, for the merge to agree.
-        let store_params = match node.kind {
-            LayerKind::Pool { .. }
-            | LayerKind::GlobalAvgPool
-            | LayerKind::Relu
-            | LayerKind::Lrn { .. } => inputs[0].quant_params().unwrap_or(act),
-            _ => act,
-        };
-        let master_filter = &weights.of(id).filter;
-        let bias = weights.of(id).bias.as_deref();
-
-        let out = match &plan.placements[i] {
-            NodePlacement::Single { dtypes, .. } => {
-                let eval_whole = |dtypes: DtypePlan| -> Result<Tensor, TensorError> {
-                    let filter = master_filter
-                        .as_ref()
-                        .map(|f| f.cast(dtypes.compute, calib.weight_params[i]))
-                        .transpose()?;
-                    if matches!(node.kind, LayerKind::Concat | LayerKind::Add) {
-                        // Multi-input joins consume stored tensors directly
-                        // (requantizing QUInt8 inputs to the node's range).
-                        unn::run_layer(&node.kind, &inputs, None, None, Some(act))
-                    } else {
-                        compute_part(&node.kind, inputs[0], filter.as_ref(), bias, dtypes, act)
-                    }
-                };
-                let mut raw = eval_whole(*dtypes)?;
-                if redo
-                    .get(&i)
-                    .is_some_and(|fs| fs.iter().any(|f| f.scope == FallbackScope::WholeNode))
-                {
-                    // The node's kernel failed on its device: discard the
-                    // attempt and re-execute the whole node (fallback).
-                    raw = eval_whole(*dtypes)?;
-                }
-                finish(raw, &node.kind, storage, store_params)?
-            }
-            NodePlacement::Split { parts } => {
-                let axis = split_axis(&node.kind).ok_or_else(|| {
-                    TensorError::BadConcat(format!(
-                        "{} cannot be channel-split",
-                        node.kind.op_name()
-                    ))
-                })?;
-                let x = inputs[0];
-                // Split points over the channel axis — realized through
-                // the same shared helpers as the timing engine
-                // (`usoc::split_cuts`), so the two co-simulation halves
-                // cannot disagree about which channels each part owns.
-                let channels = usoc::split_channel_count(&node.kind, x.shape()).unwrap_or_else(
-                    || match axis {
-                        SplitAxis::Filters => master_filter
-                            .as_ref()
-                            .map(|f| f.shape().dim(0))
-                            .unwrap_or(0),
-                        SplitAxis::InputChannels => x.shape().c(),
-                    },
-                );
-                let fracs: Vec<f64> = parts.iter().map(|p| p.2).collect();
-                let cuts = usoc::split_cuts(channels, &fracs);
-
-                let eval_part = |dtypes: DtypePlan,
-                                 lo: usize,
-                                 hi: usize|
-                 -> Result<Tensor, TensorError> {
-                    match axis {
-                        SplitAxis::Filters => {
-                            let f = master_filter.as_ref().ok_or_else(|| {
-                                TensorError::BadConcat(format!(
-                                    "{} has no filter to split",
-                                    node.name
-                                ))
-                            })?;
-                            let f_part = f
-                                .slice_axis(0, lo, hi)?
-                                .cast(dtypes.compute, calib.weight_params[i])?;
-                            let b_part = bias.map(|b| &b[lo..hi]);
-                            compute_part(&node.kind, x, Some(&f_part), b_part, dtypes, act)
-                        }
-                        SplitAxis::InputChannels => {
-                            let x_part = x.slice_axis(1, lo, hi)?;
-                            let f_part = master_filter
-                                .as_ref()
-                                .map(|f| {
-                                    f.slice_axis(0, lo, hi).and_then(|t| {
-                                        t.cast(dtypes.compute, calib.weight_params[i])
-                                    })
-                                })
-                                .transpose()?;
-                            let b_part = bias.map(|b| &b[lo..hi]);
-                            compute_part(&node.kind, &x_part, f_part.as_ref(), b_part, dtypes, act)
-                        }
-                    }
-                };
-
-                let mut part_outputs: Vec<Tensor> = Vec::with_capacity(parts.len());
-                for (p, (_, dtypes, _)) in parts.iter().enumerate() {
-                    let (lo, hi) = (cuts[p], cuts[p + 1]);
-                    if lo == hi {
-                        continue; // empty share (rounding on tiny layers)
-                    }
-                    let mut raw = eval_part(*dtypes, lo, hi)?;
-                    if redo.get(&i).is_some_and(|fs| {
-                        fs.iter()
-                            .any(|f| matches!(f.scope, FallbackScope::Channels { index, .. } if index == p))
-                    }) {
-                        // This part's kernel failed on its device: discard
-                        // the attempt and re-execute the same channel range
-                        // (the fallback). Same cuts, same dtypes — exact.
-                        raw = eval_part(*dtypes, lo, hi)?;
-                    }
-                    part_outputs.push(finish(raw, &node.kind, storage, store_params)?);
-                }
-                let refs: Vec<&Tensor> = part_outputs.iter().collect();
-                Tensor::concat_axis(1, &refs)?
-            }
-        };
-        outputs.push(out);
+        let store_params = store_params_of(&node.kind, &inputs, act);
+        let tasks = node_tasks(
+            id,
+            &node.kind,
+            &node.name,
+            &plan.placements[i],
+            inputs,
+            weights.of(id).filter.as_ref(),
+            weights.of(id).bias.as_deref(),
+            calib.weight_params[i],
+            act,
+        )?;
+        let raws = backend.run_node(&tasks)?;
+        debug_assert_eq!(raws.len(), tasks.len());
+        outputs.push(merge_node(&node.kind, storage, store_params, raws)?);
     }
     Ok(outputs)
+}
+
+/// The shared evaluator loop: builds each node's tasks, executes them
+/// through `run_task`, converts to storage, and merges.
+fn evaluate_plan_inner(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    weights: &Weights,
+    calib: &Calibration,
+    input: &Tensor,
+    run_task: &dyn Fn(&PartTask<'_>) -> Result<Tensor, TensorError>,
+) -> Result<Vec<Tensor>, TensorError> {
+    let storage = plan.storage_dtype();
+    let x0 = input.cast(storage, Some(calib.input_params))?;
+
+    let mut outputs: Vec<Tensor> = Vec::with_capacity(graph.len());
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let id = NodeId(i);
+        let act = calib.act_params[i];
+        let inputs: Vec<&Tensor> = if node.inputs.is_empty() {
+            vec![&x0]
+        } else {
+            node.inputs.iter().map(|d| &outputs[d.0]).collect()
+        };
+        let store_params = store_params_of(&node.kind, &inputs, act);
+        let tasks = node_tasks(
+            id,
+            &node.kind,
+            &node.name,
+            &plan.placements[i],
+            inputs,
+            weights.of(id).filter.as_ref(),
+            weights.of(id).bias.as_deref(),
+            calib.weight_params[i],
+            act,
+        )?;
+        let raws: Vec<Tensor> = tasks.iter().map(run_task).collect::<Result<Vec<_>, _>>()?;
+        outputs.push(merge_node(&node.kind, storage, store_params, raws)?);
+    }
+    Ok(outputs)
+}
+
+/// The quantization parameters a node's output is stored with.
+///
+/// Quantization-preserving layers (pooling, ReLU, LRN) keep their
+/// input's parameters on the integer path, so every part of a split —
+/// including F16-computed GPU parts — must requantize to those, not to
+/// the calibrated range, for the merge to agree.
+fn store_params_of(kind: &LayerKind, inputs: &[&Tensor], act: QuantParams) -> QuantParams {
+    match kind {
+        LayerKind::Pool { .. }
+        | LayerKind::GlobalAvgPool
+        | LayerKind::Relu
+        | LayerKind::Lrn { .. } => inputs[0].quant_params().unwrap_or(act),
+        _ => act,
+    }
+}
+
+/// Converts raw part outputs to storage and concatenates them along the
+/// channel axis (a single whole-layer output passes through unchanged).
+fn merge_node(
+    kind: &LayerKind,
+    storage: DType,
+    store_params: QuantParams,
+    raws: Vec<Tensor>,
+) -> Result<Tensor, TensorError> {
+    let mut parts = Vec::with_capacity(raws.len());
+    for raw in raws {
+        parts.push(finish(raw, kind, storage, store_params)?);
+    }
+    if parts.len() == 1 {
+        return Ok(parts.pop().expect("len checked"));
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Tensor::concat_axis(1, &refs)
 }
 
 /// Converts a computed part/layer output to the plan's storage dtype

@@ -38,6 +38,7 @@
 //! assert!(l2p.latency <= cpu.latency.max(l2p.latency));
 //! ```
 
+pub mod backend;
 pub mod baselines;
 pub mod engine;
 pub mod functional;
@@ -47,6 +48,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod serve;
 
+pub use backend::{ExecBackend, SimulatedBackend};
 pub use baselines::{
     layer_to_processor_plan, run_layer_to_processor, run_network_to_processor,
     run_single_processor, single_processor_plan, ThroughputResult,
@@ -55,8 +57,11 @@ pub use engine::{
     execute_plan, execute_plan_with_faults, FallbackPart, FallbackScope, FaultReport, RunError,
     RunResult, TaskMeta,
 };
-pub use functional::{evaluate_plan, evaluate_plan_with_recovery};
-pub use metrics::MetricsRegistry;
+pub use functional::{
+    eval_part_task, evaluate_plan, evaluate_plan_with_backend, evaluate_plan_with_recovery,
+    split_axis, PartTask, SplitAxis,
+};
+pub use metrics::{MetricsRegistry, SharedMetrics};
 pub use observe::{
     attribute, chrome_trace_json, chrome_trace_json_with_faults, Attribution, OverheadClass,
     ResourceAttribution,
