@@ -54,6 +54,24 @@ echo "==> blocked-GEMM equivalence properties (blocked == naive, bit-exact QUInt
 # repeated convolutions never grow the per-thread scratch arena.
 cargo test -q --offline -p ukernels --test blocked_props >/dev/null
 
+echo "==> kernels crate: warnings-as-errors build + clippy"
+# The SIMD module carries unsafe target_feature code; hold crates/kernels
+# to the strictest static bar on its own, independent of workspace flags.
+RUSTFLAGS="-D warnings" cargo build -q --offline -p ukernels
+cargo clippy -q --offline -p ukernels --all-targets -- -D warnings
+
+echo "==> kernel-path equivalence table, pass 1: forced scalar tiles"
+# The full differential table (gemm/depthwise/pointwise x dtype x thread
+# count) with every worker forced onto the scalar register tiles.
+UKERNELS_KERNEL_PATH=scalar cargo test -q --offline -p ukernels \
+  --test equivalence --test direct_conv_props >/dev/null
+
+echo "==> kernel-path equivalence table, pass 2: auto (SIMD where detected)"
+# Same table under runtime feature detection; on AVX2/NEON hosts this
+# pins the SIMD tiles against the identical golden scalar references.
+UKERNELS_KERNEL_PATH=auto cargo test -q --offline -p ukernels \
+  --test equivalence --test direct_conv_props >/dev/null
+
 echo "==> repro measure smoke (worker pools + predictor calibration + baseline schema)"
 # Real-thread execution of the miniature net on two workers per pool;
 # writes a measurement document and schema-checks the checked-in
@@ -62,7 +80,7 @@ echo "==> repro measure smoke (worker pools + predictor calibration + baseline s
 smoke_measure="$(mktemp -t ulayer-smoke-measure.XXXXXX.json)"
 trap 'rm -f "$smoke_trace" "$smoke_measure"' EXIT
 cargo run --release --offline -p ubench --bin repro -- \
-  measure squeezenet --miniature --threads=2 --repeat=1 \
+  measure squeezenet --miniature --threads=2 --repeat=1 --kernel-path=auto \
   "--out=$smoke_measure" --baseline=BENCH_exec.json >/dev/null
 test -s "$smoke_measure"
 

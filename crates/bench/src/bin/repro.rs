@@ -6,8 +6,8 @@
 //! repro faults [net] [--scenario=throttle|flaky-gpu|gpu-loss] [--seed=N] [--miniature]
 //! repro serve [net] [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS]
 //!             [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]
-//! repro measure [net] [--miniature] [--threads=N] [--repeat=N] [--out=FILE]
-//!               [--baseline=FILE]
+//! repro measure [net] [--miniature] [--threads=N] [--repeat=N]
+//!               [--kernel-path=auto|scalar|simd] [--out=FILE] [--baseline=FILE]
 //! ```
 //!
 //! Each subcommand prints paper-style rows; `all` runs everything.
@@ -445,22 +445,25 @@ fn serve(args: &[String]) {
 }
 
 /// `repro measure [net] [--miniature] [--threads=N] [--repeat=N]
-/// [--out=FILE] [--baseline=FILE]`: wall-clock measurement of the
-/// μLayer cooperative plan against the single-processor CPU baseline on
-/// real worker threads, plus predictor calibration from the measured
-/// samples. Writes a machine-readable `BENCH_exec.json`; with
-/// `--baseline=FILE` also schema-checks a checked-in baseline document.
+/// [--kernel-path={auto|scalar|simd}] [--out=FILE] [--baseline=FILE]`:
+/// wall-clock measurement of the μLayer cooperative plan against the
+/// single-processor CPU baseline on real worker threads, plus predictor
+/// calibration from the measured samples. Writes a machine-readable
+/// `BENCH_exec.json`; with `--baseline=FILE` also schema-checks a
+/// checked-in baseline document.
 fn measure_cmd(args: &[String]) {
     let mut model = unn::ModelId::SqueezeNet;
     let mut miniature = false;
     let mut threads = uexec::ExecConfig::from_env().cpu_threads;
     let mut repeat = 3usize;
+    let mut kernel_path = ukernels::PathChoice::from_env();
     let mut out_path = "BENCH_exec.json".to_string();
     let mut baseline: Option<String> = None;
     let usage = || -> ! {
         eprintln!(
             "usage: repro measure [vgg16|alexnet|squeezenet|googlenet|mobilenet] \
-             [--miniature] [--threads=N] [--repeat=N] [--out=FILE] [--baseline=FILE]"
+             [--miniature] [--threads=N] [--repeat=N] [--kernel-path=auto|scalar|simd] \
+             [--out=FILE] [--baseline=FILE]"
         );
         std::process::exit(2);
     };
@@ -477,6 +480,11 @@ fn measure_cmd(args: &[String]) {
                 Ok(v) if v >= 1 => repeat = v,
                 _ => usage(),
             }
+        } else if let Some(s) = a.strip_prefix("--kernel-path=") {
+            match ukernels::PathChoice::parse(s) {
+                Some(p) => kernel_path = p,
+                None => usage(),
+            }
         } else if let Some(p) = a.strip_prefix("--out=") {
             out_path = p.to_string();
         } else if let Some(p) = a.strip_prefix("--baseline=") {
@@ -492,6 +500,17 @@ fn measure_cmd(args: &[String]) {
         "Measured execution: uLayer {} on real worker pools ({threads} threads/pool, best of {repeat})",
         model.name()
     ));
+    println!(
+        "kernel path: {} (resolved: {}), cpu features: {}",
+        kernel_path.as_str(),
+        kernel_path.resolve().as_str(),
+        ukernels::cpu_features(),
+    );
+    if kernel_path == ukernels::PathChoice::Simd
+        && kernel_path.resolve() == ukernels::KernelPath::Scalar
+    {
+        println!("WARN: SIMD requested but this host lacks the CPU features; running scalar");
+    }
 
     let g = if miniature {
         model.build_miniature()
@@ -524,7 +543,11 @@ fn measure_cmd(args: &[String]) {
         &x,
         &coop_plan,
         &single_plan,
-        &uexec::MeasureConfig { threads, repeat },
+        &uexec::MeasureConfig {
+            threads,
+            repeat,
+            kernel_path,
+        },
     )
     .unwrap_or_else(|e| {
         eprintln!("measurement failed: {e}");
@@ -646,6 +669,13 @@ fn measure_json(
         ("repeat", Json::n(report.repeat as f64)),
         ("host_parallelism", Json::n(report.host_parallelism as f64)),
         (
+            "kernel_path_requested",
+            Json::s(report.kernel_path_requested.clone()),
+        ),
+        ("kernel_path", Json::s(report.kernel_path.clone())),
+        ("cpu_features", Json::s(report.cpu_features.clone())),
+        ("direct_conv", Json::Bool(report.direct_conv)),
+        (
             "coop",
             Json::obj(vec![
                 ("label", Json::s(report.coop_label.clone())),
@@ -707,14 +737,19 @@ fn measure_json(
     ])
 }
 
-/// Schema tag of the measurement document.
-const MEASURE_SCHEMA: &str = "ulayer-exec-measure/v1";
+/// Schema tag of the measurement document. v2 adds `kernel_path_requested`,
+/// `kernel_path`, `cpu_features`, and `direct_conv`; v1 documents (without
+/// those keys) are still accepted by the checker.
+const MEASURE_SCHEMA: &str = "ulayer-exec-measure/v2";
 
-/// Checks that `doc` carries the measurement schema tag and every
-/// required top-level key. Returns the first missing marker.
+/// Checks that `doc` carries a known measurement schema tag and every
+/// key that tag requires. Returns the first missing marker.
 fn check_measure_schema(doc: &str) -> Result<(), &'static str> {
-    let required = [
-        "\"schema\":\"ulayer-exec-measure/v1\"",
+    let v2 = doc.contains("\"schema\":\"ulayer-exec-measure/v2\"");
+    if !v2 && !doc.contains("\"schema\":\"ulayer-exec-measure/v1\"") {
+        return Err("\"schema\":\"ulayer-exec-measure/v1|v2\"");
+    }
+    let mut required = vec![
         "\"model\"",
         "\"soc\"",
         "\"threads\"",
@@ -727,6 +762,14 @@ fn check_measure_schema(doc: &str) -> Result<(), &'static str> {
         "\"fit\"",
         "\"layers\"",
     ];
+    if v2 {
+        required.extend([
+            "\"kernel_path_requested\"",
+            "\"kernel_path\"",
+            "\"cpu_features\"",
+            "\"direct_conv\"",
+        ]);
+    }
     for marker in required {
         if !doc.contains(marker) {
             return Err(marker);

@@ -215,6 +215,7 @@ mod tests {
         let mut drift = DriftAdapter::with_rates(1.0, 0.5);
         for class in [
             usoc::WorkClass::Gemm,
+            usoc::WorkClass::Pointwise,
             usoc::WorkClass::Depthwise,
             usoc::WorkClass::Pool,
             usoc::WorkClass::Elementwise,

@@ -144,6 +144,7 @@ fn class_idx(class: WorkClass) -> u8 {
         WorkClass::Elementwise => 3,
         WorkClass::Norm => 4,
         WorkClass::Copy => 5,
+        WorkClass::Pointwise => 6,
     }
 }
 
@@ -238,8 +239,9 @@ pub struct LatencyPredictor {
 }
 
 /// The kernel classes the predictor trains models for.
-const CLASSES: [WorkClass; 6] = [
+const CLASSES: [WorkClass; 7] = [
     WorkClass::Gemm,
+    WorkClass::Pointwise,
     WorkClass::Depthwise,
     WorkClass::Pool,
     WorkClass::Elementwise,
@@ -615,7 +617,7 @@ mod tests {
     fn model_count_covers_devices_classes_dtypes() {
         let spec = SocSpec::exynos_7420();
         let pred = LatencyPredictor::train(&spec).unwrap();
-        // 2 devices x 3 dtypes x 6 classes.
-        assert_eq!(pred.model_count(), 36);
+        // 2 devices x 3 dtypes x 7 classes.
+        assert_eq!(pred.model_count(), 42);
     }
 }

@@ -73,10 +73,16 @@ pub struct ParallelBackend {
 
 impl ParallelBackend {
     /// Builds the backend for `spec`'s CPU/GPU pair. Workers switch to
-    /// the cache-blocked kernels once at spawn.
+    /// the cache-blocked kernels once at spawn and take the config's
+    /// kernel path (scalar or SIMD register tiles) and direct-conv
+    /// routing; all three knobs are thread-local, so nothing outside the
+    /// pools changes.
     pub fn new(spec: &SocSpec, cfg: &ExecConfig, mode: PoolMode) -> ParallelBackend {
-        let engine = Engine::new(cfg, || {
+        let (path, direct) = (cfg.kernel_path, cfg.direct_conv());
+        let engine = Engine::new(cfg, move || {
             ukernels::set_blocked_kernels(true);
+            ukernels::set_kernel_path(path);
+            ukernels::set_direct_conv(direct);
         });
         ParallelBackend {
             engine,

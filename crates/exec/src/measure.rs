@@ -11,12 +11,20 @@
 //!
 //! Each plan runs `repeat` times and the fastest repetition is kept
 //! (standard practice for wall-clock microbenchmarks — the minimum is
-//! the least noisy estimator of the achievable time).
+//! the least noisy estimator of the achievable time). Calibration
+//! samples apply the same principle per part: each part's sample is its
+//! *minimum* wall time across the repetitions (scheduler hiccups on a
+//! shared host otherwise swamp the microsecond-scale kernels), and both
+//! plans contribute — the single-pool run adds whole-layer (frac = 1.0)
+//! points the split cooperative run never produces, which is what lets
+//! small (device, class, dtype) groups constrain a slope.
 
 use unn::{Calibration, Graph, Weights};
 use uruntime::{evaluate_plan_with_backend, execute_plan, ExecutionPlan, RunError};
 use usoc::{DeviceId, DtypePlan, SocSpec, WorkClass};
 use utensor::{DType, Tensor, TensorError};
+
+use ukernels::PathChoice;
 
 use crate::backend::{NodeTiming, ParallelBackend, PoolMode};
 use crate::pool::ExecConfig;
@@ -28,6 +36,10 @@ pub struct MeasureConfig {
     pub threads: usize,
     /// Repetitions per plan (best-of). Clamped to at least 1.
     pub repeat: usize,
+    /// Requested kernel path for the worker pools (`--kernel-path`).
+    /// `Scalar` also disables the direct conv kernels, reproducing the
+    /// PR 5 measurement path exactly.
+    pub kernel_path: PathChoice,
 }
 
 impl Default for MeasureConfig {
@@ -35,6 +47,7 @@ impl Default for MeasureConfig {
         MeasureConfig {
             threads: ExecConfig::from_env().cpu_threads,
             repeat: 3,
+            kernel_path: PathChoice::from_env(),
         }
     }
 }
@@ -124,6 +137,17 @@ pub struct MeasureReport {
     /// beat the single pool, so consumers gate the speedup expectation
     /// on this.
     pub host_parallelism: usize,
+    /// Requested kernel path (`auto` / `scalar` / `simd`).
+    pub kernel_path_requested: String,
+    /// The path the workers actually ran after runtime CPU feature
+    /// detection (`scalar` / `simd`) — a forced `simd` request degrades
+    /// to `scalar` on hosts without the features.
+    pub kernel_path: String,
+    /// Detected CPU features relevant to the SIMD tiles (diagnostics).
+    pub cpu_features: String,
+    /// Whether the direct (im2col-free) depthwise/pointwise kernels were
+    /// routed to.
+    pub direct_conv: bool,
     /// Labels of the two plans.
     pub coop_label: String,
     /// Label of the single-processor plan.
@@ -138,8 +162,8 @@ pub struct MeasureReport {
     pub modeled_speedup: f64,
     /// Per-layer wall times (from the best repetitions).
     pub layers: Vec<LayerRow>,
-    /// Per-part samples of the cooperative run, for predictor
-    /// calibration.
+    /// Per-part samples from every repetition of both plans, for
+    /// predictor calibration.
     pub samples: Vec<PartSample>,
 }
 
@@ -149,8 +173,10 @@ fn total_wall(timings: &[NodeTiming]) -> f64 {
 }
 
 /// Runs `plan` `repeat` times on `backend`, returning the per-node
-/// timings of the fastest repetition.
-fn run_best(
+/// timings of the fastest repetition plus every repetition's timings
+/// (for calibration sampling).
+#[allow(clippy::type_complexity)]
+fn run_reps(
     graph: &Graph,
     plan: &ExecutionPlan,
     weights: &Weights,
@@ -158,19 +184,70 @@ fn run_best(
     input: &Tensor,
     backend: &ParallelBackend,
     repeat: usize,
-) -> Result<Vec<NodeTiming>, TensorError> {
-    let mut best: Option<Vec<NodeTiming>> = None;
+) -> Result<(Vec<NodeTiming>, Vec<Vec<NodeTiming>>), TensorError> {
+    let mut reps: Vec<Vec<NodeTiming>> = Vec::with_capacity(repeat.max(1));
     for _ in 0..repeat.max(1) {
         evaluate_plan_with_backend(graph, plan, weights, calib, input, backend)?;
-        let timings = backend.take_timings();
-        let better = best
-            .as_ref()
-            .is_none_or(|b| total_wall(&timings) < total_wall(b));
-        if better {
-            best = Some(timings);
+        reps.push(backend.take_timings());
+    }
+    let best = reps
+        .iter()
+        .min_by(|a, b| total_wall(a).total_cmp(&total_wall(b)))
+        .expect("repeat >= 1")
+        .clone();
+    Ok((best, reps))
+}
+
+/// Per-node, per-part minimum wall times across repetitions — the
+/// least-noisy per-part estimate (every repetition runs the identical
+/// plan, so the timing vectors line up index for index).
+fn min_timings(reps: &[Vec<NodeTiming>]) -> Vec<NodeTiming> {
+    let mut out = reps[0].clone();
+    for rep in &reps[1..] {
+        for (acc, t) in out.iter_mut().zip(rep) {
+            debug_assert_eq!(acc.node, t.node);
+            acc.wall_s = acc.wall_s.min(t.wall_s);
+            for (ap, tp) in acc.parts.iter_mut().zip(&t.parts) {
+                debug_assert_eq!(ap.part_index, tp.part_index);
+                ap.seconds = ap.seconds.min(tp.seconds);
+            }
         }
     }
-    Ok(best.expect("repeat >= 1"))
+    out
+}
+
+/// Pairs every part span in `reps` with its analytic work summary and
+/// appends the samples to `out`.
+fn collect_samples(
+    graph: &Graph,
+    shapes: &[utensor::Shape],
+    plan: &ExecutionPlan,
+    reps: &[Vec<NodeTiming>],
+    out: &mut Vec<PartSample>,
+) {
+    for timing in reps.iter().flatten() {
+        let node = &graph.nodes()[timing.node];
+        let in_shape = node
+            .inputs
+            .first()
+            .map_or(graph.input_shape(), |d| &shapes[d.0]);
+        let out_shape = &shapes[timing.node];
+        for part in &timing.parts {
+            let (dtypes, frac) = part_config(plan, timing.node, part.part_index);
+            let work = usoc::layer_work(&node.kind, in_shape, out_shape, dtypes, frac);
+            out.push(PartSample {
+                node: timing.node,
+                name: node.name.clone(),
+                kind: node.kind.op_name().to_string(),
+                device: part.device,
+                class: work.class,
+                compute_dtype: work.compute_dtype,
+                macs: work.macs,
+                bytes: work.total_bytes(),
+                seconds: part.seconds,
+            });
+        }
+    }
 }
 
 /// The `(dtypes, frac)` of one part of a node placement.
@@ -199,7 +276,8 @@ pub fn measure(
     cfg: &MeasureConfig,
 ) -> Result<MeasureReport, MeasureError> {
     let shapes = graph.infer_shapes()?;
-    let exec_cfg = ExecConfig::with_threads(cfg.threads);
+    let exec_cfg = ExecConfig::with_threads(cfg.threads).with_kernel_path(cfg.kernel_path);
+    let direct_conv = exec_cfg.direct_conv();
     let coop = ParallelBackend::new(spec, &exec_cfg, PoolMode::Cooperative);
     let single = ParallelBackend::new(spec, &exec_cfg, PoolMode::SinglePool);
 
@@ -209,8 +287,8 @@ pub fn measure(
     evaluate_plan_with_backend(graph, single_plan, weights, calib, input, &single)?;
     single.take_timings();
 
-    let coop_t = run_best(graph, coop_plan, weights, calib, input, &coop, cfg.repeat)?;
-    let single_t = run_best(
+    let (coop_t, coop_reps) = run_reps(graph, coop_plan, weights, calib, input, &coop, cfg.repeat)?;
+    let (single_t, single_reps) = run_reps(
         graph,
         single_plan,
         weights,
@@ -239,31 +317,25 @@ pub fn measure(
         })
         .collect();
 
-    // Pair every cooperative part's wall time with its analytic work.
+    // Pair every part's best (minimum-across-reps) wall time, from both
+    // plans, with its analytic work; the single-pool parts roughly
+    // double the points per group so the predictor fit can constrain a
+    // slope instead of falling back to a group mean.
     let mut samples = Vec::new();
-    for timing in &coop_t {
-        let node = &graph.nodes()[timing.node];
-        let in_shape = node
-            .inputs
-            .first()
-            .map_or(graph.input_shape(), |d| &shapes[d.0]);
-        let out_shape = &shapes[timing.node];
-        for part in &timing.parts {
-            let (dtypes, frac) = part_config(coop_plan, timing.node, part.part_index);
-            let work = usoc::layer_work(&node.kind, in_shape, out_shape, dtypes, frac);
-            samples.push(PartSample {
-                node: timing.node,
-                name: node.name.clone(),
-                kind: node.kind.op_name().to_string(),
-                device: part.device,
-                class: work.class,
-                compute_dtype: work.compute_dtype,
-                macs: work.macs,
-                bytes: work.total_bytes(),
-                seconds: part.seconds,
-            });
-        }
-    }
+    collect_samples(
+        graph,
+        &shapes,
+        coop_plan,
+        &[min_timings(&coop_reps)],
+        &mut samples,
+    );
+    collect_samples(
+        graph,
+        &shapes,
+        single_plan,
+        &[min_timings(&single_reps)],
+        &mut samples,
+    );
 
     let coop_total_s = total_wall(&coop_t);
     let single_total_s = total_wall(&single_t);
@@ -279,6 +351,10 @@ pub fn measure(
         host_parallelism: std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1),
+        kernel_path_requested: cfg.kernel_path.as_str().to_string(),
+        kernel_path: cfg.kernel_path.resolve().as_str().to_string(),
+        cpu_features: ukernels::cpu_features(),
+        direct_conv,
         coop_label: coop_plan.label.clone(),
         single_label: single_plan.label.clone(),
         coop_total_s,

@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use ukernels::PathChoice;
+
 /// A borrowed task: valid for `'s`, run to completion before the
 /// submitting call returns.
 pub type ScopedTask<'s> = Box<dyn FnOnce() + Send + 's>;
@@ -39,16 +41,35 @@ pub struct ExecConfig {
     pub cpu_threads: usize,
     /// Workers in the GPU-emulating pool.
     pub gpu_threads: usize,
+    /// Requested inner-kernel path for every worker of both pools
+    /// (resolved against runtime CPU detection at the register tile).
+    pub kernel_path: PathChoice,
 }
 
 impl ExecConfig {
-    /// Both pools sized to `threads` (clamped to at least 1).
+    /// Both pools sized to `threads` (clamped to at least 1), kernel
+    /// path from the environment (`UKERNELS_KERNEL_PATH`, else auto).
     pub fn with_threads(threads: usize) -> ExecConfig {
         let t = threads.max(1);
         ExecConfig {
             cpu_threads: t,
             gpu_threads: t,
+            kernel_path: PathChoice::from_env(),
         }
+    }
+
+    /// Returns the config with the kernel path replaced.
+    pub fn with_kernel_path(mut self, path: PathChoice) -> ExecConfig {
+        self.kernel_path = path;
+        self
+    }
+
+    /// Whether workers route depthwise and 1×1 convolutions through the
+    /// direct (im2col-free) kernels: on for `auto`/`simd`, off for
+    /// `scalar` — so `--kernel-path=scalar` reproduces the PR 5
+    /// blocked-scalar baseline exactly.
+    pub fn direct_conv(&self) -> bool {
+        self.kernel_path != PathChoice::Scalar
     }
 
     /// Reads `UEXEC_THREADS`, falling back to

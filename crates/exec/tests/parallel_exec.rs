@@ -194,6 +194,7 @@ fn measure_reports_speedups_and_samples() {
         &MeasureConfig {
             threads: 2,
             repeat: 1,
+            kernel_path: ukernels::PathChoice::Auto,
         },
     )
     .unwrap();
@@ -212,4 +213,51 @@ fn measure_reports_speedups_and_samples() {
     assert!(report.samples.iter().all(|s| s.seconds >= 0.0));
     assert_eq!(report.threads, 2);
     assert_eq!(report.model, g.name());
+    // The report names the kernel path the workers resolved to and the
+    // features that drove the resolution.
+    assert_eq!(report.kernel_path_requested, "auto");
+    let expect = if ukernels::simd_available() {
+        "simd"
+    } else {
+        "scalar"
+    };
+    assert_eq!(report.kernel_path, expect);
+    assert!(!report.cpu_features.is_empty());
+    assert!(report.direct_conv);
+}
+
+#[test]
+fn measure_scalar_path_reproduces_baseline_config() {
+    let (g, w, calib, x) = setup();
+    let spec = SocSpec::exynos_7420();
+    let coop_plan = split_plan(
+        &g,
+        &spec,
+        DtypePlan::proc_friendly_cpu(),
+        DtypePlan::proc_friendly_gpu(),
+        "ulayer-split",
+    );
+    let single_plan = single_processor_plan(&g, &spec, spec.cpu(), DType::QUInt8).unwrap();
+    let report = measure(
+        &spec,
+        &g,
+        &w,
+        &calib,
+        &x,
+        &coop_plan,
+        &single_plan,
+        &MeasureConfig {
+            threads: 1,
+            repeat: 1,
+            kernel_path: ukernels::PathChoice::Scalar,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.kernel_path_requested, "scalar");
+    assert_eq!(report.kernel_path, "scalar");
+    // Forcing scalar also turns the direct conv kernels off — the exact
+    // measurement configuration of the pre-SIMD baseline.
+    assert!(!report.direct_conv);
+    // Samples come from every repetition of both plans.
+    assert!(report.samples.len() >= 2 * g.len());
 }

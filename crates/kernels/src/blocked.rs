@@ -31,6 +31,12 @@
 //! deterministic and thread-count-independent, and ULP-close (identical
 //! when `k <= KC`) to the naive kernels.
 //!
+//! The register-tile inner loops optionally dispatch to arch-gated SIMD
+//! implementations ([`crate::simd`], selected per thread via
+//! [`crate::dispatch::set_kernel_path`]). Those tiles are bit-identical
+//! to the scalar tiles here — same operations, same order — so the path
+//! choice never changes results, only speed.
+//!
 //! ## Opting in
 //!
 //! The classic entry points ([`crate::conv2d`], [`crate::fully_connected`])
@@ -128,6 +134,7 @@ pub fn gemm_f32_blocked(
         assert_eq!(bias.len(), m, "gemm_f32_blocked: bias length");
     }
     c.iter_mut().for_each(|v| *v = 0.0);
+    let simd = crate::dispatch::active_kernel_path() == crate::dispatch::KernelPath::Simd;
     let (m_tiles, n_tiles) = (m.div_ceil(MR), n.div_ceil(NR));
     let mut p0 = 0;
     while p0 < k {
@@ -143,12 +150,14 @@ pub fn gemm_f32_blocked(
                 let jw = NR.min(n - j0);
                 let pb_panel = &arena.pack_b_f32[jt * kc * NR..(jt + 1) * kc * NR];
                 let mut acc = [[0.0f32; NR]; MR];
-                for p in 0..kc {
-                    let avals = &pa_panel[p * MR..(p + 1) * MR];
-                    let bvals = &pb_panel[p * NR..(p + 1) * NR];
-                    for (r, &ar) in avals.iter().enumerate() {
-                        for (x, &bv) in bvals.iter().enumerate() {
-                            acc[r][x] += ar * bv;
+                if !(simd && crate::simd::tile_f32(&mut acc, pa_panel, pb_panel, kc)) {
+                    for p in 0..kc {
+                        let avals = &pa_panel[p * MR..(p + 1) * MR];
+                        let bvals = &pb_panel[p * NR..(p + 1) * NR];
+                        for (r, &ar) in avals.iter().enumerate() {
+                            for (x, &bv) in bvals.iter().enumerate() {
+                                acc[r][x] += ar * bv;
+                            }
                         }
                     }
                 }
@@ -201,6 +210,7 @@ pub fn gemm_f16_blocked(
         assert_eq!(bias.len(), m, "gemm_f16_blocked: bias length");
     }
     c.iter_mut().for_each(|v| *v = F16::ZERO);
+    let simd = crate::dispatch::active_kernel_path() == crate::dispatch::KernelPath::Simd;
     let (m_tiles, n_tiles) = (m.div_ceil(MR), n.div_ceil(NR));
     let mut p0 = 0;
     while p0 < k {
@@ -216,12 +226,14 @@ pub fn gemm_f16_blocked(
                 let jw = NR.min(n - j0);
                 let pb_panel = &arena.pack_b_f16[jt * kc * NR..(jt + 1) * kc * NR];
                 let mut acc = [[F16::ZERO; NR]; MR];
-                for p in 0..kc {
-                    let avals = &pa_panel[p * MR..(p + 1) * MR];
-                    let bvals = &pb_panel[p * NR..(p + 1) * NR];
-                    for (r, &ar) in avals.iter().enumerate() {
-                        for (x, &bv) in bvals.iter().enumerate() {
-                            acc[r][x] = ar.mul_add(bv, acc[r][x]);
+                if !(simd && crate::simd::tile_f16(&mut acc, pa_panel, pb_panel, kc)) {
+                    for p in 0..kc {
+                        let avals = &pa_panel[p * MR..(p + 1) * MR];
+                        let bvals = &pb_panel[p * NR..(p + 1) * NR];
+                        for (r, &ar) in avals.iter().enumerate() {
+                            for (x, &bv) in bvals.iter().enumerate() {
+                                acc[r][x] = ar.mul_add(bv, acc[r][x]);
+                            }
                         }
                     }
                 }
@@ -295,6 +307,7 @@ pub fn gemm_quint8_blocked(
     let acc = &mut arena.acc_i32;
     acc.clear();
     acc.resize(m * n, 0);
+    let simd = crate::dispatch::active_kernel_path() == crate::dispatch::KernelPath::Simd;
     let (m_tiles, n_tiles) = (m.div_ceil(MR), n.div_ceil(NR));
     let mut p0 = 0;
     while p0 < k {
@@ -312,16 +325,18 @@ pub fn gemm_quint8_blocked(
                 let jw = NR.min(n - j0);
                 let pb_panel = &arena.pack_b_i16[jt * kc * NR..(jt + 1) * kc * NR];
                 let mut tile = [[0i32; NR]; MR];
-                for p in 0..kc {
-                    let avals = &pa_panel[p * MR..(p + 1) * MR];
-                    let bvals = &pb_panel[p * NR..(p + 1) * NR];
-                    for (r, &ar) in avals.iter().enumerate() {
-                        let ar = ar as i32;
-                        if ar == 0 {
-                            continue;
-                        }
-                        for (x, &bv) in bvals.iter().enumerate() {
-                            tile[r][x] += ar * bv as i32;
+                if !(simd && crate::simd::tile_i16(&mut tile, pa_panel, pb_panel, kc)) {
+                    for p in 0..kc {
+                        let avals = &pa_panel[p * MR..(p + 1) * MR];
+                        let bvals = &pb_panel[p * NR..(p + 1) * NR];
+                        for (r, &ar) in avals.iter().enumerate() {
+                            let ar = ar as i32;
+                            if ar == 0 {
+                                continue;
+                            }
+                            for (x, &bv) in bvals.iter().enumerate() {
+                                tile[r][x] += ar * bv as i32;
+                            }
                         }
                     }
                 }

@@ -37,7 +37,7 @@ impl Conv2dParams {
     }
 }
 
-fn conv_output_shape(
+pub(crate) fn conv_output_shape(
     input: &Shape,
     filters: &Shape,
     p: &Conv2dParams,
@@ -82,6 +82,14 @@ pub fn conv2d(
             expected: input.dtype(),
             found: filters.dtype(),
         });
+    }
+    // 1×1 stride-1 unpadded convolutions skip the im2col copy on threads
+    // that opted into the direct paths; bit-identical (same GEMM, same
+    // bytes), so the routing never changes results.
+    if crate::dispatch::direct_conv_enabled()
+        && crate::pointwise::is_pointwise(filters.shape(), params)
+    {
+        return crate::pointwise::pointwise_conv2d(input, filters, bias, params, out_params);
     }
     let out_shape = conv_output_shape(input.shape(), filters.shape(), params)?;
     if let Some(bias) = bias {
@@ -366,6 +374,12 @@ pub fn depthwise_conv2d(
                 len: bias.len(),
             });
         }
+    }
+
+    // Threads that opted in take the one-pass direct kernel; it is
+    // bit-identical to the per-channel im2col path below.
+    if crate::dispatch::direct_conv_enabled() {
+        return crate::depthwise::depthwise_conv2d_direct(input, filters, bias, params, out_params);
     }
 
     // Implemented by running a 1-input-channel standard convolution per

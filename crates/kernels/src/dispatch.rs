@@ -1,0 +1,225 @@
+//! Per-thread kernel-path dispatch.
+//!
+//! Like [`crate::blocked::set_blocked_kernels`], every knob here is
+//! **thread-local**: the `uexec` worker pools configure each worker once
+//! at spawn, and nothing a pool selects can change the numerics of any
+//! other thread (in particular the golden-vector / simulation paths,
+//! which always run naive scalar kernels).
+//!
+//! Three layers stack:
+//!
+//! 1. [`set_blocked_kernels`](crate::blocked::set_blocked_kernels) —
+//!    naive loops vs blocked packed GEMM (PR 5);
+//! 2. [`set_kernel_path`] — within the blocked GEMM, scalar register
+//!    tiles vs arch-gated SIMD tiles ([`crate::simd`]);
+//! 3. [`set_direct_conv`] — im2col+GEMM convolution vs the direct
+//!    depthwise/pointwise kernels.
+//!
+//! The resolved path ([`active_kernel_path`]) never yields
+//! [`KernelPath::Simd`] on a host without the required CPU features:
+//! forcing `Simd` there silently degrades to `Scalar` (callers that want
+//! to surface the degradation — e.g. `repro measure` — compare the
+//! resolved path against the request and warn).
+
+use std::cell::Cell;
+
+use crate::simd;
+
+/// The resolved inner-kernel implementation a thread is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable scalar register tiles (the PR 5 blocked kernels).
+    Scalar,
+    /// Arch-gated SIMD register tiles (AVX2 / NEON).
+    Simd,
+}
+
+impl KernelPath {
+    /// Stable lowercase name, used in reports and `BENCH_exec.json`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Simd => "simd",
+        }
+    }
+}
+
+/// A *requested* kernel path, before runtime feature detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PathChoice {
+    /// Use SIMD when the host supports it, scalar otherwise.
+    #[default]
+    Auto,
+    /// Always the scalar tiles, even on SIMD-capable hosts.
+    Scalar,
+    /// Request SIMD; degrades to scalar when unsupported.
+    Simd,
+}
+
+impl PathChoice {
+    /// Parses `"auto"` / `"scalar"` / `"simd"` (the `--kernel-path`
+    /// flag values). Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(PathChoice::Auto),
+            "scalar" => Some(PathChoice::Scalar),
+            "simd" => Some(PathChoice::Simd),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (inverse of [`PathChoice::parse`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PathChoice::Auto => "auto",
+            PathChoice::Scalar => "scalar",
+            PathChoice::Simd => "simd",
+        }
+    }
+
+    /// Reads `UKERNELS_KERNEL_PATH` (`auto` | `scalar` | `simd`);
+    /// `Auto` when unset or invalid. This is how `ci.sh` forces the
+    /// whole test suite through the scalar tiles in its first pass.
+    pub fn from_env() -> Self {
+        std::env::var("UKERNELS_KERNEL_PATH")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or_default()
+    }
+
+    /// Resolves this choice against runtime CPU detection — the path a
+    /// worker thread configured with this choice will actually run.
+    pub fn resolve(self) -> KernelPath {
+        match self {
+            PathChoice::Scalar => KernelPath::Scalar,
+            PathChoice::Auto | PathChoice::Simd => {
+                if simd::simd_available() {
+                    KernelPath::Simd
+                } else {
+                    KernelPath::Scalar
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static PATH: Cell<PathChoice> = Cell::new(PathChoice::from_env());
+    static DIRECT_CONV: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets this thread's kernel-path choice; returns the previous one.
+pub fn set_kernel_path(choice: PathChoice) -> PathChoice {
+    PATH.with(|c| c.replace(choice))
+}
+
+/// This thread's requested kernel path (default: `UKERNELS_KERNEL_PATH`
+/// env, else `Auto`).
+pub fn kernel_path_choice() -> PathChoice {
+    PATH.with(|c| c.get())
+}
+
+/// Resolves this thread's choice against runtime CPU detection.
+pub fn active_kernel_path() -> KernelPath {
+    kernel_path_choice().resolve()
+}
+
+/// Routes this thread's depthwise and 1×1 convolutions through the
+/// direct (im2col-free) kernels. Returns the previous setting.
+pub fn set_direct_conv(on: bool) -> bool {
+    DIRECT_CONV.with(|c| c.replace(on))
+}
+
+/// Whether this thread routes eligible convolutions through the direct
+/// kernels (default `false`: the im2col+GEMM deployment path).
+pub fn direct_conv_enabled() -> bool {
+    DIRECT_CONV.with(|c| c.get())
+}
+
+/// Every fast path registered on this host, as `op/dtype/impl` keys.
+///
+/// The equivalence harness (`tests/equivalence.rs`) fails if any key
+/// returned here has no differential test cell, so a new fast path
+/// cannot land without pinning itself to the golden scalar reference.
+pub fn registered_fast_paths() -> Vec<&'static str> {
+    let mut paths = vec![
+        "gemm/f32/blocked-scalar",
+        "gemm/f16/blocked-scalar",
+        "gemm/quint8/blocked-scalar",
+        "depthwise/f32/direct",
+        "depthwise/f16/direct",
+        "depthwise/quint8/direct",
+        "pointwise/f32/direct",
+        "pointwise/f16/direct",
+        "pointwise/quint8/direct",
+    ];
+    if simd::simd_available() {
+        paths.push("gemm/f32/blocked-simd");
+        paths.push("gemm/quint8/blocked-simd");
+    }
+    if simd::simd_f16_available() {
+        paths.push("gemm/f16/blocked-simd");
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for choice in [PathChoice::Auto, PathChoice::Scalar, PathChoice::Simd] {
+            assert_eq!(PathChoice::parse(choice.as_str()), Some(choice));
+        }
+        assert_eq!(PathChoice::parse("avx2"), None);
+    }
+
+    #[test]
+    fn forced_scalar_always_resolves_scalar() {
+        let prev = set_kernel_path(PathChoice::Scalar);
+        assert_eq!(active_kernel_path(), KernelPath::Scalar);
+        set_kernel_path(prev);
+    }
+
+    #[test]
+    fn simd_resolution_follows_detection() {
+        let prev = set_kernel_path(PathChoice::Simd);
+        let resolved = active_kernel_path();
+        if simd::simd_available() {
+            assert_eq!(resolved, KernelPath::Simd);
+        } else {
+            assert_eq!(resolved, KernelPath::Scalar);
+        }
+        set_kernel_path(prev);
+    }
+
+    #[test]
+    fn flags_are_thread_local() {
+        let prev_path = set_kernel_path(PathChoice::Scalar);
+        let prev_direct = set_direct_conv(true);
+        std::thread::spawn(|| {
+            assert!(!direct_conv_enabled());
+            // Fresh threads re-read the environment default.
+            assert_eq!(kernel_path_choice(), PathChoice::from_env());
+        })
+        .join()
+        .unwrap();
+        assert!(direct_conv_enabled());
+        set_direct_conv(prev_direct);
+        set_kernel_path(prev_path);
+    }
+
+    #[test]
+    fn scalar_gemm_paths_always_registered() {
+        let paths = registered_fast_paths();
+        for key in [
+            "gemm/f32/blocked-scalar",
+            "gemm/quint8/blocked-scalar",
+            "depthwise/quint8/direct",
+            "pointwise/f16/direct",
+        ] {
+            assert!(paths.contains(&key), "missing {key}");
+        }
+    }
+}

@@ -25,12 +25,16 @@ pub mod activation;
 pub mod arena;
 pub mod blocked;
 pub mod conv;
+pub mod depthwise;
+pub mod dispatch;
 pub mod eltwise;
 pub mod fc;
 pub mod gemm;
 pub mod im2col;
 pub mod norm;
+pub mod pointwise;
 pub mod pool;
+pub mod simd;
 
 pub use activation::{relu, softmax_f32};
 pub use arena::{
@@ -41,10 +45,17 @@ pub use blocked::{
     set_blocked_kernels,
 };
 pub use conv::{conv2d, conv2d_naive_f32, depthwise_conv2d, Conv2dParams};
+pub use depthwise::depthwise_conv2d_direct;
+pub use dispatch::{
+    active_kernel_path, direct_conv_enabled, kernel_path_choice, registered_fast_paths,
+    set_direct_conv, set_kernel_path, KernelPath, PathChoice,
+};
 pub use eltwise::add;
 pub use fc::fully_connected;
 pub use norm::{lrn, LrnParams};
+pub use pointwise::{is_pointwise, pointwise_conv2d};
 pub use pool::{global_avg_pool, pool2d, PoolKind, PoolParams};
+pub use simd::{cpu_features, simd_available, simd_f16_available};
 
 /// Computes the output spatial dimension of a sliding-window op.
 ///

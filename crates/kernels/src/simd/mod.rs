@@ -1,0 +1,312 @@
+//! Arch-gated SIMD micro-kernels for the blocked GEMM register tiles.
+//!
+//! The blocked kernels in [`crate::blocked`] spend essentially all of
+//! their time in one place: the `MR × NR` register-tile accumulation over
+//! a `KC`-panel. This module provides vectorized implementations of
+//! exactly that tile loop — nothing else — so the packing, blocking, and
+//! epilogue logic (and therefore the accumulation *order*) stays in one
+//! canonical scalar place.
+//!
+//! ## Paths
+//!
+//! - **x86_64 / AVX2+FMA+F16C** — selected at runtime via
+//!   `is_x86_feature_detected!`; a binary built on any x86_64 machine
+//!   runs everywhere and only takes the SIMD path when the host CPU
+//!   reports the features.
+//! - **aarch64 / NEON** — Advanced SIMD is architecturally mandatory on
+//!   AArch64, so the path is compile-time gated only. The F16 tile has no
+//!   NEON implementation (see below) and reports "unhandled".
+//! - **everything else** — every tile function returns `false` and the
+//!   caller runs its scalar loop.
+//!
+//! ## Equivalence contract
+//!
+//! Each SIMD tile is **bit-identical** to the scalar tile it replaces,
+//! not merely close:
+//!
+//! - `f32` uses separate multiply-then-add (never FMA), the same two
+//!   IEEE operations per element in the same order as `acc += a * b`.
+//! - `F16` matches [`utensor::F16::mul_add`] — one f32 FMA followed by a
+//!   round-to-nearest-even narrowing to binary16 — per MAC, using the
+//!   hardware f32 FMA plus F16C `vcvtps2ph` rounding. Identical for all
+//!   finite values and infinities; NaN *payloads* may differ from the
+//!   software path (both are quiet NaNs), which no kernel contract
+//!   observes.
+//! - QUInt8 accumulates `i16 × i16` products exactly in `i32` lanes;
+//!   integer arithmetic has no rounding, so equality is unconditional.
+//!
+//! The differential harness in `tests/equivalence.rs` enforces this
+//! contract for every registered path; `ci.sh` runs it twice (forced
+//! scalar and auto-detected SIMD).
+
+use crate::blocked::{MR, NR};
+use utensor::F16;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// Whether this host has a SIMD implementation of the GEMM register
+/// tiles (AVX2+FMA+F16C on x86_64, NEON on aarch64). Detection runs
+/// once; the result is cached for the life of the process.
+pub fn simd_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+                && is_x86_feature_detected!("f16c")
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            true
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            false
+        }
+    })
+}
+
+/// Whether the F16 GEMM tile has a SIMD path on this host. On aarch64
+/// this is `false`: matching the software `mul_add` contract (f32 FMA +
+/// per-MAC RN-even narrowing) would need FEAT_FP16 conversion sequences
+/// we cannot compile-test here, so the F16 tile stays scalar.
+pub fn simd_f16_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Comma-separated list of the CPU features the SIMD paths gate on that
+/// this host actually reports (empty on unsupported architectures).
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut features = Vec::new();
+        for (name, detected) in [
+            ("avx2", is_x86_feature_detected!("avx2")),
+            ("fma", is_x86_feature_detected!("fma")),
+            ("f16c", is_x86_feature_detected!("f16c")),
+        ] {
+            if detected {
+                features.push(name);
+            }
+        }
+        features.join(",")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon".to_string()
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        String::new()
+    }
+}
+
+/// Runs one f32 register tile (`acc[r][x] += pa[p*MR+r] * pb[p*NR+x]`
+/// for `p` in `0..kc`) through the SIMD path. Returns `false` when no
+/// SIMD path exists on this host; the caller then runs its scalar loop.
+#[inline]
+pub(crate) fn tile_f32(acc: &mut [[f32; NR]; MR], pa: &[f32], pb: &[f32], kc: usize) -> bool {
+    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+    if !simd_available() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: `simd_available()` verified avx2 above; panel lengths
+        // verified by the assert.
+        unsafe { x86::tile_f32(acc, pa, pb, kc) };
+        true
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // Safety: NEON is mandatory on aarch64; lengths checked above.
+        unsafe { neon::tile_f32(acc, pa, pb, kc) };
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = (acc, pa, pb, kc);
+        false
+    }
+}
+
+/// Runs one F16 register tile (per-MAC `F16::mul_add` semantics) through
+/// the SIMD path. Returns `false` when unhandled (non-x86_64 hosts).
+#[inline]
+pub(crate) fn tile_f16(acc: &mut [[F16; NR]; MR], pa: &[F16], pb: &[F16], kc: usize) -> bool {
+    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+    if !simd_f16_available() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: `simd_f16_available()` verified avx2+fma+f16c above;
+        // panel lengths verified by the assert.
+        unsafe { x86::tile_f16(acc, pa, pb, kc) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (acc, pa, pb, kc);
+        false
+    }
+}
+
+/// Runs one QUInt8 register tile (exact `i16 × i16 → i32` accumulation)
+/// through the SIMD path. Returns `false` when no SIMD path exists.
+#[inline]
+pub(crate) fn tile_i16(acc: &mut [[i32; NR]; MR], pa: &[i16], pb: &[i16], kc: usize) -> bool {
+    assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+    if !simd_available() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: `simd_available()` verified avx2 above; panel lengths
+        // verified by the assert.
+        unsafe { x86::tile_i16(acc, pa, pb, kc) };
+        true
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // Safety: NEON is mandatory on aarch64; lengths checked above.
+        unsafe { neon::tile_i16(acc, pa, pb, kc) };
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = (acc, pa, pb, kc);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(i: usize) -> f32 {
+        (((i * 2654435761) % 1999) as f32 - 999.0) / 999.0
+    }
+
+    fn scalar_f32(acc: &mut [[f32; NR]; MR], pa: &[f32], pb: &[f32], kc: usize) {
+        for p in 0..kc {
+            for r in 0..MR {
+                for x in 0..NR {
+                    acc[r][x] += pa[p * MR + r] * pb[p * NR + x];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_tile_bit_identical_to_scalar() {
+        for kc in [1usize, 2, 7, 64, 256] {
+            let pa: Vec<f32> = (0..kc * MR).map(pseudo).collect();
+            let pb: Vec<f32> = (0..kc * NR).map(|i| pseudo(i + 97)).collect();
+            let mut want = [[0.0f32; NR]; MR];
+            scalar_f32(&mut want, &pa, &pb, kc);
+            let mut got = [[0.0f32; NR]; MR];
+            if tile_f32(&mut got, &pa, &pb, kc) {
+                assert_eq!(got, want, "kc={kc}");
+            } else {
+                assert!(!simd_available());
+            }
+        }
+    }
+
+    #[test]
+    fn f16_tile_bit_identical_to_scalar_mul_add() {
+        for kc in [1usize, 3, 32, 200] {
+            let pa: Vec<F16> = (0..kc * MR).map(|i| F16::from_f32(pseudo(i))).collect();
+            let pb: Vec<F16> = (0..kc * NR)
+                .map(|i| F16::from_f32(pseudo(i + 13)))
+                .collect();
+            let mut want = [[F16::ZERO; NR]; MR];
+            for p in 0..kc {
+                for (r, row) in want.iter_mut().enumerate() {
+                    for (x, cell) in row.iter_mut().enumerate() {
+                        *cell = pa[p * MR + r].mul_add(pb[p * NR + x], *cell);
+                    }
+                }
+            }
+            let mut got = [[F16::ZERO; NR]; MR];
+            if tile_f16(&mut got, &pa, &pb, kc) {
+                for r in 0..MR {
+                    for x in 0..NR {
+                        assert_eq!(
+                            got[r][x].to_bits(),
+                            want[r][x].to_bits(),
+                            "kc={kc} r={r} x={x}"
+                        );
+                    }
+                }
+            } else {
+                assert!(!simd_f16_available());
+            }
+        }
+    }
+
+    #[test]
+    fn i16_tile_exactly_matches_scalar() {
+        for kc in [1usize, 5, 100, 256] {
+            let pa: Vec<i16> = (0..kc * MR)
+                .map(|i| ((i * 48271) % 511) as i16 - 255)
+                .collect();
+            let pb: Vec<i16> = (0..kc * NR)
+                .map(|i| ((i * 16807) % 511) as i16 - 255)
+                .collect();
+            let mut want = [[0i32; NR]; MR];
+            for p in 0..kc {
+                for (r, row) in want.iter_mut().enumerate() {
+                    for (x, cell) in row.iter_mut().enumerate() {
+                        *cell += pa[p * MR + r] as i32 * pb[p * NR + x] as i32;
+                    }
+                }
+            }
+            let mut got = [[0i32; NR]; MR];
+            if tile_i16(&mut got, &pa, &pb, kc) {
+                assert_eq!(got, want, "kc={kc}");
+            } else {
+                assert!(!simd_available());
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_accumulate_onto_existing_values() {
+        // Tiles must *add to* the accumulator (the caller may seed it),
+        // not overwrite it.
+        let kc = 4;
+        let pa: Vec<f32> = (0..kc * MR).map(pseudo).collect();
+        let pb: Vec<f32> = (0..kc * NR).map(|i| pseudo(i + 7)).collect();
+        let mut got = [[1.5f32; NR]; MR];
+        if tile_f32(&mut got, &pa, &pb, kc) {
+            let mut want = [[1.5f32; NR]; MR];
+            scalar_f32(&mut want, &pa, &pb, kc);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn feature_report_is_consistent() {
+        let features = cpu_features();
+        if simd_available() {
+            assert!(!features.is_empty());
+        }
+        if simd_f16_available() {
+            assert!(simd_available());
+        }
+    }
+}

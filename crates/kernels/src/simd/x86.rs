@@ -1,0 +1,101 @@
+//! AVX2/FMA/F16C register-tile kernels (x86_64).
+//!
+//! `NR = 8` maps one tile row onto exactly one 256-bit vector (8 × f32 /
+//! 8 × i32) — the whole `MR × NR` accumulator lives in four `ymm`
+//! registers per dtype. Every function here is `unsafe` because it is
+//! compiled with `#[target_feature]`; callers in [`super`] check
+//! `is_x86_feature_detected!` first (see `simd_available`).
+
+use core::arch::x86_64::*;
+
+use utensor::F16;
+
+use crate::blocked::{MR, NR};
+
+/// f32 tile: `acc[r] += a[p*MR+r] * b[p*NR..]` for `p` in `0..kc`.
+///
+/// Deliberately *not* fused: separate `vmulps` + `vaddps` performs the
+/// same two IEEE roundings per element as the scalar `acc += a * b`,
+/// making every lane bit-identical to the scalar tile.
+///
+/// # Safety
+/// Requires AVX2; `pa.len() >= kc * MR`, `pb.len() >= kc * NR`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn tile_f32(acc: &mut [[f32; NR]; MR], pa: &[f32], pb: &[f32], kc: usize) {
+    let mut v = [_mm256_setzero_ps(); MR];
+    for (vr, row) in v.iter_mut().zip(acc.iter()) {
+        *vr = _mm256_loadu_ps(row.as_ptr());
+    }
+    for p in 0..kc {
+        let vb = _mm256_loadu_ps(pb.as_ptr().add(p * NR));
+        for (r, vr) in v.iter_mut().enumerate() {
+            let va = _mm256_set1_ps(*pa.get_unchecked(p * MR + r));
+            *vr = _mm256_add_ps(*vr, _mm256_mul_ps(va, vb));
+        }
+    }
+    for (row, vr) in acc.iter_mut().zip(v.iter()) {
+        _mm256_storeu_ps(row.as_mut_ptr(), *vr);
+    }
+}
+
+/// F16 tile with per-MAC [`F16::mul_add`] semantics: widen to f32
+/// (exact), one f32 FMA (`vfmadd`), then round-to-nearest-even back to
+/// binary16 (`vcvtps2ph`). Bit-identical to the software path for all
+/// finite values and infinities; NaN payloads may differ (both quiet).
+///
+/// # Safety
+/// Requires AVX2+FMA+F16C; `pa.len() >= kc * MR`, `pb.len() >= kc * NR`.
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+pub(super) unsafe fn tile_f16(acc: &mut [[F16; NR]; MR], pa: &[F16], pb: &[F16], kc: usize) {
+    const RN: i32 = _MM_FROUND_TO_NEAREST_INT;
+    // Sound: F16 is #[repr(transparent)] over u16.
+    let mut v = [_mm256_setzero_ps(); MR];
+    for (vr, row) in v.iter_mut().zip(acc.iter()) {
+        *vr = _mm256_cvtph_ps(_mm_loadu_si128(row.as_ptr() as *const __m128i));
+    }
+    for p in 0..kc {
+        let vb = _mm256_cvtph_ps(_mm_loadu_si128(pb.as_ptr().add(p * NR) as *const __m128i));
+        for (r, vr) in v.iter_mut().enumerate() {
+            let va = _mm256_set1_ps(pa.get_unchecked(p * MR + r).to_f32());
+            let fused = _mm256_fmadd_ps(va, vb, *vr);
+            // Round to binary16 and widen back, so the running sum holds
+            // exactly the value the scalar F16 accumulator would.
+            *vr = _mm256_cvtph_ps(_mm256_cvtps_ph::<RN>(fused));
+        }
+    }
+    for (row, vr) in acc.iter_mut().zip(v.iter()) {
+        _mm_storeu_si128(row.as_mut_ptr() as *mut __m128i, _mm256_cvtps_ph::<RN>(*vr));
+    }
+}
+
+/// QUInt8 tile: exact `i16 × i16 → i32` multiply-accumulate. Products of
+/// zero-point-subtracted operands fit in 17 bits and a `KC`-panel sums at
+/// most 256 of them, so the `i32` lanes cannot overflow; integer
+/// arithmetic makes the result unconditionally bit-identical to scalar.
+///
+/// # Safety
+/// Requires AVX2; `pa.len() >= kc * MR`, `pb.len() >= kc * NR`.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn tile_i16(acc: &mut [[i32; NR]; MR], pa: &[i16], pb: &[i16], kc: usize) {
+    let mut v = [_mm256_setzero_si256(); MR];
+    for (vr, row) in v.iter_mut().zip(acc.iter()) {
+        *vr = _mm256_loadu_si256(row.as_ptr() as *const __m256i);
+    }
+    for p in 0..kc {
+        let vb16 = _mm_loadu_si128(pb.as_ptr().add(p * NR) as *const __m128i);
+        let vb = _mm256_cvtepi16_epi32(vb16);
+        for (r, vr) in v.iter_mut().enumerate() {
+            let a = *pa.get_unchecked(p * MR + r) as i32;
+            if a == 0 {
+                // Padded edge rows multiply by zero; skipping the exact
+                // no-op matches the scalar kernel's fast path.
+                continue;
+            }
+            let va = _mm256_set1_epi32(a);
+            *vr = _mm256_add_epi32(*vr, _mm256_mullo_epi32(va, vb));
+        }
+    }
+    for (row, vr) in acc.iter_mut().zip(v.iter()) {
+        _mm256_storeu_si256(row.as_mut_ptr() as *mut __m256i, *vr);
+    }
+}

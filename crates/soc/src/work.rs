@@ -17,6 +17,10 @@ use unn::LayerKind;
 pub enum WorkClass {
     /// Dense GEMM-shaped work (conv via im2col, FC).
     Gemm,
+    /// 1×1 stride-1 convolution: GEMM-shaped but served by the direct
+    /// (im2col-free) kernel path, so it carries no packing overhead and
+    /// fits a different latency law than general conv.
+    Pointwise,
     /// Depthwise convolution (little data reuse).
     Depthwise,
     /// Pooling windows.
@@ -35,6 +39,7 @@ impl WorkClass {
     pub fn efficiency(self) -> f64 {
         match self {
             WorkClass::Gemm => 1.0,
+            WorkClass::Pointwise => 0.9,
             WorkClass::Depthwise => 0.55,
             WorkClass::Pool => 0.75,
             WorkClass::Elementwise => 0.85,
@@ -211,6 +216,15 @@ pub fn layer_work(
     let scale = |v: u64| -> u64 { (v as f64 * frac).round() as u64 };
 
     let (class, bytes_in) = match kind {
+        // 1×1 stride-1 unpadded conv takes the direct (im2col-free)
+        // pointwise kernel path; its latency law differs from general
+        // conv, so the predictor trains a separate model for it.
+        LayerKind::Conv {
+            k: 1,
+            stride: 1,
+            pad: 0,
+            ..
+        } => (WorkClass::Pointwise, in_bytes),
         LayerKind::Conv { .. } | LayerKind::FullyConnected { .. } => {
             // Filters are distributed; the input is shared (read whole).
             (WorkClass::Gemm, in_bytes)
@@ -375,6 +389,65 @@ mod tests {
     fn efficiency_ordering() {
         assert!(WorkClass::Gemm.efficiency() > WorkClass::Depthwise.efficiency());
         assert!(WorkClass::Norm.efficiency() < WorkClass::Pool.efficiency());
+        assert!(WorkClass::Pointwise.efficiency() <= WorkClass::Gemm.efficiency());
+        assert!(WorkClass::Pointwise.efficiency() > WorkClass::Depthwise.efficiency());
+    }
+
+    #[test]
+    fn pointwise_conv_gets_its_own_class() {
+        let pw = LayerKind::Conv {
+            oc: 64,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 32, 28, 28);
+        let out_shape = Shape::nchw(1, 64, 28, 28);
+        let w = layer_work(
+            &pw,
+            &in_shape,
+            &out_shape,
+            DtypePlan::uniform(DType::F32),
+            1.0,
+        );
+        assert_eq!(w.class, WorkClass::Pointwise);
+        // Input is shared, exactly like the GEMM conv path.
+        assert_eq!(w.bytes_in, 32 * 28 * 28 * 4);
+        assert_eq!(w.macs, 64 * 28 * 28 * 32);
+        // A strided or padded 1x1 conv still goes through im2col.
+        for kind in [
+            LayerKind::Conv {
+                oc: 64,
+                k: 1,
+                stride: 2,
+                pad: 0,
+                relu: false,
+            },
+            LayerKind::Conv {
+                oc: 64,
+                k: 1,
+                stride: 1,
+                pad: 1,
+                relu: false,
+            },
+            LayerKind::Conv {
+                oc: 64,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: false,
+            },
+        ] {
+            let out = Shape::nchw(
+                1,
+                64,
+                out_shape.dim(2).min(in_shape.dim(2)),
+                out_shape.dim(3).min(in_shape.dim(3)),
+            );
+            let w = layer_work(&kind, &in_shape, &out, DtypePlan::uniform(DType::F32), 1.0);
+            assert_eq!(w.class, WorkClass::Gemm, "{kind:?}");
+        }
     }
 
     #[test]

@@ -34,7 +34,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 /// let c = F16::from_f32(2048.0) + F16::from_f32(1.0);
 /// assert_eq!(c.to_f32(), 2048.0); // spacing is 2.0 at this magnitude
 /// ```
+// `repr(transparent)` guarantees the layout *is* the bit pattern, so
+// slices of `F16` may be reinterpreted as slices of `u16` (SIMD kernels
+// rely on this for F16C loads/stores).
 #[derive(Clone, Copy, Default)]
+#[repr(transparent)]
 pub struct F16(u16);
 
 /// Shifts `v` right by `shift` bits with round-to-nearest-even.
