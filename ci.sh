@@ -29,6 +29,18 @@ cargo run --release --offline -p ubench --bin repro -- \
   trace squeezenet --miniature "--trace-out=$smoke_trace" >/dev/null
 test -s "$smoke_trace"
 
+echo "==> pass-equivalence property (zoo x dtype x pass-variant, split + unsplit)"
+# Every graph pass alone and the full pipeline must preserve outputs:
+# bit-identical QUInt8, <= 2 ULP for f32/F16, with and without 0.37:0.63
+# channel splits, on every model-zoo net.
+cargo test -q --offline -p uruntime --test passes_equivalence >/dev/null
+
+echo "==> repro trace merge-shrink smoke (concat elision on vs off, GoogLeNet)"
+# --check-merge runs the unoptimized baseline too and exits non-zero
+# unless the merge overhead class shrank (or is zero) on both SoCs.
+cargo run --release --offline -p ubench --bin repro -- \
+  trace googlenet --miniature --check-merge "--trace-out=$smoke_trace" >/dev/null
+
 echo "==> repro faults smoke (resilient execution under injected faults)"
 # Deterministic seed; the subcommand exits non-zero unless the run
 # completes with bit-identical recovered outputs, and (for flaky-gpu)

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [fig5|fig6|fig8|fig10|fig12|fig16|fig17|fig18|table1|npu|all]
-//! repro trace [net] [--miniature] [--trace-out=FILE]
+//! repro trace [net] [--miniature] [--no-passes] [--check-merge] [--trace-out=FILE]
+//! repro passes [net] [--miniature]
 //! repro faults [net] [--scenario=throttle|flaky-gpu|gpu-loss] [--seed=N] [--miniature]
 //! repro serve [net] [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS]
 //!             [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]
@@ -46,6 +47,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("trace") {
         trace(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("passes") {
+        passes_cmd(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("faults") {
@@ -134,36 +139,90 @@ fn parse_model(name: &str) -> Option<unn::ModelId> {
     }
 }
 
-/// `repro trace [net] [--miniature] [--trace-out=FILE]`: overhead
-/// attribution on both SoCs plus a Chrome trace-event JSON export of the
-/// high-end SoC's schedule.
+/// `repro trace [net] [--miniature] [--no-passes] [--check-merge]
+/// [--trace-out=FILE]`: overhead attribution on both SoCs plus a Chrome
+/// trace-event JSON export of the high-end SoC's schedule. The schedule
+/// runs over the pass-optimized graph unless `--no-passes` is given;
+/// `--check-merge` additionally runs the unoptimized baseline and exits
+/// non-zero unless the merge overhead class shrank (or is zero).
 fn trace(args: &[String]) {
     let mut model = unn::ModelId::Vgg16;
     let mut miniature = false;
+    let mut passes = true;
+    let mut check_merge = false;
     let mut out_path: Option<String> = None;
     for a in args {
         if a == "--miniature" {
             miniature = true;
+        } else if a == "--no-passes" {
+            passes = false;
+        } else if a == "--check-merge" {
+            check_merge = true;
         } else if let Some(p) = a.strip_prefix("--trace-out=") {
             out_path = Some(p.to_string());
         } else if let Some(m) = parse_model(a) {
             model = m;
         } else {
-            eprintln!("usage: repro trace [vgg16|alexnet|squeezenet|googlenet|mobilenet] [--miniature] [--trace-out=FILE]");
+            eprintln!("usage: repro trace [vgg16|alexnet|squeezenet|googlenet|mobilenet] [--miniature] [--no-passes] [--check-merge] [--trace-out=FILE]");
             std::process::exit(2);
         }
     }
 
     heading(&format!(
-        "Schedule observability: uLayer {} (overhead attribution + trace export)",
-        model.name()
+        "Schedule observability: uLayer {} (overhead attribution + trace export{})",
+        model.name(),
+        if passes { "" } else { ", passes off" }
     ));
-    let reports = figures::overhead_attribution(model, miniature);
+    let reports = figures::overhead_attribution_with_passes(model, miniature, passes);
     for rep in &reports {
         println!("\n--- {} ---", rep.soc);
+        if !rep.graph_passes.is_empty() {
+            for p in &rep.graph_passes {
+                println!(
+                    "pass {:<18} {:>3} rewrites  {}",
+                    p.pass, p.rewrites, p.detail
+                );
+            }
+            println!("elided concats: {}", rep.elided_concats);
+        }
         print!("{}", rep.result.attribution.render_text());
         println!("\ncounters:");
         print!("{}", rep.result.metrics.render());
+    }
+
+    if check_merge {
+        let baseline = figures::overhead_attribution_with_passes(model, miniature, false);
+        let optimized = if passes {
+            reports.clone()
+        } else {
+            figures::overhead_attribution_with_passes(model, miniature, true)
+        };
+        let mut ok = true;
+        println!();
+        for (b, o) in baseline.iter().zip(&optimized) {
+            let before = b
+                .result
+                .attribution
+                .class_span(uruntime::OverheadClass::Merge);
+            let after = o
+                .result
+                .attribution
+                .class_span(uruntime::OverheadClass::Merge);
+            let shrank = after < before || after == simcore::SimSpan::ZERO;
+            println!(
+                "merge check {}: {} -> {} ({} concats elided) {}",
+                b.soc,
+                ms(before.as_millis_f64()),
+                ms(after.as_millis_f64()),
+                o.elided_concats,
+                if shrank { "OK" } else { "FAIL" }
+            );
+            ok &= shrank;
+        }
+        if !ok {
+            eprintln!("merge overhead did not shrink with the pass pipeline");
+            std::process::exit(1);
+        }
     }
 
     // Export the high-end SoC's schedule and prove it round-trips.
@@ -189,6 +248,67 @@ fn trace(args: &[String]) {
             eprintln!("exported trace failed validation: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `repro passes [net] [--miniature]`: the graph-pass pipeline report —
+/// per-pass rewrite counts, node counts before/after, elided concats,
+/// and the before/after merge/map overhead attribution on both SoCs.
+fn passes_cmd(args: &[String]) {
+    let mut model = unn::ModelId::GoogLeNet;
+    let mut miniature = false;
+    for a in args {
+        if a == "--miniature" {
+            miniature = true;
+        } else if let Some(m) = parse_model(a) {
+            model = m;
+        } else {
+            eprintln!(
+                "usage: repro passes [vgg16|alexnet|squeezenet|googlenet|mobilenet] [--miniature]"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    heading(&format!(
+        "Graph pass pipeline: {} (fusion, quant-pair elision, concat elision, DCE)",
+        model.name()
+    ));
+    for rep in figures::pass_pipeline(model, miniature) {
+        println!("\n--- {} ---", rep.soc);
+        println!(
+            "nodes: {} -> {} ({} concats elided)",
+            rep.nodes_before, rep.nodes_after, rep.elided_concats
+        );
+        for p in &rep.graph_passes {
+            println!(
+                "graph pass {:<18} {:>3} rewrites  {}",
+                p.pass, p.rewrites, p.detail
+            );
+        }
+        for p in &rep.plan_passes {
+            println!(
+                "plan pass  {:<18} {:>3} rewrites  {}",
+                p.pass, p.rewrites, p.detail
+            );
+        }
+        let mut t = Table::new(&["overhead", "before", "after"]);
+        t.row(vec![
+            "merge".into(),
+            ms(rep.before.0.as_millis_f64()),
+            ms(rep.after.0.as_millis_f64()),
+        ]);
+        t.row(vec![
+            "map".into(),
+            ms(rep.before.1.as_millis_f64()),
+            ms(rep.after.1.as_millis_f64()),
+        ]);
+        t.row(vec![
+            "total latency".into(),
+            ms(rep.latency_before.as_millis_f64()),
+            ms(rep.latency_after.as_millis_f64()),
+        ]);
+        print!("{}", t.render());
     }
 }
 

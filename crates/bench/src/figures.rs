@@ -393,13 +393,31 @@ pub struct AttributionReport {
     /// The full run — its `attribution`, `metrics`, and `trace` feed the
     /// report and the Chrome export.
     pub result: uruntime::RunResult,
+    /// What each graph pass did, when the run used the pass-optimized
+    /// graph (empty for an unoptimized run).
+    pub graph_passes: Vec<unn::PassReport>,
+    /// Concat nodes the schedule realized as in-place joins.
+    pub elided_concats: usize,
 }
 
 /// Runs the μLayer plan for `model` on both evaluated SoCs and returns
 /// the schedule's overhead attribution (the §6 management costs made
-/// visible). `miniature` swaps in the small functional-test variant so
-/// smoke runs stay fast.
+/// visible). Runs the graph-pass pipeline first (PR 7); use
+/// [`overhead_attribution_with_passes`] to opt out. `miniature` swaps in
+/// the small functional-test variant so smoke runs stay fast.
 pub fn overhead_attribution(model: ModelId, miniature: bool) -> Vec<AttributionReport> {
+    overhead_attribution_with_passes(model, miniature, true)
+}
+
+/// [`overhead_attribution`] with the graph-pass pipeline explicit:
+/// `passes = false` schedules the unoptimized graph (the `--no-passes`
+/// escape hatch, and the baseline the merge-shrink check compares
+/// against).
+pub fn overhead_attribution_with_passes(
+    model: ModelId,
+    miniature: bool,
+    passes: bool,
+) -> Vec<AttributionReport> {
     SocSpec::evaluated()
         .into_iter()
         .map(|spec| {
@@ -408,14 +426,91 @@ pub fn overhead_attribution(model: ModelId, miniature: bool) -> Vec<AttributionR
             } else {
                 model.build()
             };
-            let result = ULayer::new(spec.clone())
-                .expect("ulayer")
-                .run(&g)
-                .expect("ulayer run");
+            let rt = ULayer::new(spec.clone()).expect("ulayer");
+            let (result, graph_passes, elided_concats) = if passes {
+                let (result, opt) = rt.run_optimized(&g).expect("ulayer run");
+                (
+                    result,
+                    opt.graph_passes,
+                    opt.report.plan.elided_concats.len(),
+                )
+            } else {
+                (rt.run(&g).expect("ulayer run"), Vec::new(), 0)
+            };
             AttributionReport {
                 soc: spec.name.clone(),
                 network: model.name().to_string(),
                 result,
+                graph_passes,
+                elided_concats,
+            }
+        })
+        .collect()
+}
+
+/// Before/after evidence for the graph-pass pipeline on one network and
+/// one SoC: node counts, per-pass reports, and the merge/map overhead
+/// classes of the unoptimized vs optimized schedule.
+#[derive(Clone, Debug)]
+pub struct PassPipelineReport {
+    /// SoC name.
+    pub soc: String,
+    /// Network name.
+    pub network: String,
+    /// Nodes before the pipeline ran.
+    pub nodes_before: usize,
+    /// Nodes after fusion/elision/DCE.
+    pub nodes_after: usize,
+    /// What each graph pass did.
+    pub graph_passes: Vec<unn::PassReport>,
+    /// What each planning pass did.
+    pub plan_passes: Vec<ulayer::PlanPassReport>,
+    /// Concat nodes scheduled as in-place joins.
+    pub elided_concats: usize,
+    /// `(merge, map)` overhead spans of the unoptimized schedule.
+    pub before: (simcore::SimSpan, simcore::SimSpan),
+    /// `(merge, map)` overhead spans of the optimized schedule.
+    pub after: (simcore::SimSpan, simcore::SimSpan),
+    /// End-to-end latency of the unoptimized schedule.
+    pub latency_before: simcore::SimSpan,
+    /// End-to-end latency of the optimized schedule.
+    pub latency_after: simcore::SimSpan,
+}
+
+/// Runs `model` with and without the graph-pass pipeline on both
+/// evaluated SoCs — the data behind `repro passes` and the EXPERIMENTS
+/// before/after table.
+pub fn pass_pipeline(model: ModelId, miniature: bool) -> Vec<PassPipelineReport> {
+    use uruntime::OverheadClass;
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let g = if miniature {
+                model.build_miniature()
+            } else {
+                model.build()
+            };
+            let rt = ULayer::new(spec.clone()).expect("ulayer");
+            let base = rt.run(&g).expect("unoptimized run");
+            let (optd, opt) = rt.run_optimized(&g).expect("optimized run");
+            let classes = |r: &uruntime::RunResult| {
+                (
+                    r.attribution.class_span(OverheadClass::Merge),
+                    r.attribution.class_span(OverheadClass::Map),
+                )
+            };
+            PassPipelineReport {
+                soc: spec.name.clone(),
+                network: model.name().to_string(),
+                nodes_before: g.len(),
+                nodes_after: opt.graph.len(),
+                graph_passes: opt.graph_passes,
+                plan_passes: opt.report.pass_log,
+                elided_concats: opt.report.plan.elided_concats.len(),
+                before: classes(&base),
+                after: classes(&optd),
+                latency_before: base.latency,
+                latency_after: optd.latency,
             }
         })
         .collect()

@@ -21,6 +21,7 @@ use uruntime::NodePlacement;
 use crate::config::ULayerConfig;
 use crate::error::ULayerError;
 use crate::partitioner::{device_dtypes, LayerCoster};
+use crate::planning::{PlanContext, PlanDraft, PlanPass, PlanPassReport};
 
 /// A branch mapping replaces the per-layer plan only when its predicted
 /// latency beats the per-layer estimate by this factor. The margin
@@ -200,6 +201,61 @@ pub fn mapping_cost(
         total += spec.gpu_wait_span() + spec.map_span();
     }
     total
+}
+
+/// The §5 stage of the planning pipeline: rewrites divergent branch
+/// groups branch-per-processor where the mapping beats the per-layer
+/// plan. Reports a no-op when the configuration disables the mechanism;
+/// errors if it runs before a partitioning pass populated the draft.
+pub struct BranchDistributionPass;
+
+impl PlanPass for BranchDistributionPass {
+    fn name(&self) -> &'static str {
+        "branch-distribution"
+    }
+
+    fn run(
+        &self,
+        cx: &PlanContext<'_>,
+        draft: &mut PlanDraft,
+    ) -> Result<PlanPassReport, ULayerError> {
+        if !cx.config.branch_distribution {
+            return Ok(PlanPassReport {
+                pass: self.name(),
+                rewrites: 0,
+                detail: "disabled by configuration".into(),
+            });
+        }
+        if draft.placements.len() != cx.graph.len() {
+            return Err(ULayerError::Plan(
+                "branch distribution requires a fully partitioned draft \
+                 (order a partition pass before it)"
+                    .into(),
+            ));
+        }
+        let coster = LayerCoster {
+            spec: cx.spec,
+            predictor: cx.predictor,
+            cfg: cx.config,
+            drift: cx.drift,
+        };
+        let mappings = apply_branch_distribution(
+            cx.spec,
+            &coster,
+            cx.config,
+            cx.graph,
+            &mut draft.placements,
+            &draft.costs,
+        )?;
+        let rewrites: usize = mappings.iter().map(|m| m.assignment.len()).sum();
+        let detail = format!("{} branch groups remapped", mappings.len());
+        draft.branch_mappings.extend(mappings);
+        Ok(PlanPassReport {
+            pass: self.name(),
+            rewrites,
+            detail,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -36,7 +36,8 @@ use utensor::DType;
 use crate::adapt::DriftAdapter;
 use crate::config::ULayerConfig;
 use crate::error::ULayerError;
-use crate::partitioner::{partition_with_drift, LayerCoster};
+use crate::partitioner::{LayerCoster, PartitionPass};
+use crate::planning::{PlanContext, PlanPassRunner};
 use crate::runtime::ULayer;
 
 impl ULayer {
@@ -70,11 +71,17 @@ impl ULayer {
                 p_candidates: vec![0.5],
                 ..self.config().clone()
             };
-            let (placements, costs) =
-                partition_with_drift(spec, self.predictor(), &coarse_cfg, graph, drift)?;
-            if placements != full_placements {
-                let predicted: SimSpan = costs.iter().copied().sum();
-                let plan = ExecutionPlan::new(graph, spec, placements, "ulayer-coarse")?;
+            let cx = PlanContext {
+                spec,
+                predictor: self.predictor(),
+                config: &coarse_cfg,
+                graph,
+                drift,
+            };
+            let (draft, _) = PlanPassRunner::new(vec![Box::new(PartitionPass)]).run(&cx)?;
+            if draft.placements != full_placements {
+                let predicted: SimSpan = draft.costs.iter().copied().sum();
+                let plan = ExecutionPlan::new(graph, spec, draft.placements, "ulayer-coarse")?;
                 ladder.push(LadderRung {
                     label: "coarse".into(),
                     plan,

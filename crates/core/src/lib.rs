@@ -40,6 +40,7 @@ pub mod config;
 pub mod error;
 pub mod ladder;
 pub mod partitioner;
+pub mod planning;
 pub mod predictor;
 pub mod predictor_eval;
 pub mod runtime;
@@ -47,9 +48,11 @@ pub mod runtime;
 pub use adapt::{
     accel_share, run_adaptive_stream, AdaptiveStreamReport, DriftAdapter, FrameOutcome,
 };
-pub use branch::BranchMapping;
+pub use branch::{BranchDistributionPass, BranchMapping};
 pub use config::ULayerConfig;
 pub use error::ULayerError;
+pub use partitioner::PartitionPass;
+pub use planning::{PlanContext, PlanDraft, PlanPass, PlanPassReport, PlanPassRunner};
 pub use predictor::{FitReport, FittedModel, GroupFit, LatencyPredictor, MeasuredSample};
 pub use predictor_eval::{evaluate_predictor, DeviceAccuracy, PredictorReport};
-pub use runtime::{PlanReport, ULayer};
+pub use runtime::{OptimizedPlan, PlanReport, ULayer};

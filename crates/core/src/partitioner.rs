@@ -18,6 +18,7 @@ use uruntime::NodePlacement;
 use crate::adapt::DriftAdapter;
 use crate::config::ULayerConfig;
 use crate::error::ULayerError;
+use crate::planning::{PlanContext, PlanDraft, PlanPass, PlanPassReport};
 use crate::predictor::LatencyPredictor;
 
 /// The dtype plan a device uses under the active configuration.
@@ -270,6 +271,39 @@ pub fn partition_with_drift(
         costs.push(cost);
     }
     Ok((placements, costs))
+}
+
+/// The channel-distribution stage of the planning pipeline: places every
+/// layer independently (the §3.2 partitioner) and fills the draft's
+/// placement and cost vectors.
+pub struct PartitionPass;
+
+impl PlanPass for PartitionPass {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn run(
+        &self,
+        cx: &PlanContext<'_>,
+        draft: &mut PlanDraft,
+    ) -> Result<PlanPassReport, ULayerError> {
+        let (placements, costs) =
+            partition_with_drift(cx.spec, cx.predictor, cx.config, cx.graph, cx.drift)?;
+        let splits = placements
+            .iter()
+            .filter(|p| matches!(p, NodePlacement::Split { .. }))
+            .count();
+        let rewrites = placements.len();
+        let detail = format!("{rewrites} layers placed, {splits} channel-split");
+        draft.placements = placements;
+        draft.costs = costs;
+        Ok(PlanPassReport {
+            pass: self.name(),
+            rewrites,
+            detail,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -14,10 +14,10 @@ use unn::{Calibration, Graph, Weights};
 use uruntime::{execute_plan, ExecutionPlan, RunResult};
 
 use crate::adapt::DriftAdapter;
-use crate::branch::{apply_branch_distribution, BranchMapping};
+use crate::branch::BranchMapping;
 use crate::config::ULayerConfig;
 use crate::error::ULayerError;
-use crate::partitioner::{partition_with_drift, LayerCoster};
+use crate::planning::{PlanContext, PlanPassReport, PlanPassRunner};
 use crate::predictor::LatencyPredictor;
 
 /// A generated μLayer plan plus its planning diagnostics.
@@ -30,6 +30,27 @@ pub struct PlanReport {
     /// The predictor's estimate of total latency (serial sum of layer
     /// estimates; the executor overlaps more, so reality is faster).
     pub predicted_serial_latency: SimSpan,
+    /// What each planning pass did, in run order.
+    pub pass_log: Vec<PlanPassReport>,
+}
+
+/// A graph-optimized μLayer plan: the rewritten graph produced by the
+/// [`unn::passes`] default pipeline, the plan generated over it (with
+/// concat elision attached), remapped side tables when the caller
+/// provided them, and both pass logs.
+#[derive(Clone, Debug)]
+pub struct OptimizedPlan {
+    /// The optimized graph the plan refers to. Node ids differ from the
+    /// input graph wherever fusion, pair elision, or DCE removed nodes.
+    pub graph: Graph,
+    /// Weights remapped onto the optimized graph (if provided).
+    pub weights: Option<Weights>,
+    /// Calibration remapped onto the optimized graph (if provided).
+    pub calib: Option<Calibration>,
+    /// The plan and planning diagnostics over the optimized graph.
+    pub report: PlanReport,
+    /// What each graph pass did, in run order.
+    pub graph_passes: Vec<unn::PassReport>,
 }
 
 /// The μLayer runtime for one SoC.
@@ -85,33 +106,73 @@ impl ULayer {
         graph: &Graph,
         drift: Option<&DriftAdapter>,
     ) -> Result<PlanReport, ULayerError> {
-        let (mut placements, costs) =
-            partition_with_drift(&self.spec, &self.predictor, &self.config, graph, drift)?;
-        let branch_mappings = if self.config.branch_distribution {
-            let coster = LayerCoster {
-                spec: &self.spec,
-                predictor: &self.predictor,
-                cfg: &self.config,
-                drift,
-            };
-            apply_branch_distribution(
-                &self.spec,
-                &coster,
-                &self.config,
-                graph,
-                &mut placements,
-                &costs,
-            )?
-        } else {
-            Vec::new()
+        let cx = PlanContext {
+            spec: &self.spec,
+            predictor: &self.predictor,
+            config: &self.config,
+            graph,
+            drift,
         };
-        let predicted_serial_latency = costs.iter().copied().sum();
-        let plan = ExecutionPlan::new(graph, &self.spec, placements, self.config.label())?;
+        let (draft, pass_log) = PlanPassRunner::default_pipeline().run(&cx)?;
+        let predicted_serial_latency = draft.costs.iter().copied().sum();
+        let plan = ExecutionPlan::new(graph, &self.spec, draft.placements, self.config.label())?;
         Ok(PlanReport {
+            plan,
+            branch_mappings: draft.branch_mappings,
+            predicted_serial_latency,
+            pass_log,
+        })
+    }
+
+    /// Runs the [`unn::passes`] default pipeline over `graph`, plans the
+    /// optimized graph, and attaches the pipeline's concat elisions to
+    /// the plan so the engine schedules in-place joins.
+    pub fn plan_optimized(&self, graph: &Graph) -> Result<OptimizedPlan, ULayerError> {
+        self.plan_optimized_module(unn::Module::new(graph.clone()))
+    }
+
+    /// [`ULayer::plan_optimized`] carrying weights and calibration: the
+    /// side tables are remapped through every rewrite so the returned
+    /// tables align with the optimized graph's nodes.
+    pub fn plan_optimized_with_tables(
+        &self,
+        graph: &Graph,
+        weights: &Weights,
+        calib: &Calibration,
+    ) -> Result<OptimizedPlan, ULayerError> {
+        let module = unn::Module::with_tables(graph.clone(), weights.clone(), calib.clone())?;
+        self.plan_optimized_module(module)
+    }
+
+    fn plan_optimized_module(&self, mut module: unn::Module) -> Result<OptimizedPlan, ULayerError> {
+        let graph_passes = unn::PassRunner::default_pipeline().run(&mut module)?;
+        let report = self.plan(&module.graph)?;
+        let PlanReport {
             plan,
             branch_mappings,
             predicted_serial_latency,
+            pass_log,
+        } = report;
+        let plan = plan.with_elided_concats(&module.graph, module.elided_concats.clone())?;
+        Ok(OptimizedPlan {
+            graph: module.graph,
+            weights: module.weights,
+            calib: module.calib,
+            report: PlanReport {
+                plan,
+                branch_mappings,
+                predicted_serial_latency,
+                pass_log,
+            },
+            graph_passes,
         })
+    }
+
+    /// Plans and executes one inference over the pass-optimized graph.
+    pub fn run_optimized(&self, graph: &Graph) -> Result<(RunResult, OptimizedPlan), ULayerError> {
+        let opt = self.plan_optimized(graph)?;
+        let result = execute_plan(&self.spec, &opt.graph, &opt.report.plan)?;
+        Ok((result, opt))
     }
 
     /// Plans and executes one inference (timing/energy co-simulation).

@@ -23,7 +23,7 @@ const P_VALUES: [f64; 3] = [0.25, 0.5, 0.75];
 /// input twice.
 fn out_shape_of(kind: &LayerKind, in_shape: &Shape) -> Shape {
     let inputs: &[&Shape] = match kind {
-        LayerKind::Concat | LayerKind::Add => &[in_shape, in_shape],
+        LayerKind::Concat | LayerKind::Add { .. } => &[in_shape, in_shape],
         _ => &[in_shape],
     };
     kind.infer_shape(inputs).unwrap()
@@ -89,7 +89,13 @@ fn all_layer_kinds() -> Vec<(LayerKind, Shape)> {
         ),
         (LayerKind::Relu, Shape::nchw(1, 128, 14, 14)),
         (LayerKind::Concat, Shape::nchw(1, 128, 14, 14)),
-        (LayerKind::Add, Shape::nchw(1, 128, 14, 14)),
+        (LayerKind::Add { relu: false }, Shape::nchw(1, 128, 14, 14)),
+        (
+            LayerKind::Quantize {
+                params: utensor::QuantParams::from_range(-4.0, 4.0).unwrap(),
+            },
+            Shape::nchw(1, 128, 14, 14),
+        ),
         (LayerKind::Softmax, Shape::nchw(1, 1000, 1, 1)),
     ]
 }

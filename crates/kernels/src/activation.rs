@@ -5,7 +5,7 @@
 //! separate layers and for tests. [`softmax_f32`] is used by the accuracy
 //! experiments and the example classifiers.
 
-use utensor::{Tensor, TensorData, TensorError, F16};
+use utensor::{DType, QuantParams, Tensor, TensorData, TensorError, F16};
 
 /// Elementwise ReLU.
 ///
@@ -25,6 +25,42 @@ pub fn relu(input: &Tensor) -> Result<Tensor, TensorError> {
         },
     };
     Tensor::new(input.shape().clone(), data)
+}
+
+/// Fake-quantization through an 8-bit affine grid: snaps every value to
+/// the nearest representable point of `params` (quantize→dequantize)
+/// while keeping the tensor's dtype — the kernel of the `Quantize`
+/// boundary layer.
+///
+/// The snap is idempotent: a tensor already on the `params` grid passes
+/// through bit-identically (a `QUInt8` tensor carrying the same params
+/// is returned code-for-code). That idempotence is what lets the
+/// quant-pair elision pass drop the second of an adjacent same-params
+/// pair without changing any output bit.
+pub fn fake_quant(input: &Tensor, params: QuantParams) -> Result<Tensor, TensorError> {
+    match input.data() {
+        TensorData::F32(v) => Tensor::from_f32(
+            input.shape().clone(),
+            v.iter()
+                .map(|&x| params.dequantize(params.quantize(x)))
+                .collect(),
+        ),
+        TensorData::F16(v) => Tensor::new(
+            input.shape().clone(),
+            TensorData::F16(
+                v.iter()
+                    .map(|&x| F16::from_f32(params.dequantize(params.quantize(x.to_f32()))))
+                    .collect(),
+            ),
+        ),
+        TensorData::QUInt8 { params: p, .. } => {
+            if *p == params {
+                Ok(input.clone())
+            } else {
+                input.cast(DType::QUInt8, Some(params))
+            }
+        }
+    }
 }
 
 /// Numerically-stable softmax over the last axis of a flattened f32
@@ -87,6 +123,39 @@ mod tests {
             .unwrap();
         let r = relu(&t).unwrap();
         assert_eq!(r.to_f32_vec(), vec![0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn fake_quant_snaps_and_is_idempotent() {
+        let p = QuantParams::from_range(-2.0, 2.0).unwrap();
+        let x = Tensor::from_f32(
+            utensor::Shape::new(vec![4]),
+            vec![-3.0, -0.013, 0.4999, 1.7],
+        )
+        .unwrap();
+        let once = fake_quant(&x, p).unwrap();
+        // Values land on the grid: each is an exact dequantized code.
+        for &v in once.as_f32().unwrap() {
+            assert_eq!(p.dequantize(p.quantize(v)), v);
+        }
+        // Idempotent in f32.
+        let twice = fake_quant(&once, p).unwrap();
+        assert!(twice.bit_equal(&once));
+
+        // Idempotent in f16.
+        let xh = x.cast(DType::F16, None).unwrap();
+        let once_h = fake_quant(&xh, p).unwrap();
+        let twice_h = fake_quant(&once_h, p).unwrap();
+        assert!(twice_h.bit_equal(&once_h));
+
+        // Same-params QUInt8 passes through code-for-code; changed params
+        // requantize.
+        let q = x.cast(DType::QUInt8, Some(p)).unwrap();
+        assert!(fake_quant(&q, p).unwrap().bit_equal(&q));
+        let p2 = QuantParams::from_range(-4.0, 4.0).unwrap();
+        let rq = fake_quant(&q, p2).unwrap();
+        let (_, got) = rq.as_quint8().unwrap();
+        assert_eq!(got, p2);
     }
 
     #[test]

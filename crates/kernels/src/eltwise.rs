@@ -15,6 +15,22 @@ use utensor::{FixedPointMultiplier, QuantParams, Tensor, TensorData, TensorError
 /// calibrated output range) is required; for float types it must be
 /// `None`.
 pub fn add(a: &Tensor, b: &Tensor, out_params: Option<QuantParams>) -> Result<Tensor, TensorError> {
+    add_fused(a, b, out_params, false)
+}
+
+/// Elementwise `a + b` with an optional fused ReLU — the kernel of the
+/// `Add { relu }` layer the fusion pass produces.
+///
+/// The activation is applied exactly as the standalone [`crate::relu`]
+/// would apply it to the add's output (`max(x, 0)` on floats, clamping
+/// codes at the zero point on `QUInt8`), so fusing a following ReLU into
+/// the add is bit-identical in every dtype.
+pub fn add_fused(
+    a: &Tensor,
+    b: &Tensor,
+    out_params: Option<QuantParams>,
+    relu: bool,
+) -> Result<Tensor, TensorError> {
     if a.shape() != b.shape() {
         return Err(TensorError::ShapeMismatch {
             expected: a.shape().clone(),
@@ -34,7 +50,18 @@ pub fn add(a: &Tensor, b: &Tensor, out_params: Option<QuantParams>) -> Result<Te
                     "out_params given for a float add".into(),
                 ));
             }
-            let out = x.iter().zip(y).map(|(u, v)| u + v).collect();
+            let out = x
+                .iter()
+                .zip(y)
+                .map(|(u, v)| {
+                    let s = u + v;
+                    if relu {
+                        s.max(0.0)
+                    } else {
+                        s
+                    }
+                })
+                .collect();
             Tensor::from_f32(a.shape().clone(), out)
         }
         (TensorData::F16(x), TensorData::F16(y)) => {
@@ -43,7 +70,18 @@ pub fn add(a: &Tensor, b: &Tensor, out_params: Option<QuantParams>) -> Result<Te
                     "out_params given for a float add".into(),
                 ));
             }
-            let out: Vec<utensor::F16> = x.iter().zip(y).map(|(&u, &v)| u + v).collect();
+            let out: Vec<utensor::F16> = x
+                .iter()
+                .zip(y)
+                .map(|(&u, &v)| {
+                    let s = u + v;
+                    if relu && s < utensor::F16::ZERO {
+                        utensor::F16::ZERO
+                    } else {
+                        s
+                    }
+                })
+                .collect();
             Tensor::new(a.shape().clone(), TensorData::F16(out))
         }
         (
@@ -84,7 +122,12 @@ pub fn add(a: &Tensor, b: &Tensor, out_params: Option<QuantParams>) -> Result<Te
                     // the rounding-doubling high-mul against 2^(31-shift).
                     let scaled =
                         saturating_rounding_doubling_high_mul(sum, 1i32 << (31 - LEFT_SHIFT));
-                    (scaled + out_p.zero_point as i32).clamp(0, 255) as u8
+                    let q = (scaled + out_p.zero_point as i32).clamp(0, 255) as u8;
+                    if relu {
+                        q.max(out_p.zero_point)
+                    } else {
+                        q
+                    }
                 })
                 .collect();
             Tensor::from_quantized(a.shape().clone(), out, out_p)
@@ -162,6 +205,30 @@ mod tests {
         assert!(add(&q, &q, None).is_err());
         // Float with out_params.
         assert!(add(&a, &a, Some(QuantParams::default())).is_err());
+    }
+
+    #[test]
+    fn fused_relu_matches_standalone_in_every_dtype() {
+        use crate::activation::relu;
+        let a = t(vec![-3.0, 1.0, -0.5, 2.0]);
+        let b = t(vec![1.0, -2.0, 0.25, 3.0]);
+
+        let fused = add_fused(&a, &b, None, true).unwrap();
+        let standalone = relu(&add(&a, &b, None).unwrap()).unwrap();
+        assert!(fused.bit_equal(&standalone));
+
+        let ah = a.cast(DType::F16, None).unwrap();
+        let bh = b.cast(DType::F16, None).unwrap();
+        let fused = add_fused(&ah, &bh, None, true).unwrap();
+        let standalone = relu(&add(&ah, &bh, None).unwrap()).unwrap();
+        assert!(fused.bit_equal(&standalone));
+
+        let p = QuantParams::from_range(-4.0, 4.0).unwrap();
+        let aq = a.cast(DType::QUInt8, Some(p)).unwrap();
+        let bq = b.cast(DType::QUInt8, Some(p)).unwrap();
+        let fused = add_fused(&aq, &bq, Some(p), true).unwrap();
+        let standalone = relu(&add(&aq, &bq, Some(p)).unwrap()).unwrap();
+        assert!(fused.bit_equal(&standalone));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod pointwise;
 pub mod pool;
 pub mod simd;
 
-pub use activation::{relu, softmax_f32};
+pub use activation::{fake_quant, relu, softmax_f32};
 pub use arena::{
     restore_thread_arena, take_thread_arena, thread_arena_capacity_bytes, ScratchArena,
 };
@@ -50,7 +50,7 @@ pub use dispatch::{
     active_kernel_path, direct_conv_enabled, kernel_path_choice, registered_fast_paths,
     set_direct_conv, set_kernel_path, KernelPath, PathChoice,
 };
-pub use eltwise::add;
+pub use eltwise::{add, add_fused};
 pub use fc::fully_connected;
 pub use norm::{lrn, LrnParams};
 pub use pointwise::{is_pointwise, pointwise_conv2d};

@@ -244,6 +244,10 @@ mod tests {
         let (g, _, _) = inception_like();
         let m = macs_by_op(&g);
         assert!(m["conv"] > 0);
-        assert_eq!(m.get("concat").copied().unwrap_or(0), 0);
+        // A concat moves every input element once: its op count is the
+        // total input volume (== its output volume), not zero.
+        let join = g.output();
+        let join_numel = g.infer_shapes().unwrap()[join.0].numel() as u64;
+        assert_eq!(m.get("concat").copied().unwrap_or(0), join_numel);
     }
 }

@@ -147,7 +147,7 @@ pub fn run_layer(
                 Tensor::concat_axis(1, inputs)
             }
         }
-        LayerKind::Add => {
+        LayerKind::Add { relu } => {
             if inputs.len() != 2 {
                 return Err(TensorError::BadConcat(format!(
                     "add expects 2 inputs, got {}",
@@ -157,8 +157,9 @@ pub fn run_layer(
             let quant = (inputs[0].dtype() == DType::QUInt8)
                 .then_some(out_params)
                 .flatten();
-            ukernels::add(inputs[0], inputs[1], quant)
+            ukernels::add_fused(inputs[0], inputs[1], quant, *relu)
         }
+        LayerKind::Quantize { params } => ukernels::fake_quant(single()?, *params),
         LayerKind::Softmax => {
             // Classifier head: always produces f32 probabilities.
             let x = single()?;

@@ -58,6 +58,10 @@ pub struct Graph {
     name: String,
     input_shape: Shape,
     nodes: Vec<Node>,
+    /// The designated output node. Defaults to the last node added;
+    /// rewrite passes carry it through explicitly so deleting or
+    /// appending nodes cannot silently change what the graph computes.
+    output: Option<NodeId>,
 }
 
 impl Graph {
@@ -67,6 +71,7 @@ impl Graph {
             name: name.into(),
             input_shape,
             nodes: Vec::new(),
+            output: None,
         }
     }
 
@@ -113,6 +118,7 @@ impl Graph {
             kind,
             inputs,
         });
+        self.output = Some(id);
         id
     }
 
@@ -140,14 +146,71 @@ impl Graph {
         &self.nodes[id.0]
     }
 
-    /// The output node (the last node added).
+    /// The designated output node (by default the last node added; see
+    /// [`Graph::set_output`]).
     ///
     /// # Panics
     ///
     /// Panics on an empty graph.
     pub fn output(&self) -> NodeId {
-        assert!(!self.nodes.is_empty(), "empty graph has no output");
-        NodeId(self.nodes.len() - 1)
+        self.output.expect("empty graph has no output")
+    }
+
+    /// Designates `id` as the graph output.
+    ///
+    /// Builders call this when the output is not the last-added node
+    /// (e.g. a graph carrying auxiliary heads); rewrite passes use it to
+    /// preserve the output across node deletions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_output(&mut self, id: NodeId) {
+        assert!(id.0 < self.nodes.len(), "output {id} out of range");
+        self.output = Some(id);
+    }
+
+    /// Decomposes the graph into its raw parts
+    /// `(name, input_shape, nodes, output)` for a rewrite pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty graph.
+    pub fn into_parts(self) -> (String, Shape, Vec<Node>, NodeId) {
+        let output = self.output.expect("empty graph has no output");
+        (self.name, self.input_shape, self.nodes, output)
+    }
+
+    /// Reassembles a graph from rewritten parts, revalidating the
+    /// topological-order invariant and the output designation.
+    pub fn from_parts(
+        name: impl Into<String>,
+        input_shape: Shape,
+        nodes: Vec<Node>,
+        output: NodeId,
+    ) -> Result<Graph, TensorError> {
+        for (i, node) in nodes.iter().enumerate() {
+            for dep in &node.inputs {
+                if dep.0 >= i {
+                    return Err(TensorError::BadGraph(format!(
+                        "node {i} ({}) references {dep}, violating topological order",
+                        node.name
+                    )));
+                }
+            }
+        }
+        if output.0 >= nodes.len() {
+            return Err(TensorError::BadGraph(format!(
+                "output {output} out of range for {} nodes",
+                nodes.len()
+            )));
+        }
+        Ok(Graph {
+            name: name.into(),
+            input_shape,
+            nodes,
+            output: Some(output),
+        })
     }
 
     /// Consumers of each node's output (and of the graph input at key
@@ -183,6 +246,10 @@ impl Graph {
     }
 
     /// Per-node MAC counts (same order as [`Graph::nodes`]).
+    ///
+    /// Multi-input nodes (concat, add) are costed over *all* of their
+    /// input shapes — costing from the first input alone undercounts the
+    /// merged data volume on fork/join networks.
     pub fn macs(&self) -> Result<Vec<u64>, TensorError> {
         let shapes = self.infer_shapes()?;
         Ok(self
@@ -190,12 +257,8 @@ impl Graph {
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                let in_shape = n
-                    .inputs
-                    .first()
-                    .map(|d| &shapes[d.0])
-                    .unwrap_or(&self.input_shape);
-                n.kind.macs(in_shape, &shapes[i])
+                let ins = self.node_input_shapes(NodeId(i), &shapes);
+                n.kind.macs_multi(&ins, &shapes[i])
             })
             .collect())
     }
@@ -206,6 +269,10 @@ impl Graph {
     }
 
     /// Total trainable parameter count (weights + biases).
+    ///
+    /// Weight-bearing operators are all single-input; the per-node count
+    /// is taken over every input shape so a future multi-input weighted
+    /// op cannot silently fall back to its first input.
     pub fn total_params(&self) -> Result<usize, TensorError> {
         let shapes = self.infer_shapes()?;
         Ok(self
@@ -213,25 +280,37 @@ impl Graph {
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                let in_shape = n
-                    .inputs
-                    .first()
-                    .map(|d| &shapes[d.0])
-                    .unwrap_or(&self.input_shape);
-                let _ = i;
-                n.kind.weight_count(in_shape) + n.kind.bias_count(in_shape)
+                let ins = self.node_input_shapes(NodeId(i), &shapes);
+                ins.iter()
+                    .map(|s| n.kind.weight_count(s) + n.kind.bias_count(s))
+                    .max()
+                    .unwrap_or(0)
             })
             .sum())
     }
 
-    /// The input shape a node consumes (first input's shape, or the graph
-    /// input shape for source nodes).
+    /// The *primary* input shape a node consumes (first input's shape, or
+    /// the graph input shape for source nodes). Geometry of single-input
+    /// operators (conv window arithmetic, weight shapes) keys off this;
+    /// cost accounting for multi-input nodes must use
+    /// [`Graph::node_input_shapes`] instead.
     pub fn node_input_shape<'a>(&'a self, id: NodeId, shapes: &'a [Shape]) -> &'a Shape {
         self.nodes[id.0]
             .inputs
             .first()
             .map(|d| &shapes[d.0])
             .unwrap_or(&self.input_shape)
+    }
+
+    /// Every input shape a node consumes, in input order (the graph input
+    /// shape for source nodes).
+    pub fn node_input_shapes<'a>(&'a self, id: NodeId, shapes: &'a [Shape]) -> Vec<&'a Shape> {
+        let node = &self.nodes[id.0];
+        if node.inputs.is_empty() {
+            vec![&self.input_shape]
+        } else {
+            node.inputs.iter().map(|d| &shapes[d.0]).collect()
+        }
     }
 
     /// A one-line-per-layer structural summary.
@@ -365,5 +444,75 @@ mod tests {
     fn output_is_last() {
         let g = tiny_graph();
         assert_eq!(g.output(), NodeId(3));
+    }
+
+    #[test]
+    fn output_is_explicit() {
+        let mut g = tiny_graph();
+        g.set_output(NodeId(2));
+        assert_eq!(g.output(), NodeId(2));
+        // Adding a node moves the default output to it again.
+        g.add("relu", LayerKind::Relu, NodeId(2));
+        assert_eq!(g.output(), NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_output_rejects_dangling() {
+        tiny_graph().set_output(NodeId(99));
+    }
+
+    #[test]
+    fn parts_round_trip_and_validate() {
+        let g = tiny_graph();
+        let (name, input_shape, nodes, output) = g.clone().into_parts();
+        let rebuilt = Graph::from_parts(name, input_shape, nodes, output).unwrap();
+        assert_eq!(rebuilt.output(), g.output());
+        assert_eq!(rebuilt.len(), g.len());
+
+        // Non-topological wiring is rejected.
+        let (name, input_shape, mut nodes, output) = g.clone().into_parts();
+        nodes[0].inputs = vec![NodeId(2)];
+        assert!(Graph::from_parts(name, input_shape, nodes, output).is_err());
+
+        // Dangling output is rejected.
+        let (name, input_shape, nodes, _) = g.into_parts();
+        assert!(Graph::from_parts(name, input_shape, nodes, NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn multi_input_nodes_expose_all_input_shapes() {
+        // Inception-style fork/join with *unequal* branch widths: costing
+        // the join from its first input alone would see 2 channels out
+        // of 5.
+        let mut g = Graph::new("fork", Shape::nchw(1, 3, 4, 4));
+        let a = g.add_input_layer(
+            "a",
+            LayerKind::Conv {
+                oc: 2,
+                k: 1,
+                stride: 1,
+                pad: 0,
+                relu: true,
+            },
+        );
+        let b = g.add_input_layer(
+            "b",
+            LayerKind::Conv {
+                oc: 3,
+                k: 1,
+                stride: 1,
+                pad: 0,
+                relu: true,
+            },
+        );
+        let j = g.add_multi("join", LayerKind::Concat, &[a, b]);
+        let shapes = g.infer_shapes().unwrap();
+        let ins = g.node_input_shapes(j, &shapes);
+        assert_eq!(ins.len(), 2);
+        assert_eq!(ins[0].c(), 2);
+        assert_eq!(ins[1].c(), 3);
+        // Source nodes consume the graph input.
+        assert_eq!(g.node_input_shapes(a, &shapes), vec![g.input_shape()]);
     }
 }

@@ -1,6 +1,6 @@
 //! Layer IR: the operator vocabulary of the five evaluated networks.
 
-use utensor::{Shape, TensorError};
+use utensor::{QuantParams, Shape, TensorError};
 
 /// The window function of a pooling layer (mirror of the kernel-side enum,
 /// kept separate so the IR does not depend on kernel implementations).
@@ -78,8 +78,21 @@ pub enum LayerKind {
     Relu,
     /// Channel concatenation of all inputs (Inception / Fire joins).
     Concat,
-    /// Elementwise addition of two inputs (residual skip connections).
-    Add,
+    /// Elementwise addition of two inputs (residual skip connections)
+    /// with an optional fused ReLU (ResNet joins activate after the sum).
+    Add {
+        /// Fused ReLU applied to the sum.
+        relu: bool,
+    },
+    /// Fake-quantization through an explicit 8-bit affine grid
+    /// (quantize→dequantize against `params`). Boundary lowering inserts
+    /// these where a tensor crosses a CPU↔GPU part boundary; adjacent
+    /// pairs that agree on `params` are redundant (fake-quant is
+    /// idempotent) and elided by the quant-pair elision pass.
+    Quantize {
+        /// The affine grid the tensor is snapped through.
+        params: QuantParams,
+    },
     /// Softmax over the flattened input (classifier head).
     Softmax,
 }
@@ -103,7 +116,8 @@ impl LayerKind {
             LayerKind::Lrn { .. } => "lrn",
             LayerKind::Relu => "relu",
             LayerKind::Concat => "concat",
-            LayerKind::Add => "add",
+            LayerKind::Add { .. } => "add",
+            LayerKind::Quantize { .. } => "quantize",
             LayerKind::Softmax => "softmax",
         }
     }
@@ -192,8 +206,11 @@ impl LayerKind {
                 let s = one()?;
                 Ok(Shape::nchw(s.n(), s.c(), 1, 1))
             }
-            LayerKind::Lrn { .. } | LayerKind::Relu | LayerKind::Softmax => Ok(one()?.clone()),
-            LayerKind::Add => {
+            LayerKind::Lrn { .. }
+            | LayerKind::Relu
+            | LayerKind::Quantize { .. }
+            | LayerKind::Softmax => Ok(one()?.clone()),
+            LayerKind::Add { .. } => {
                 if inputs.len() != 2 {
                     return Err(TensorError::BadConcat(format!(
                         "add expects exactly 2 inputs, got {}",
@@ -243,9 +260,26 @@ impl LayerKind {
             LayerKind::Pool { k, .. } => output.numel() as u64 * (k * k) as u64,
             LayerKind::GlobalAvgPool => input.numel() as u64,
             LayerKind::Lrn { n, .. } => input.numel() as u64 * (*n as u64 + 8),
-            LayerKind::Relu | LayerKind::Softmax => input.numel() as u64,
-            LayerKind::Add => input.numel() as u64,
-            LayerKind::Concat => 0,
+            LayerKind::Relu | LayerKind::Quantize { .. } | LayerKind::Softmax => {
+                input.numel() as u64
+            }
+            LayerKind::Add { .. } => input.numel() as u64,
+            // A concat moves every element of every input once; its op
+            // count is the total input volume, which tiles the output
+            // exactly. (Reporting 0 here undercounted merge work on
+            // fork/join networks.)
+            LayerKind::Concat => output.numel() as u64,
+        }
+    }
+
+    /// [`LayerKind::macs`] generalized over a node's full input set:
+    /// multi-input nodes (concat, add) are costed over *all* input
+    /// shapes instead of the first input alone.
+    pub fn macs_multi(&self, inputs: &[&Shape], output: &Shape) -> u64 {
+        match self {
+            LayerKind::Concat => inputs.iter().map(|s| s.numel() as u64).sum(),
+            LayerKind::Add { .. } => output.numel() as u64,
+            _ => self.macs(inputs.first().copied().unwrap_or(output), output),
         }
     }
 
@@ -354,6 +388,10 @@ mod tests {
         let c = Shape::nchw(1, 32, 28, 28);
         let out = kind.infer_shape(&[&a, &b, &c]).unwrap();
         assert_eq!(out.dims(), &[1, 224, 28, 28]);
+        // The op count covers ALL inputs (== the output volume), not the
+        // first input alone.
+        assert_eq!(kind.macs_multi(&[&a, &b, &c], &out), out.numel() as u64);
+        assert_eq!(kind.macs(&a, &out), out.numel() as u64);
         // Mismatched spatial dims rejected.
         let bad = Shape::nchw(1, 8, 27, 28);
         assert!(kind.infer_shape(&[&a, &bad]).is_err());
@@ -401,5 +439,28 @@ mod tests {
         assert!(!LayerKind::Concat.is_distributable());
         assert!(!LayerKind::Softmax.is_distributable());
         assert!(!LayerKind::Relu.is_distributable());
+        assert!(!LayerKind::Add { relu: false }.is_distributable());
+        assert!(!LayerKind::Quantize {
+            params: QuantParams::default()
+        }
+        .is_distributable());
+    }
+
+    #[test]
+    fn add_and_quantize_shapes() {
+        let a = Shape::nchw(1, 8, 4, 4);
+        let add = LayerKind::Add { relu: true };
+        assert_eq!(add.infer_shape(&[&a, &a]).unwrap(), a);
+        assert!(add.infer_shape(&[&a]).is_err());
+        assert_eq!(add.macs_multi(&[&a, &a], &a), a.numel() as u64);
+
+        let q = LayerKind::Quantize {
+            params: QuantParams::default(),
+        };
+        assert_eq!(q.infer_shape(&[&a]).unwrap(), a);
+        assert!(q.infer_shape(&[&a, &a]).is_err());
+        assert!(!q.has_weights());
+        assert_eq!(q.op_name(), "quantize");
+        assert_eq!(q.macs(&a, &a), a.numel() as u64);
     }
 }

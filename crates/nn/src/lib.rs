@@ -21,6 +21,7 @@ pub mod exec;
 pub mod graph;
 pub mod layer;
 pub mod models;
+pub mod passes;
 pub mod viz;
 pub mod weights;
 
@@ -29,5 +30,9 @@ pub use exec::{calibrate, filter_for_dtype, forward, run_layer};
 pub use graph::{Graph, Node, NodeId};
 pub use layer::{LayerKind, PoolFunc};
 pub use models::ModelId;
+pub use passes::{
+    optimize, ElideConcats, ElideQuantPairs, EliminateDeadNodes, FuseActivations, Module, Pass,
+    PassReport, PassRunner,
+};
 pub use viz::to_dot;
 pub use weights::{Calibration, LayerWeights, Weights};

@@ -59,7 +59,11 @@ pub fn basic_block(
     } else {
         input
     };
-    let sum = g.add_multi(format!("{name}/add"), LayerKind::Add, &[c2, skip]);
+    let sum = g.add_multi(
+        format!("{name}/add"),
+        LayerKind::Add { relu: false },
+        &[c2, skip],
+    );
     g.add(format!("{name}/relu"), LayerKind::Relu, sum)
 }
 

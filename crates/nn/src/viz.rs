@@ -23,14 +23,26 @@ pub fn to_dot(graph: &Graph) -> String {
         "  input [label=\"input\\n{}\", shape=ellipse];",
         graph.input_shape()
     );
+    let output = if graph.is_empty() {
+        None
+    } else {
+        Some(graph.output())
+    };
     for (i, node) in graph.nodes().iter().enumerate() {
         let shape = shapes
             .as_ref()
             .map(|s| s[i].to_string())
             .unwrap_or_else(|| "?".into());
+        // The designated output gets a double border: after a rewrite
+        // pass it need not be the last-added node, so make it visible.
+        let peripheries = if output == Some(crate::graph::NodeId(i)) {
+            ", peripheries=2"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
-            "  n{i} [label=\"{}\\n{}\\n{}\"];",
+            "  n{i} [label=\"{}\\n{}\\n{}\"{peripheries}];",
             escape(&node.name),
             node.kind.op_name(),
             shape
@@ -84,6 +96,17 @@ mod tests {
             .unwrap();
         let fan_out = dot.matches(&format!("n{squeeze_idx} -> ")).count();
         assert_eq!(fan_out, 2);
+    }
+
+    #[test]
+    fn output_node_is_marked() {
+        let g = ModelId::LeNet.build();
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches("peripheries=2").count(), 1);
+        let out_idx = g.output().0;
+        assert!(dot
+            .lines()
+            .any(|l| l.starts_with(&format!("  n{out_idx} ")) && l.contains("peripheries=2")));
     }
 
     #[test]

@@ -88,6 +88,17 @@ impl Weights {
         self.per_node.is_empty()
     }
 
+    /// Assembles weights from per-node entries (rewrite passes and
+    /// tests; entry `i` belongs to node `i`).
+    pub fn from_per_node(per_node: Vec<LayerWeights>) -> Weights {
+        Weights { per_node }
+    }
+
+    /// Decomposes into per-node entries for a rewrite pass.
+    pub fn into_per_node(self) -> Vec<LayerWeights> {
+        self.per_node
+    }
+
     /// Total bytes of all f32 master weights.
     pub fn total_bytes_f32(&self) -> usize {
         self.per_node

@@ -24,7 +24,7 @@ use usoc::{
 };
 use utensor::TensorError;
 
-use unn::{Graph, NodeId};
+use unn::{Graph, LayerKind, NodeId};
 
 use crate::metrics::MetricsRegistry;
 use crate::observe::{attribute, Attribution, OverheadClass};
@@ -301,6 +301,20 @@ pub(crate) fn schedule_instance(
     let mut producers: Vec<(TaskId, Residency)> = Vec::with_capacity(graph.len());
     let mut node_first_task: Vec<TaskId> = Vec::with_capacity(graph.len());
 
+    // Branches of an elided concat write their channel range directly
+    // into the join buffer: `inplace_target` maps each such producer to
+    // its concat, and `join_bufs` holds the shared buffer, allocated
+    // lazily by the first producer that needs it.
+    let mut inplace_target: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    for &c in &plan.elided_concats {
+        for d in &graph.nodes()[c].inputs {
+            inplace_target.insert(d.0, c);
+        }
+    }
+    let mut join_bufs: std::collections::BTreeMap<usize, usoc::BufferId> =
+        std::collections::BTreeMap::new();
+
     for (i, node) in graph.nodes().iter().enumerate() {
         let id = NodeId(i);
         let in_shape = graph.node_input_shape(id, shapes).clone();
@@ -313,9 +327,21 @@ pub(crate) fn schedule_instance(
         let input_producers: Vec<(TaskId, Residency)> =
             node.inputs.iter().map(|d| producers[d.0]).collect();
 
-        // Output buffer for this node (zero-copy shared memory).
-        let out_buf =
-            memory.alloc(out_shape.numel() * plan.placements[i].storage_dtype().size_bytes());
+        // Output buffer for this node (zero-copy shared memory). A
+        // branch of an elided concat owns no buffer of its own — it
+        // writes into the join's; the elided concat itself reuses the
+        // buffer its first branch allocated.
+        let out_buf = if let Some(&c) = inplace_target.get(&i) {
+            *join_bufs.entry(c).or_insert_with(|| {
+                memory.alloc(shapes[c].numel() * plan.placements[c].storage_dtype().size_bytes())
+            })
+        } else if plan.elided_concats.contains(&i) {
+            *join_bufs
+                .get(&i)
+                .expect("an elided concat's branches precede it and allocate its buffer")
+        } else {
+            memory.alloc(out_shape.numel() * plan.placements[i].storage_dtype().size_bytes())
+        };
 
         // Builds the dependency list for a consumer on `consumer_dev`,
         // inserting host-side sync/map tasks as required.
@@ -377,157 +403,60 @@ pub(crate) fn schedule_instance(
             deps
         };
 
+        // The §6 overhead class a node's kernel tasks belong to. A
+        // concat's "compute" *is* merge work — it moves branch outputs
+        // into the join buffer — so its tasks are accounted to the merge
+        // class the overhead attribution exposes.
+        let kernel_class = if matches!(node.kind, LayerKind::Concat) {
+            OverheadClass::Merge
+        } else {
+            OverheadClass::Compute
+        };
+
         let placement = &plan.placements[i];
-        let (final_task, residency, first_task) = match placement {
-            NodePlacement::Single { device, dtypes } => {
-                let work = layer_work(&node.kind, &in_shape, &out_shape, *dtypes, 1.0);
-                let span = spec.kernel_latency(*device, &work)?;
-                match spec.devices[device.0].kind {
-                    DeviceKind::CpuCluster => {
-                        let deps = deps_for(tg, *device);
-                        memory.map(out_buf, MapMode::WriteInvalidate)?;
-                        let k = tg.add(
-                            format!("{name}@CPU"),
-                            res(*device),
-                            span + spec.cpu_dispatch_span(),
-                            &deps,
-                            TaskMeta {
-                                device: *device,
-                                work,
-                                node: Some(id),
-                                class: OverheadClass::Compute,
-                                map: SimSpan::ZERO,
-                                instance,
-                            },
-                        );
-                        memory.unmap(out_buf)?;
-                        (k, Residency::Cpu, k)
-                    }
-                    DeviceKind::Gpu | DeviceKind::Npu => {
-                        let issue = tg.add_with_priority(
-                            format!("{name}::issue"),
-                            res(cpu),
-                            spec.gpu_issue_span(),
-                            &issue_gate,
-                            -1,
-                            meta_overhead(cpu, Some(id), OverheadClass::Issue, SimSpan::ZERO),
-                        );
-                        let mut deps = deps_for(tg, *device);
-                        deps.push(issue);
-                        let k = tg.add(
-                            format!("{name}@{}", spec.devices[device.0].kind),
-                            res(*device),
-                            span,
-                            &deps,
-                            TaskMeta {
-                                device: *device,
-                                work,
-                                node: Some(id),
-                                class: OverheadClass::Compute,
-                                map: SimSpan::ZERO,
-                                instance,
-                            },
-                        );
-                        if resilient {
-                            let fb_span = spec.kernel_latency(cpu, &work)?
-                                + spec.gpu_wait_span()
-                                + spec.map_span()
-                                + spec.cpu_dispatch_span();
-                            let fb = tg.add_fallback(
-                                format!("{name}::fallback@CPU"),
-                                res(cpu),
-                                fb_span,
-                                k,
-                                TaskMeta {
-                                    device: cpu,
-                                    work,
-                                    node: Some(id),
-                                    class: OverheadClass::Fallback,
-                                    map: SimSpan::ZERO,
-                                    instance,
-                                },
-                            );
-                            fallbacks.push(FallbackPart {
-                                node: id,
-                                scope: FallbackScope::WholeNode,
-                                from: *device,
-                                to: cpu,
-                                primary: k,
-                                fallback: fb,
-                            });
-                        }
-                        (k, Residency::Accel(*device), issue)
-                    }
-                }
-            }
-            NodePlacement::Split { parts: nominal } => {
-                // Cost what each processor *actually* executes: the
-                // realized whole-channel shares, not the nominal
-                // fractions the functional evaluator would round anyway.
-                let parts = placement
-                    .realized_parts(&node.kind, &in_shape)
-                    .ok_or_else(|| {
-                        RunError::MalformedPlan(format!(
-                            "split placement of {} cannot be realized for input shape {:?}",
-                            node.name, in_shape
-                        ))
-                    })?;
-                // Channel ranges of each part, from the *nominal*
-                // fractions — exactly the cuts the functional evaluator
-                // uses, so a fallback re-executes precisely the channels
-                // the failed part owned.
-                let channels = split_channel_count(&node.kind, &in_shape).unwrap_or(0);
-                let nominal_fracs: Vec<f64> = nominal.iter().map(|p| p.2).collect();
-                let cuts = split_cuts(channels, &nominal_fracs);
-                let mut part_tasks = Vec::with_capacity(parts.len());
-                let mut any_accel = false;
-                let mut first: Option<TaskId> = None;
-                // §6 ordering: issue the asynchronous accelerator commands
-                // (and any unmap they need) *before* starting the CPU-side
-                // work, so the accelerator parts overlap the CPU part
-                // instead of queuing behind it on the host timeline.
-                let ordered: Vec<(usize, &(DeviceId, usoc::DtypePlan, f64))> = parts
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| spec.devices[p.0 .0].kind != DeviceKind::CpuCluster)
-                    .chain(
-                        parts
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, p)| spec.devices[p.0 .0].kind == DeviceKind::CpuCluster),
-                    )
-                    .collect();
-                for &(pi, &(device, dtypes, frac)) in &ordered {
-                    if frac == 0.0 {
-                        // Zero realized channels: the part executes no
-                        // kernel, so it must not pay issue/merge-wait
-                        // overheads either.
-                        continue;
-                    }
-                    let work = layer_work(&node.kind, &in_shape, &out_shape, dtypes, frac);
-                    let span = spec.kernel_latency(device, &work)?;
+        let (final_task, residency, first_task) = if plan.elided_concats.contains(&i) {
+            // Elided concat: the branches already wrote their channel
+            // ranges into the join buffer, so the merge is a zero-span
+            // synchronization point. Residency crossings of the branch
+            // outputs (accelerator queues the host must still wait for)
+            // are preserved by the dependency builder.
+            let deps = deps_for(tg, cpu);
+            let t = tg.add_with_priority(
+                format!("{name}::elided"),
+                res(cpu),
+                SimSpan::ZERO,
+                &deps,
+                -1,
+                meta_overhead(cpu, Some(id), OverheadClass::Merge, SimSpan::ZERO),
+            );
+            (t, Residency::Cpu, t)
+        } else {
+            match placement {
+                NodePlacement::Single { device, dtypes } => {
+                    let work = layer_work(&node.kind, &in_shape, &out_shape, *dtypes, 1.0);
+                    let span = spec.kernel_latency(*device, &work)?;
                     match spec.devices[device.0].kind {
                         DeviceKind::CpuCluster => {
-                            let deps = deps_for(tg, device);
+                            let deps = deps_for(tg, *device);
+                            memory.map(out_buf, MapMode::WriteInvalidate)?;
                             let k = tg.add(
-                                format!("{name}@CPU[{frac:.2}]"),
-                                res(device),
+                                format!("{name}@CPU"),
+                                res(*device),
                                 span + spec.cpu_dispatch_span(),
                                 &deps,
                                 TaskMeta {
-                                    device,
+                                    device: *device,
                                     work,
                                     node: Some(id),
-                                    class: OverheadClass::Compute,
+                                    class: kernel_class,
                                     map: SimSpan::ZERO,
                                     instance,
                                 },
                             );
-                            first.get_or_insert(k);
-                            part_tasks.push(k);
+                            memory.unmap(out_buf)?;
+                            (k, Residency::Cpu, k)
                         }
                         DeviceKind::Gpu | DeviceKind::Npu => {
-                            any_accel = true;
                             let issue = tg.add_with_priority(
                                 format!("{name}::issue"),
                                 res(cpu),
@@ -536,31 +465,29 @@ pub(crate) fn schedule_instance(
                                 -1,
                                 meta_overhead(cpu, Some(id), OverheadClass::Issue, SimSpan::ZERO),
                             );
-                            let mut deps = deps_for(tg, device);
+                            let mut deps = deps_for(tg, *device);
                             deps.push(issue);
                             let k = tg.add(
-                                format!("{name}@{}[{frac:.2}]", spec.devices[device.0].kind),
-                                res(device),
+                                format!("{name}@{}", spec.devices[device.0].kind),
+                                res(*device),
                                 span,
                                 &deps,
                                 TaskMeta {
-                                    device,
+                                    device: *device,
                                     work,
                                     node: Some(id),
-                                    class: OverheadClass::Compute,
+                                    class: kernel_class,
                                     map: SimSpan::ZERO,
                                     instance,
                                 },
                             );
-                            first.get_or_insert(issue);
-                            part_tasks.push(k);
                             if resilient {
                                 let fb_span = spec.kernel_latency(cpu, &work)?
                                     + spec.gpu_wait_span()
                                     + spec.map_span()
                                     + spec.cpu_dispatch_span();
                                 let fb = tg.add_fallback(
-                                    format!("{name}::fallback@CPU[{frac:.2}]"),
+                                    format!("{name}::fallback@CPU"),
                                     res(cpu),
                                     fb_span,
                                     k,
@@ -573,51 +500,187 @@ pub(crate) fn schedule_instance(
                                         instance,
                                     },
                                 );
-                                let (lo, hi) = if pi + 1 < cuts.len() {
-                                    (cuts[pi], cuts[pi + 1])
-                                } else {
-                                    (0, 0)
-                                };
                                 fallbacks.push(FallbackPart {
                                     node: id,
-                                    scope: FallbackScope::Channels { index: pi, lo, hi },
-                                    from: device,
+                                    scope: FallbackScope::WholeNode,
+                                    from: *device,
                                     to: cpu,
                                     primary: k,
                                     fallback: fb,
                                 });
                             }
+                            (k, Residency::Accel(*device), issue)
                         }
                     }
                 }
-                // Merge: the host waits for the accelerator parts and maps
-                // the (already channel-interleaved, zero-copy) output.
-                let (merge_span, merge_map) = if any_accel {
-                    (spec.gpu_wait_span() + spec.map_span(), spec.map_span())
-                } else {
-                    (spec.cpu_dispatch_span(), SimSpan::ZERO)
-                };
-                memory.map(out_buf, MapMode::Read)?;
-                memory.unmap(out_buf)?;
-                let merge = tg.add_with_priority(
-                    format!("{name}::merge"),
-                    res(cpu),
-                    merge_span,
-                    &part_tasks,
-                    -1,
-                    meta_overhead(cpu, Some(id), OverheadClass::Merge, merge_map),
-                );
-                (merge, Residency::Cpu, first.unwrap_or(merge))
+                NodePlacement::Split { parts: nominal } => {
+                    // Cost what each processor *actually* executes: the
+                    // realized whole-channel shares, not the nominal
+                    // fractions the functional evaluator would round anyway.
+                    let parts =
+                        placement
+                            .realized_parts(&node.kind, &in_shape)
+                            .ok_or_else(|| {
+                                RunError::MalformedPlan(format!(
+                                    "split placement of {} cannot be realized for input shape {:?}",
+                                    node.name, in_shape
+                                ))
+                            })?;
+                    // Channel ranges of each part, from the *nominal*
+                    // fractions — exactly the cuts the functional evaluator
+                    // uses, so a fallback re-executes precisely the channels
+                    // the failed part owned.
+                    let channels = split_channel_count(&node.kind, &in_shape).unwrap_or(0);
+                    let nominal_fracs: Vec<f64> = nominal.iter().map(|p| p.2).collect();
+                    let cuts = split_cuts(channels, &nominal_fracs);
+                    let mut part_tasks = Vec::with_capacity(parts.len());
+                    let mut any_accel = false;
+                    let mut first: Option<TaskId> = None;
+                    // §6 ordering: issue the asynchronous accelerator commands
+                    // (and any unmap they need) *before* starting the CPU-side
+                    // work, so the accelerator parts overlap the CPU part
+                    // instead of queuing behind it on the host timeline.
+                    let ordered: Vec<(usize, &(DeviceId, usoc::DtypePlan, f64))> =
+                        parts
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| spec.devices[p.0 .0].kind != DeviceKind::CpuCluster)
+                            .chain(parts.iter().enumerate().filter(|(_, p)| {
+                                spec.devices[p.0 .0].kind == DeviceKind::CpuCluster
+                            }))
+                            .collect();
+                    for &(pi, &(device, dtypes, frac)) in &ordered {
+                        if frac == 0.0 {
+                            // Zero realized channels: the part executes no
+                            // kernel, so it must not pay issue/merge-wait
+                            // overheads either.
+                            continue;
+                        }
+                        let work = layer_work(&node.kind, &in_shape, &out_shape, dtypes, frac);
+                        let span = spec.kernel_latency(device, &work)?;
+                        match spec.devices[device.0].kind {
+                            DeviceKind::CpuCluster => {
+                                let deps = deps_for(tg, device);
+                                let k = tg.add(
+                                    format!("{name}@CPU[{frac:.2}]"),
+                                    res(device),
+                                    span + spec.cpu_dispatch_span(),
+                                    &deps,
+                                    TaskMeta {
+                                        device,
+                                        work,
+                                        node: Some(id),
+                                        class: OverheadClass::Compute,
+                                        map: SimSpan::ZERO,
+                                        instance,
+                                    },
+                                );
+                                first.get_or_insert(k);
+                                part_tasks.push(k);
+                            }
+                            DeviceKind::Gpu | DeviceKind::Npu => {
+                                any_accel = true;
+                                let issue = tg.add_with_priority(
+                                    format!("{name}::issue"),
+                                    res(cpu),
+                                    spec.gpu_issue_span(),
+                                    &issue_gate,
+                                    -1,
+                                    meta_overhead(
+                                        cpu,
+                                        Some(id),
+                                        OverheadClass::Issue,
+                                        SimSpan::ZERO,
+                                    ),
+                                );
+                                let mut deps = deps_for(tg, device);
+                                deps.push(issue);
+                                let k = tg.add(
+                                    format!("{name}@{}[{frac:.2}]", spec.devices[device.0].kind),
+                                    res(device),
+                                    span,
+                                    &deps,
+                                    TaskMeta {
+                                        device,
+                                        work,
+                                        node: Some(id),
+                                        class: OverheadClass::Compute,
+                                        map: SimSpan::ZERO,
+                                        instance,
+                                    },
+                                );
+                                first.get_or_insert(issue);
+                                part_tasks.push(k);
+                                if resilient {
+                                    let fb_span = spec.kernel_latency(cpu, &work)?
+                                        + spec.gpu_wait_span()
+                                        + spec.map_span()
+                                        + spec.cpu_dispatch_span();
+                                    let fb = tg.add_fallback(
+                                        format!("{name}::fallback@CPU[{frac:.2}]"),
+                                        res(cpu),
+                                        fb_span,
+                                        k,
+                                        TaskMeta {
+                                            device: cpu,
+                                            work,
+                                            node: Some(id),
+                                            class: OverheadClass::Fallback,
+                                            map: SimSpan::ZERO,
+                                            instance,
+                                        },
+                                    );
+                                    let (lo, hi) = if pi + 1 < cuts.len() {
+                                        (cuts[pi], cuts[pi + 1])
+                                    } else {
+                                        (0, 0)
+                                    };
+                                    fallbacks.push(FallbackPart {
+                                        node: id,
+                                        scope: FallbackScope::Channels { index: pi, lo, hi },
+                                        from: device,
+                                        to: cpu,
+                                        primary: k,
+                                        fallback: fb,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    // Merge: the host waits for the accelerator parts and maps
+                    // the (already channel-interleaved, zero-copy) output.
+                    let (merge_span, merge_map) = if any_accel {
+                        (spec.gpu_wait_span() + spec.map_span(), spec.map_span())
+                    } else {
+                        (spec.cpu_dispatch_span(), SimSpan::ZERO)
+                    };
+                    memory.map(out_buf, MapMode::Read)?;
+                    memory.unmap(out_buf)?;
+                    let merge = tg.add_with_priority(
+                        format!("{name}::merge"),
+                        res(cpu),
+                        merge_span,
+                        &part_tasks,
+                        -1,
+                        meta_overhead(cpu, Some(id), OverheadClass::Merge, merge_map),
+                    );
+                    (merge, Residency::Cpu, first.unwrap_or(merge))
+                }
             }
         };
         producers.push((final_task, residency));
         node_first_task.push(first_task);
     }
 
-    // The inference completes when the output is CPU-visible: if the last
-    // node's output lives on an accelerator, the host pays one final sync.
-    let completion = match producers.last() {
-        Some(&(last, Residency::Accel(_))) => tg.add_with_priority(
+    // The inference completes when the designated output is CPU-visible:
+    // if its result lives on an accelerator, the host pays one final sync.
+    if producers.is_empty() {
+        return Err(RunError::Tensor(TensorError::BadConcat(
+            "cannot execute an empty graph".into(),
+        )));
+    }
+    let completion = match producers[graph.output().0] {
+        (last, Residency::Accel(_)) => tg.add_with_priority(
             format!("{prefix}final::sync"),
             res(cpu),
             spec.gpu_wait_span() + spec.map_span(),
@@ -625,12 +688,7 @@ pub(crate) fn schedule_instance(
             -1,
             meta_overhead(cpu, None, OverheadClass::Sync, spec.map_span()),
         ),
-        Some(&(last, Residency::Cpu)) => last,
-        None => {
-            return Err(RunError::Tensor(TensorError::BadConcat(
-                "cannot execute an empty graph".into(),
-            )))
-        }
+        (last, Residency::Cpu) => last,
     };
 
     Ok(InstanceTasks {

@@ -113,9 +113,13 @@ pub struct PartTask<'a> {
 /// Executes one [`PartTask`], returning the raw output in the part's
 /// compute dtype (the caller applies [`finish`] and merges).
 pub fn eval_part_task(t: &PartTask<'_>) -> Result<Tensor, TensorError> {
-    if matches!(t.kind, LayerKind::Concat | LayerKind::Add) {
-        // Multi-input joins consume stored tensors directly
-        // (requantizing QUInt8 inputs to the node's range).
+    if matches!(
+        t.kind,
+        LayerKind::Concat | LayerKind::Add { .. } | LayerKind::Quantize { .. }
+    ) {
+        // Multi-input joins and quantization boundaries consume stored
+        // tensors directly (requantizing QUInt8 inputs to the node's
+        // range).
         return unn::run_layer(t.kind, &t.inputs, None, None, Some(t.act));
     }
     let x = t.inputs[0];
@@ -370,6 +374,9 @@ fn store_params_of(kind: &LayerKind, inputs: &[&Tensor], act: QuantParams) -> Qu
         | LayerKind::GlobalAvgPool
         | LayerKind::Relu
         | LayerKind::Lrn { .. } => inputs[0].quant_params().unwrap_or(act),
+        // A quantize boundary's whole purpose is to put activations on
+        // its own grid; storing with any other params would undo it.
+        LayerKind::Quantize { params } => *params,
         _ => act,
     }
 }

@@ -7,10 +7,12 @@
 //! valid plan, so every mechanism shares scheduling, timing, energy, and
 //! numeric machinery.
 
+use std::collections::BTreeSet;
+
 use usoc::{realized_fractions, split_channel_count, DeviceId, DtypePlan, SocSpec};
 use utensor::{DType, Shape, TensorError};
 
-use unn::{Graph, LayerKind};
+use unn::{Graph, LayerKind, NodeId};
 
 /// Where (and how) one layer executes.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,6 +101,12 @@ pub struct ExecutionPlan {
     pub placements: Vec<NodePlacement>,
     /// Short mechanism label for reports (e.g. `"layer-to-processor"`).
     pub label: String,
+    /// Concat nodes whose merge copy the scheduler elides: every branch
+    /// writes its channel range directly into the join buffer, so the
+    /// engine replaces the concat's copy kernel with a zero-span merge
+    /// point (see [`ExecutionPlan::with_elided_concats`]). Empty unless
+    /// the `elide-concats` pass annotated the graph.
+    pub elided_concats: BTreeSet<usize>,
 }
 
 impl ExecutionPlan {
@@ -165,7 +173,59 @@ impl ExecutionPlan {
         Ok(ExecutionPlan {
             placements,
             label: label.into(),
+            elided_concats: BTreeSet::new(),
         })
+    }
+
+    /// Attaches a concat-elision set (from the `elide-concats` pass),
+    /// revalidating it against the graph: every entry must be a concat
+    /// with at least two inputs, each input consumed *only* by that
+    /// concat, and no elided concat may feed another (the inner buffer
+    /// would have to be a view into the outer one).
+    ///
+    /// The annotation only changes the timing engine's task graph — the
+    /// functional evaluator computes the identical join either way — so
+    /// a plan with a stale or foreign set fails here rather than
+    /// silently under-costing merges.
+    pub fn with_elided_concats(
+        mut self,
+        graph: &Graph,
+        elided: BTreeSet<NodeId>,
+    ) -> Result<ExecutionPlan, TensorError> {
+        let consumers = graph.consumers();
+        for &c in &elided {
+            if c.0 >= graph.len() {
+                return Err(TensorError::BadGraph(format!(
+                    "elided concat {c} out of range for {} nodes",
+                    graph.len()
+                )));
+            }
+            let node = &graph.nodes()[c.0];
+            if !matches!(node.kind, LayerKind::Concat) || node.inputs.len() < 2 {
+                return Err(TensorError::BadGraph(format!(
+                    "elided node {} is not a multi-input concat",
+                    node.name
+                )));
+            }
+            for &b in &node.inputs {
+                if consumers.get(&Some(b)).map(Vec::as_slice) != Some(&[c]) {
+                    return Err(TensorError::BadGraph(format!(
+                        "branch {} of elided concat {} has other consumers",
+                        graph.nodes()[b.0].name,
+                        node.name
+                    )));
+                }
+                if elided.contains(&b) {
+                    return Err(TensorError::BadGraph(format!(
+                        "elided concat {} feeds elided concat {}",
+                        graph.nodes()[b.0].name,
+                        node.name
+                    )));
+                }
+            }
+        }
+        self.elided_concats = elided.into_iter().map(|id| id.0).collect();
+        Ok(self)
     }
 
     /// The plan-wide activation storage dtype.

@@ -239,10 +239,14 @@ pub fn layer_work(
             (WorkClass::Pool, scale(in_bytes))
         }
         LayerKind::Lrn { .. } => (WorkClass::Norm, in_bytes),
-        LayerKind::Relu | LayerKind::Softmax => (WorkClass::Elementwise, scale(in_bytes)),
+        LayerKind::Relu | LayerKind::Quantize { .. } | LayerKind::Softmax => {
+            (WorkClass::Elementwise, scale(in_bytes))
+        }
         // A residual add reads two equally-shaped inputs.
-        LayerKind::Add => (WorkClass::Elementwise, 2 * in_bytes),
-        LayerKind::Concat => (WorkClass::Copy, scale(in_bytes)),
+        LayerKind::Add { .. } => (WorkClass::Elementwise, 2 * in_bytes),
+        // A concat reads every input branch once; its traffic is the
+        // total input volume, which equals the output volume.
+        LayerKind::Concat => (WorkClass::Copy, out_bytes),
     };
 
     KernelWork {
@@ -485,7 +489,13 @@ mod tests {
             1.0,
         );
         assert_eq!(concat.class, WorkClass::Copy);
-        assert_eq!(concat.macs, 0);
+        // A concat's op count is the moved volume (== output numel), and
+        // its input traffic is the total input volume.
+        assert_eq!(concat.macs, in_shape.numel() as u64);
+        assert_eq!(
+            concat.bytes_in,
+            (in_shape.numel() * DType::F32.size_bytes()) as u64
+        );
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub enum TensorError {
     /// Quantization parameters are invalid (non-finite or non-positive
     /// scale).
     BadQuantParams(String),
+    /// A graph structure is invalid (non-topological wiring, dangling
+    /// output, malformed pass rewrite).
+    BadGraph(String),
 }
 
 impl fmt::Display for TensorError {
@@ -76,6 +79,7 @@ impl fmt::Display for TensorError {
             }
             TensorError::BadConcat(msg) => write!(f, "bad concat: {msg}"),
             TensorError::BadQuantParams(msg) => write!(f, "bad quantization params: {msg}"),
+            TensorError::BadGraph(msg) => write!(f, "bad graph: {msg}"),
         }
     }
 }
