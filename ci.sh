@@ -96,4 +96,31 @@ cargo run --release --offline -p ubench --bin repro -- \
   "--out=$smoke_measure" --baseline=BENCH_exec.json >/dev/null
 test -s "$smoke_measure"
 
+echo "==> repro fleet smoke (64-device GPU-loss storm + order-fuzz gate + baseline schema)"
+# Seeded fleet of 64 mixed-SoC instances under a correlated GPU-loss
+# storm. The subcommand exits non-zero if the invariant audit fails
+# (exact offered = completed + degraded + shed, one shared weight
+# allocation, occupancy == executed) or if any shuffled same-timestamp
+# event order produces a report that differs from FIFO. Timings are
+# simulated, so the checked-in BENCH_fleet.json baseline is gated on
+# document structure only.
+smoke_fleet="$(mktemp -t ulayer-smoke-fleet.XXXXXX.json)"
+trap 'rm -f "$smoke_trace" "$smoke_measure" "$smoke_fleet"' EXIT
+cargo run --release --offline -p ubench --bin repro -- \
+  fleet squeezenet --miniature --devices=64 --frames=16 --storm=gpu-loss \
+  --seed=42 --fuzz-orders=2 "--out=$smoke_fleet" --baseline=BENCH_fleet.json >/dev/null
+test -s "$smoke_fleet"
+
+echo "==> repro CLI rejection smoke (typed errors exit non-zero)"
+# The hardened parser must refuse unknown flags and malformed values on
+# every subcommand with exit code 2, never a panic or a silent default.
+for bad_args in "fleet --bogus-flag" "fleet --storm=hurricane" \
+  "serve --queue=0" "measure --kernel-path=warp" "fleet resnet99"; do
+  if cargo run --release --offline -q -p ubench --bin repro -- \
+    $bad_args >/dev/null 2>&1; then
+    echo "ci.sh: repro $bad_args should have failed" >&2
+    exit 1
+  fi
+done
+
 echo "ci.sh: all green"

@@ -9,6 +9,10 @@
 //!             [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]
 //! repro measure [net] [--miniature] [--threads=N] [--repeat=N]
 //!               [--kernel-path=auto|scalar|simd] [--out=FILE] [--baseline=FILE]
+//! repro fleet [net] [--devices=N] [--frames=N] [--seed=N] [--miniature]
+//!             [--storm=none|throttle-wave|gpu-loss|flaky-epidemic]
+//!             [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS]
+//!             [--queue=N] [--fuzz-orders=N] [--out=FILE] [--baseline=FILE]
 //! ```
 //!
 //! Each subcommand prints paper-style rows; `all` runs everything.
@@ -20,15 +24,59 @@
 //! attribution on both SoCs, and writes the high-end SoC's schedule as a
 //! Chrome trace-event JSON file (loadable in `chrome://tracing` or
 //! Perfetto).
+//!
+//! `fleet` simulates a mixed-SoC device fleet under a correlated fault
+//! storm, checks the fleet invariants and the schedule-order fuzz gate,
+//! and writes a machine-readable `BENCH_fleet.json`.
+//!
+//! Argument parsing is table-driven ([`ubench::cli`]): unknown flags and
+//! malformed `--key=value` pairs are typed errors with exit code 2.
 
+use ubench::cli;
 use ubench::figures;
-use ubench::report::{geomean, ms, pct, ratio, Table};
+use ubench::report::{geomean, ms, opt_ms, pct, ratio, Table};
+
+fn fail(e: cli::CliError) -> ! {
+    eprintln!("repro: {e}");
+    std::process::exit(2);
+}
+
+/// Parses a subcommand's arguments against its flag table, exiting
+/// with a typed error on anything the table does not declare.
+fn parse_or_exit(sub: &'static str, args: &[String]) -> cli::Parsed {
+    let specs = cli::subcommand_flags(sub).expect("registered subcommand");
+    cli::parse_flags(sub, args, specs).unwrap_or_else(|e| fail(e))
+}
+
+/// Resolves the positional network argument (last one wins), exiting
+/// with a typed error on a token that names no network.
+fn model_arg(sub: &'static str, p: &cli::Parsed, default: unn::ModelId) -> unn::ModelId {
+    let mut model = default;
+    for a in &p.positional {
+        match parse_model(a) {
+            Some(m) => model = m,
+            None => fail(cli::CliError::BadPositional {
+                subcommand: sub,
+                given: a.clone(),
+            }),
+        }
+    }
+    model
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `repro --json <dir> [--with-fig10]` exports machine-readable data.
     if args.first().map(String::as_str) == Some("--json") {
         let dir = args.get(1).map(String::as_str).unwrap_or("repro-json");
+        for a in args.iter().skip(2) {
+            if a != "--with-fig10" {
+                fail(cli::CliError::UnknownFlag {
+                    subcommand: "--json",
+                    flag: a.clone(),
+                });
+            }
+        }
         let with_fig10 = args.iter().any(|a| a == "--with-fig10");
         match ubench::export_all(std::path::Path::new(dir), with_fig10) {
             Ok(files) => {
@@ -45,25 +93,14 @@ fn main() {
             }
         }
     }
-    if args.first().map(String::as_str) == Some("trace") {
-        trace(&args[1..]);
-        return;
-    }
-    if args.first().map(String::as_str) == Some("passes") {
-        passes_cmd(&args[1..]);
-        return;
-    }
-    if args.first().map(String::as_str) == Some("faults") {
-        faults(&args[1..]);
-        return;
-    }
-    if args.first().map(String::as_str) == Some("serve") {
-        serve(&args[1..]);
-        return;
-    }
-    if args.first().map(String::as_str) == Some("measure") {
-        measure_cmd(&args[1..]);
-        return;
+    match args.first().map(String::as_str) {
+        Some("trace") => return trace(&args[1..]),
+        Some("passes") => return passes_cmd(&args[1..]),
+        Some("faults") => return faults(&args[1..]),
+        Some("serve") => return serve(&args[1..]),
+        Some("measure") => return measure_cmd(&args[1..]),
+        Some("fleet") => return fleet_cmd(&args[1..]),
+        _ => {}
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
     let known = [
@@ -83,10 +120,17 @@ fn main() {
     ];
     if !known.contains(&what) {
         eprintln!(
-            "usage: repro [{}] | repro --json <dir> [--with-fig10]",
+            "repro: {}\nusage: repro [{}|trace|passes|faults|serve|measure|fleet] | repro --json <dir> [--with-fig10]",
+            cli::CliError::UnknownSubcommand { given: what.into() },
             known.join("|")
         );
         std::process::exit(2);
+    }
+    if let Some(a) = args.get(1) {
+        fail(cli::CliError::UnknownFlag {
+            subcommand: "figures",
+            flag: a.clone(),
+        });
     }
     let run = |name: &str| what == name || what == "all";
 
@@ -146,27 +190,12 @@ fn parse_model(name: &str) -> Option<unn::ModelId> {
 /// `--check-merge` additionally runs the unoptimized baseline and exits
 /// non-zero unless the merge overhead class shrank (or is zero).
 fn trace(args: &[String]) {
-    let mut model = unn::ModelId::Vgg16;
-    let mut miniature = false;
-    let mut passes = true;
-    let mut check_merge = false;
-    let mut out_path: Option<String> = None;
-    for a in args {
-        if a == "--miniature" {
-            miniature = true;
-        } else if a == "--no-passes" {
-            passes = false;
-        } else if a == "--check-merge" {
-            check_merge = true;
-        } else if let Some(p) = a.strip_prefix("--trace-out=") {
-            out_path = Some(p.to_string());
-        } else if let Some(m) = parse_model(a) {
-            model = m;
-        } else {
-            eprintln!("usage: repro trace [vgg16|alexnet|squeezenet|googlenet|mobilenet] [--miniature] [--no-passes] [--check-merge] [--trace-out=FILE]");
-            std::process::exit(2);
-        }
-    }
+    let p = parse_or_exit("trace", args);
+    let model = model_arg("trace", &p, unn::ModelId::Vgg16);
+    let miniature = p.switch("--miniature");
+    let passes = !p.switch("--no-passes");
+    let check_merge = p.switch("--check-merge");
+    let out_path: Option<String> = p.str_of("--trace-out").map(str::to_string);
 
     heading(&format!(
         "Schedule observability: uLayer {} (overhead attribution + trace export{})",
@@ -255,20 +284,9 @@ fn trace(args: &[String]) {
 /// per-pass rewrite counts, node counts before/after, elided concats,
 /// and the before/after merge/map overhead attribution on both SoCs.
 fn passes_cmd(args: &[String]) {
-    let mut model = unn::ModelId::GoogLeNet;
-    let mut miniature = false;
-    for a in args {
-        if a == "--miniature" {
-            miniature = true;
-        } else if let Some(m) = parse_model(a) {
-            model = m;
-        } else {
-            eprintln!(
-                "usage: repro passes [vgg16|alexnet|squeezenet|googlenet|mobilenet] [--miniature]"
-            );
-            std::process::exit(2);
-        }
-    }
+    let p = parse_or_exit("passes", args);
+    let model = model_arg("passes", &p, unn::ModelId::GoogLeNet);
+    let miniature = p.switch("--miniature");
 
     heading(&format!(
         "Graph pass pipeline: {} (fusion, quant-pair elision, concat elision, DCE)",
@@ -318,36 +336,14 @@ fn passes_cmd(args: &[String]) {
 /// flaky-gpu scenario fails to exercise both the retry and the fallback
 /// path.
 fn faults(args: &[String]) {
-    let mut model = unn::ModelId::SqueezeNet;
-    let mut miniature = false;
-    let mut seed = 42u64;
-    let mut scenarios: Vec<simcore::Scenario> = simcore::Scenario::ALL.to_vec();
-    let usage = || -> ! {
-        eprintln!(
-            "usage: repro faults [vgg16|alexnet|squeezenet|googlenet|mobilenet] \
-             [--scenario=throttle|flaky-gpu|gpu-loss] [--seed=N] [--miniature]"
-        );
-        std::process::exit(2);
+    let p = parse_or_exit("faults", args);
+    let model = model_arg("faults", &p, unn::ModelId::SqueezeNet);
+    let miniature = p.switch("--miniature");
+    let seed = p.u64_of("--seed").unwrap_or(42);
+    let scenarios: Vec<simcore::Scenario> = match p.str_of("--scenario") {
+        Some(s) => vec![simcore::Scenario::from_name(s).expect("validated at parse")],
+        None => simcore::Scenario::ALL.to_vec(),
     };
-    for a in args {
-        if a == "--miniature" {
-            miniature = true;
-        } else if let Some(s) = a.strip_prefix("--scenario=") {
-            match simcore::Scenario::from_name(s) {
-                Some(sc) => scenarios = vec![sc],
-                None => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--seed=") {
-            match s.parse() {
-                Ok(n) => seed = n,
-                Err(_) => usage(),
-            }
-        } else if let Some(m) = parse_model(a) {
-            model = m;
-        } else {
-            usage();
-        }
-    }
 
     heading(&format!(
         "Fault injection: uLayer {} under {} (seed {seed})",
@@ -419,64 +415,19 @@ fn faults(args: &[String]) {
 /// invariant breaks — the queue exceeding its bound, or offered frames
 /// not partitioning exactly into completed/degraded/shed.
 fn serve(args: &[String]) {
-    let mut model = unn::ModelId::SqueezeNet;
-    let mut arrivals = simcore::ArrivalKind::Bursty;
-    let mut miniature = false;
-    let mut rate_fps = 0.0f64;
-    let mut deadline_ms = 0.0f64;
-    let mut queue = 8usize;
-    let mut frames = 96usize;
-    let mut seed = 42u64;
-    let mut out_path: Option<String> = None;
-    let usage = || -> ! {
-        eprintln!(
-            "usage: repro serve [vgg16|alexnet|squeezenet|googlenet|mobilenet] \
-             [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS] \
-             [--queue=N] [--frames=N] [--seed=N] [--miniature] [--trace-out=FILE]"
-        );
-        std::process::exit(2);
-    };
-    for a in args {
-        if a == "--miniature" {
-            miniature = true;
-        } else if let Some(s) = a.strip_prefix("--arrivals=") {
-            match simcore::ArrivalKind::from_name(s) {
-                Some(k) => arrivals = k,
-                None => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--rate=") {
-            match s.parse::<f64>() {
-                Ok(v) if v >= 0.0 => rate_fps = v,
-                _ => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--deadline=") {
-            match s.parse::<f64>() {
-                Ok(v) if v >= 0.0 => deadline_ms = v,
-                _ => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--queue=") {
-            match s.parse::<usize>() {
-                Ok(v) if v >= 1 => queue = v,
-                _ => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--frames=") {
-            match s.parse::<usize>() {
-                Ok(v) if v >= 1 => frames = v,
-                _ => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--seed=") {
-            match s.parse() {
-                Ok(n) => seed = n,
-                Err(_) => usage(),
-            }
-        } else if let Some(p) = a.strip_prefix("--trace-out=") {
-            out_path = Some(p.to_string());
-        } else if let Some(m) = parse_model(a) {
-            model = m;
-        } else {
-            usage();
-        }
-    }
+    let p = parse_or_exit("serve", args);
+    let model = model_arg("serve", &p, unn::ModelId::SqueezeNet);
+    let miniature = p.switch("--miniature");
+    let arrivals = p
+        .str_of("--arrivals")
+        .map(|s| simcore::ArrivalKind::from_name(s).expect("validated at parse"))
+        .unwrap_or(simcore::ArrivalKind::Bursty);
+    let rate_fps = p.f64_of("--rate").unwrap_or(0.0);
+    let deadline_ms = p.f64_of("--deadline").unwrap_or(0.0);
+    let queue = p.usize_of("--queue").unwrap_or(8);
+    let frames = p.usize_of("--frames").unwrap_or(96);
+    let seed = p.u64_of("--seed").unwrap_or(42);
+    let out_path: Option<String> = p.str_of("--trace-out").map(str::to_string);
 
     heading(&format!(
         "Overload serving: uLayer {} under {} arrivals (seed {seed}, {frames} frames, queue {queue})",
@@ -525,9 +476,9 @@ fn serve(args: &[String]) {
             r.shed.to_string(),
             r.rejected.to_string(),
             format!("{}/{}", r.queue_peak, r.queue_capacity),
-            ms(r.latency_percentile(0.50).as_secs_f64() * 1e3),
-            ms(r.latency_percentile(0.95).as_secs_f64() * 1e3),
-            ms(r.latency_percentile(0.99).as_secs_f64() * 1e3),
+            opt_ms(r.latency_percentile(0.50)),
+            opt_ms(r.latency_percentile(0.95)),
+            opt_ms(r.latency_percentile(0.99)),
         ]);
         print!("{}", t.render());
         if let Err(e) = r.check_invariants() {
@@ -572,49 +523,19 @@ fn serve(args: &[String]) {
 /// `BENCH_exec.json`; with `--baseline=FILE` also schema-checks a
 /// checked-in baseline document.
 fn measure_cmd(args: &[String]) {
-    let mut model = unn::ModelId::SqueezeNet;
-    let mut miniature = false;
-    let mut threads = uexec::ExecConfig::from_env().cpu_threads;
-    let mut repeat = 3usize;
-    let mut kernel_path = ukernels::PathChoice::from_env();
-    let mut out_path = "BENCH_exec.json".to_string();
-    let mut baseline: Option<String> = None;
-    let usage = || -> ! {
-        eprintln!(
-            "usage: repro measure [vgg16|alexnet|squeezenet|googlenet|mobilenet] \
-             [--miniature] [--threads=N] [--repeat=N] [--kernel-path=auto|scalar|simd] \
-             [--out=FILE] [--baseline=FILE]"
-        );
-        std::process::exit(2);
-    };
-    for a in args {
-        if a == "--miniature" {
-            miniature = true;
-        } else if let Some(s) = a.strip_prefix("--threads=") {
-            match s.parse::<usize>() {
-                Ok(v) if v >= 1 => threads = v,
-                _ => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--repeat=") {
-            match s.parse::<usize>() {
-                Ok(v) if v >= 1 => repeat = v,
-                _ => usage(),
-            }
-        } else if let Some(s) = a.strip_prefix("--kernel-path=") {
-            match ukernels::PathChoice::parse(s) {
-                Some(p) => kernel_path = p,
-                None => usage(),
-            }
-        } else if let Some(p) = a.strip_prefix("--out=") {
-            out_path = p.to_string();
-        } else if let Some(p) = a.strip_prefix("--baseline=") {
-            baseline = Some(p.to_string());
-        } else if let Some(m) = parse_model(a) {
-            model = m;
-        } else {
-            usage();
-        }
-    }
+    let p = parse_or_exit("measure", args);
+    let model = model_arg("measure", &p, unn::ModelId::SqueezeNet);
+    let miniature = p.switch("--miniature");
+    let threads = p
+        .usize_of("--threads")
+        .unwrap_or_else(|| uexec::ExecConfig::from_env().cpu_threads);
+    let repeat = p.usize_of("--repeat").unwrap_or(3);
+    let kernel_path = p
+        .str_of("--kernel-path")
+        .map(|s| ukernels::PathChoice::parse(s).expect("validated at parse"))
+        .unwrap_or_else(ukernels::PathChoice::from_env);
+    let out_path = p.str_of("--out").unwrap_or("BENCH_exec.json").to_string();
+    let baseline: Option<String> = p.str_of("--baseline").map(str::to_string);
 
     heading(&format!(
         "Measured execution: uLayer {} on real worker pools ({threads} threads/pool, best of {repeat})",
@@ -891,6 +812,314 @@ fn check_measure_schema(doc: &str) -> Result<(), &'static str> {
         ]);
     }
     for marker in required {
+        if !doc.contains(marker) {
+            return Err(marker);
+        }
+    }
+    Ok(())
+}
+
+/// `repro fleet [net] [--devices=N] [--frames=N] [--seed=N]
+/// [--storm=none|throttle-wave|gpu-loss|flaky-epidemic] [--arrivals=NAME]
+/// [--rate=FPS] [--deadline=MS] [--queue=N] [--fuzz-orders=N]
+/// [--miniature] [--out=FILE] [--baseline=FILE]`:
+/// a mixed-SoC device fleet served through the μLayer degradation
+/// ladder under a correlated fault storm, with one shared weight
+/// allocation and per-instance drift adapters. Prints the SLO rollup,
+/// writes `BENCH_fleet.json`, and exits non-zero if a fleet invariant
+/// breaks or the FIFO-vs-shuffled schedule-order gate diverges.
+fn fleet_cmd(args: &[String]) {
+    let p = parse_or_exit("fleet", args);
+    let model = model_arg("fleet", &p, unn::ModelId::SqueezeNet);
+    let miniature = p.switch("--miniature");
+    let devices = p.usize_of("--devices").unwrap_or(64);
+    let frames = p.usize_of("--frames").unwrap_or(32);
+    let seed = p.u64_of("--seed").unwrap_or(42);
+    let storm_name = p.str_of("--storm").unwrap_or("gpu-loss").to_string();
+    let storm = if storm_name == "none" {
+        None
+    } else {
+        Some(simcore::FleetScenario::from_name(&storm_name).expect("validated at parse"))
+    };
+    let arrivals = p
+        .str_of("--arrivals")
+        .map(|s| simcore::ArrivalKind::from_name(s).expect("validated at parse"))
+        .unwrap_or(simcore::ArrivalKind::Bursty);
+    let rate_fps = p.f64_of("--rate").unwrap_or(0.0);
+    let deadline_ms = p.f64_of("--deadline").unwrap_or(0.0);
+    let queue = p.usize_of("--queue").unwrap_or(8);
+    let fuzz_orders = p.usize_of("--fuzz-orders").unwrap_or(2);
+    let out_path = p.str_of("--out").unwrap_or("BENCH_fleet.json").to_string();
+    let baseline: Option<String> = p.str_of("--baseline").map(str::to_string);
+
+    heading(&format!(
+        "Fleet chaos serving: {devices} devices x {} under storm `{storm_name}` (seed {seed}, {frames} frames/device)",
+        model.name(),
+    ));
+    let rep = figures::fleet_storm(
+        model,
+        storm,
+        miniature,
+        devices,
+        frames,
+        arrivals,
+        rate_fps,
+        deadline_ms,
+        queue,
+        seed,
+        fuzz_orders,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fleet run failed: {e}");
+        std::process::exit(1);
+    });
+    let r = &rep.report;
+
+    for (soc, rungs) in &rep.cohort_rungs {
+        println!("\n--- cohort: {soc} ---");
+        let mut t = Table::new(&["Rung", "Service (ms)"]);
+        for (label, lat_ms) in rungs {
+            t.row(vec![label.clone(), ms(*lat_ms)]);
+        }
+        print!("{}", t.render());
+    }
+    println!(
+        "\ncohort instances: {} (mean interval {} ms, deadline {} ms)",
+        r.cohort_socs
+            .iter()
+            .zip(&r.cohort_instances)
+            .map(|(s, n)| format!("{s}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        ms(rep.mean_interval_ms),
+        ms(rep.deadline_ms),
+    );
+
+    let mut t = Table::new(&[
+        "Offered",
+        "Completed",
+        "Degraded",
+        "Shed",
+        "Rejected",
+        "Queue peak/cap",
+        "p50",
+        "p95",
+        "p99",
+        "p99.9",
+    ]);
+    t.row(vec![
+        r.offered.to_string(),
+        r.completed.to_string(),
+        r.degraded.to_string(),
+        r.shed.to_string(),
+        r.rejected.to_string(),
+        format!("{}/{}", r.queue_peak, r.queue_capacity),
+        opt_ms(r.latency_percentile(0.50)),
+        opt_ms(r.latency_percentile(0.95)),
+        opt_ms(r.latency_percentile(0.99)),
+        opt_ms(r.latency_percentile(0.999)),
+    ]);
+    print!("{}", t.render());
+
+    let mut t = Table::new(&["Rung occupancy", "Frames"]);
+    for (label, count) in &r.rung_occupancy {
+        t.row(vec![label.clone(), count.to_string()]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\nchaos: {} retries, {} fallbacks, {} throttled dispatches, {} realized deadline misses, {} GPUs lost",
+        r.retries, r.fallbacks, r.throttled, r.missed, r.gpu_lost_devices
+    );
+    println!(
+        "weights: {} bytes shared across the fleet in {} allocation(s) (per-device copies would cost {} bytes)",
+        r.weight_bytes, r.weight_copies, r.naive_weight_bytes
+    );
+    println!("fleet energy: {:.3} J", r.energy_j);
+
+    let mut violations = Vec::new();
+    if let Err(e) = r.check_invariants() {
+        violations.push(format!("fleet invariant: {e}"));
+    }
+    if rep.fuzz_mismatches.is_empty() {
+        println!(
+            "order-fuzz gate: {} shuffled orders, all byte-identical to FIFO",
+            rep.fuzz_orders
+        );
+    } else {
+        violations.push(format!(
+            "order-fuzz gate: shuffle seeds {:?} diverged from the FIFO report",
+            rep.fuzz_mismatches
+        ));
+    }
+
+    let json = fleet_json(&rep, &storm_name);
+    if let Err(e) = std::fs::write(&out_path, json.render()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(doc) => {
+                if let Err(missing) = check_fleet_schema(&doc) {
+                    eprintln!("baseline {path} fails the schema check: missing {missing}");
+                    std::process::exit(1);
+                }
+                println!("baseline {path}: schema ok");
+            }
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("\n(one weight allocation serves every instance; storms are correlated across");
+    println!(" the fleet but each instance's faults, arrivals, and drift state are its own)");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("FLEET VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Schema tag of the fleet document (`BENCH_fleet.json`).
+const FLEET_SCHEMA: &str = "ulayer-fleet/v1";
+
+/// The machine-readable fleet document.
+fn fleet_json(rep: &figures::FleetStormReport, storm: &str) -> ubench::Json {
+    use ubench::Json;
+    let r = &rep.report;
+    let opt_ms_json = |q: f64| match r.latency_percentile(q) {
+        Some(s) => Json::n(s.as_millis_f64()),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        ("schema", Json::s(FLEET_SCHEMA)),
+        ("net", Json::s(r.net.clone())),
+        ("scenario", Json::s(storm)),
+        (
+            "fleet",
+            Json::obj(vec![
+                ("devices", Json::n(r.fleet_size as f64)),
+                ("frames_per_device", Json::n(r.frames_per_device as f64)),
+                ("seed", Json::n(r.seed as f64)),
+                ("queue_capacity", Json::n(r.queue_capacity as f64)),
+                ("mean_interval_ms", Json::n(rep.mean_interval_ms)),
+                ("deadline_ms", Json::n(rep.deadline_ms)),
+                (
+                    "cohorts",
+                    Json::Arr(
+                        r.cohort_socs
+                            .iter()
+                            .zip(&r.cohort_instances)
+                            .map(|(soc, n)| {
+                                Json::obj(vec![
+                                    ("soc", Json::s(soc.clone())),
+                                    ("instances", Json::n(*n as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj(vec![
+                ("offered", Json::n(r.offered as f64)),
+                ("completed", Json::n(r.completed as f64)),
+                ("degraded", Json::n(r.degraded as f64)),
+                ("shed", Json::n(r.shed as f64)),
+                ("rejected", Json::n(r.rejected as f64)),
+                ("retries", Json::n(r.retries as f64)),
+                ("fallbacks", Json::n(r.fallbacks as f64)),
+                ("throttled", Json::n(r.throttled as f64)),
+                ("missed", Json::n(r.missed as f64)),
+                ("gpu_lost_devices", Json::n(r.gpu_lost_devices as f64)),
+                ("queue_peak", Json::n(r.queue_peak as f64)),
+            ]),
+        ),
+        (
+            "rung_occupancy",
+            Json::Obj(
+                r.rung_occupancy
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::n(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "latency",
+            Json::obj(vec![
+                ("p50_ms", opt_ms_json(0.50)),
+                ("p95_ms", opt_ms_json(0.95)),
+                ("p99_ms", opt_ms_json(0.99)),
+                ("p999_ms", opt_ms_json(0.999)),
+                ("samples", Json::n(r.latencies.len() as f64)),
+            ]),
+        ),
+        ("energy_j", Json::n(r.energy_j)),
+        (
+            "weights",
+            Json::obj(vec![
+                ("bytes", Json::n(r.weight_bytes as f64)),
+                ("copies", Json::n(r.weight_copies as f64)),
+                ("naive_bytes", Json::n(r.naive_weight_bytes as f64)),
+            ]),
+        ),
+        (
+            "fuzz",
+            Json::obj(vec![
+                ("orders", Json::n(rep.fuzz_orders as f64)),
+                (
+                    "mismatched_seeds",
+                    Json::Arr(
+                        rep.fuzz_mismatches
+                            .iter()
+                            .map(|s| Json::n(*s as f64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "invariants",
+            Json::s(match r.check_invariants() {
+                Ok(()) => "ok".to_string(),
+                Err(e) => e,
+            }),
+        ),
+    ])
+}
+
+/// Checks that `doc` carries the fleet schema tag and every required
+/// key. Returns the first missing marker.
+fn check_fleet_schema(doc: &str) -> Result<(), &'static str> {
+    if !doc.contains("\"schema\":\"ulayer-fleet/v1\"") {
+        return Err("\"schema\":\"ulayer-fleet/v1\"");
+    }
+    for marker in [
+        "\"net\"",
+        "\"scenario\"",
+        "\"fleet\"",
+        "\"cohorts\"",
+        "\"totals\"",
+        "\"offered\"",
+        "\"completed\"",
+        "\"degraded\"",
+        "\"shed\"",
+        "\"rung_occupancy\"",
+        "\"latency\"",
+        "\"energy_j\"",
+        "\"weights\"",
+        "\"copies\"",
+        "\"fuzz\"",
+        "\"invariants\"",
+    ] {
         if !doc.contains(marker) {
             return Err(marker);
         }

@@ -749,6 +749,141 @@ pub fn serve_overload(
         .collect()
 }
 
+/// The outcome of a [`fleet_storm`] run: the FIFO-order fleet report
+/// plus the schedule-order fuzz gate's verdict.
+#[derive(Clone, Debug)]
+pub struct FleetStormReport {
+    /// The fleet report (FIFO event order).
+    pub report: uruntime::FleetReport,
+    /// Mean inter-arrival interval (ms) the fleet was sized with.
+    pub mean_interval_ms: f64,
+    /// Per-frame deadline (ms).
+    pub deadline_ms: f64,
+    /// Per-cohort rungs: label and realized single-frame latency (ms).
+    pub cohort_rungs: Vec<(String, Vec<(String, f64)>)>,
+    /// How many seeded-shuffled event orders were re-run.
+    pub fuzz_orders: usize,
+    /// Shuffle seeds whose report diverged from FIFO (empty = gate ok).
+    pub fuzz_mismatches: Vec<u64>,
+}
+
+/// Drives a mixed-SoC fleet of `devices` instances through `frames`
+/// seeded arrivals each, under an optional correlated storm, with one
+/// shared weight allocation and a per-instance `DriftAdapter` — then
+/// re-runs the identical fleet under `fuzz_orders` seeded-shuffled
+/// event orderings and compares report digests (the order-fuzz gate).
+///
+/// `rate_fps == 0` sizes the offered load at 2x the slowest cohort's
+/// full-rung service rate; `deadline_ms == 0` defaults to 2x that
+/// latency. Cohort membership and per-instance silicon perturbation
+/// are drawn from `seed`.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet_storm(
+    model: ModelId,
+    storm: Option<simcore::FleetScenario>,
+    miniature: bool,
+    devices: usize,
+    frames: usize,
+    arrivals: simcore::ArrivalKind,
+    rate_fps: f64,
+    deadline_ms: f64,
+    queue: usize,
+    seed: u64,
+    fuzz_orders: usize,
+) -> Result<FleetStormReport, String> {
+    use simcore::{SimSpan, TieOrder};
+    use uruntime::{FleetCohort, FleetConfig, FleetNetwork, InstanceAdapter};
+
+    let graph = if miniature {
+        model.build_miniature()
+    } else {
+        model.build()
+    };
+    let weights = unn::Weights::random(&graph, seed).map_err(|e| e.to_string())?;
+    let net = FleetNetwork::new(model.name().to_ascii_lowercase(), graph, weights);
+    let mut cohorts = Vec::new();
+    for spec in SocSpec::evaluated() {
+        let rt = ULayer::new(spec.clone()).map_err(|e| e.to_string())?;
+        let ladder = rt
+            .degradation_ladder(&net.graph, None)
+            .map_err(|e| e.to_string())?;
+        cohorts.push(FleetCohort::build(&spec, &net.graph, &ladder).map_err(|e| e.to_string())?);
+    }
+    let cfg = FleetConfig {
+        devices,
+        frames,
+        seed,
+        arrivals,
+        mean_interval: if rate_fps > 0.0 {
+            SimSpan::from_secs_f64(1.0 / rate_fps)
+        } else {
+            SimSpan::ZERO
+        },
+        deadline: SimSpan::from_secs_f64(deadline_ms / 1e3),
+        queue_capacity: queue,
+        order: TieOrder::Fifo,
+        ..FleetConfig::default()
+    };
+    let adapter = || -> Box<dyn InstanceAdapter> { Box::new(ulayer::DriftAdapter::new()) };
+    let report =
+        uruntime::run_fleet(&net, &cohorts, storm, &cfg, &adapter).map_err(|e| e.to_string())?;
+
+    // Reconstruct the auto-sized load parameters for reporting.
+    let full_max = cohorts
+        .iter()
+        .map(|c| c.rungs[0].latency)
+        .max()
+        .expect("cohorts non-empty");
+    let mean = if rate_fps > 0.0 {
+        SimSpan::from_secs_f64(1.0 / rate_fps)
+    } else {
+        SimSpan::from_nanos((full_max.as_nanos() / 2).max(1))
+    };
+    let deadline = if deadline_ms > 0.0 {
+        SimSpan::from_secs_f64(deadline_ms / 1e3)
+    } else {
+        full_max * 2u64
+    };
+
+    // The order-fuzz gate: seeded-shuffled same-timestamp delivery must
+    // reproduce the FIFO report byte-for-byte.
+    let fifo_digest = report.digest();
+    let mut fuzz_mismatches = Vec::new();
+    for k in 0..fuzz_orders {
+        let shuffle_seed = seed ^ (0x9E37_79B9 + k as u64);
+        let fuzz_cfg = FleetConfig {
+            order: TieOrder::Shuffled { seed: shuffle_seed },
+            ..cfg.clone()
+        };
+        let fuzzed = uruntime::run_fleet(&net, &cohorts, storm, &fuzz_cfg, &adapter)
+            .map_err(|e| e.to_string())?;
+        if fuzzed.digest() != fifo_digest {
+            fuzz_mismatches.push(shuffle_seed);
+        }
+    }
+
+    let cohort_rungs = cohorts
+        .iter()
+        .map(|c| {
+            (
+                c.soc.clone(),
+                c.rungs
+                    .iter()
+                    .map(|r| (r.label.clone(), r.latency.as_secs_f64() * 1e3))
+                    .collect(),
+            )
+        })
+        .collect();
+    Ok(FleetStormReport {
+        report,
+        mean_interval_ms: mean.as_secs_f64() * 1e3,
+        deadline_ms: deadline.as_secs_f64() * 1e3,
+        cohort_rungs,
+        fuzz_orders,
+        fuzz_mismatches,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

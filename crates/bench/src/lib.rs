@@ -7,19 +7,21 @@
 //! The `repro` binary drives these and prints paper-style rows; the
 //! criterion benches under `benches/` measure the same workloads.
 
+pub mod cli;
 pub mod export;
 pub mod extra;
 pub mod figures;
 pub mod json;
 pub mod report;
 
+pub use cli::{parse_flags, CliError, FlagKind, FlagSpec, Parsed};
 pub use export::export_all;
 pub use extra::{overhead_sensitivity, p_granularity, OverheadRow, PGranularityRow};
 pub use figures::{
-    evaluation, fig12, fig17, fig5, fig6, fig8, inception_3a_graph, npu_extension,
+    evaluation, fig12, fig17, fig5, fig6, fig8, fleet_storm, inception_3a_graph, npu_extension,
     overhead_attribution, overhead_attribution_with_passes, pass_pipeline, run_all_mechanisms,
-    table1, AttributionReport, Evaluation, Fig12, Fig17, Fig5, Fig6, Fig8, MechanismResult, NpuRow,
-    PassPipelineReport,
+    table1, AttributionReport, Evaluation, Fig12, Fig17, Fig5, Fig6, Fig8, FleetStormReport,
+    MechanismResult, NpuRow, PassPipelineReport,
 };
 pub use json::Json;
 pub use report::{geomean, ms, pct, ratio, Table};

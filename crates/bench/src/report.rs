@@ -69,6 +69,15 @@ pub fn ms(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Formats an optional latency span in milliseconds; `-` when there is
+/// no sample (e.g. the percentile of an all-shed stream).
+pub fn opt_ms(v: Option<simcore::SimSpan>) -> String {
+    match v {
+        Some(s) => ms(s.as_millis_f64()),
+        None => "-".to_string(),
+    }
+}
+
 /// Formats a normalized ratio.
 pub fn ratio(v: f64) -> String {
     format!("{v:.3}")

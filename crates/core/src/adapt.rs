@@ -153,6 +153,37 @@ impl DriftAdapter {
     }
 }
 
+/// The fleet simulator's per-instance adaptation seam
+/// ([`uruntime::InstanceAdapter`]) bridged onto the drift tracker.
+///
+/// Fleet dispatches are whole-rung service spans, not per-kernel
+/// traces, so observations land on the device's [`WorkClass::Gemm`]
+/// key (the class that dominates every supported network) and the
+/// fleet-facing correction is [`DriftAdapter::worst_factor`] — the
+/// most pessimistic view of the device, which is what admission
+/// control should reason with.
+impl uruntime::InstanceAdapter for DriftAdapter {
+    fn correction(&self, device: DeviceId) -> f64 {
+        self.worst_factor(device)
+    }
+
+    fn observe(&mut self, device: DeviceId, predicted: SimSpan, observed: SimSpan) {
+        DriftAdapter::observe(self, device, WorkClass::Gemm, predicted, observed);
+    }
+
+    fn mark_lost(&mut self, device: DeviceId) {
+        DriftAdapter::mark_lost(self, device);
+    }
+
+    fn is_lost(&self, device: DeviceId) -> bool {
+        DriftAdapter::is_lost(self, device)
+    }
+
+    fn finish_frame(&mut self) {
+        DriftAdapter::finish_frame(self);
+    }
+}
+
 /// One frame of an adaptive stream.
 #[derive(Clone, Copy, Debug)]
 pub struct FrameOutcome {

@@ -1,0 +1,169 @@
+//! Per-instance drift isolation in the fleet simulator: every instance
+//! owns its own `DriftAdapter`, so a fault storm hitting one device
+//! must not move any other device's corrections, counters, or
+//! outcomes.
+
+use simcore::{DeviceLoss, FaultPlan, FleetScenario, SimTime, ThrottleWindow};
+use ulayer::{DriftAdapter, ULayer};
+use unn::ModelId;
+use uruntime::{
+    run_fleet, run_fleet_with_faults, FleetCohort, FleetConfig, FleetNetwork, InstanceAdapter,
+};
+use usoc::SocSpec;
+
+fn drift_adapter() -> Box<dyn InstanceAdapter> {
+    Box::new(DriftAdapter::new())
+}
+
+fn setup() -> (FleetNetwork, Vec<FleetCohort>) {
+    let graph = ModelId::SqueezeNet.build_miniature();
+    let weights = unn::Weights::random(&graph, 7).expect("weights");
+    let net = FleetNetwork::new("squeezenet-mini", graph, weights);
+    let cohorts = [SocSpec::exynos_7420(), SocSpec::exynos_7880()]
+        .iter()
+        .map(|spec| {
+            let rt = ULayer::new(spec.clone()).expect("runtime");
+            let ladder = rt.degradation_ladder(&net.graph, None).expect("ladder");
+            FleetCohort::build(spec, &net.graph, &ladder).expect("cohort")
+        })
+        .collect();
+    (net, cohorts)
+}
+
+/// Faulting exactly one instance leaves every other instance's rollup
+/// byte-identical to the fault-free fleet — the drift observed on the
+/// victim stays inside the victim's adapter.
+#[test]
+fn faults_on_one_instance_do_not_leak_into_others() {
+    let (net, cohorts) = setup();
+    let cfg = FleetConfig {
+        devices: 24,
+        frames: 16,
+        ..FleetConfig::default()
+    };
+    let victim = 5usize;
+
+    let calm = run_fleet(&net, &cohorts, None, &cfg, &drift_adapter).expect("calm fleet");
+    let faulted = run_fleet_with_faults(
+        &net,
+        &cohorts,
+        &cfg,
+        "victim-only",
+        &|info| {
+            if info.instance == victim {
+                // Deep throttle for the whole stream, then a hard loss:
+                // the victim's GPU correction must inflate and pin.
+                FaultPlan::none()
+                    .with_throttle(ThrottleWindow {
+                        resource: info.gpu,
+                        factor: 0.1,
+                        from: SimTime::ZERO,
+                        until: SimTime::ZERO + info.horizon,
+                    })
+                    .with_loss(DeviceLoss {
+                        resource: info.gpu,
+                        at: SimTime::ZERO + info.horizon * 0.5,
+                    })
+            } else {
+                FaultPlan::none()
+            }
+        },
+        &drift_adapter,
+    )
+    .expect("faulted fleet");
+
+    calm.check_invariants().expect("calm invariants");
+    faulted.check_invariants().expect("faulted invariants");
+
+    // The victim visibly suffered.
+    let v = &faulted.per_instance[victim];
+    assert!(
+        v.gpu_lost,
+        "victim's GPU loss never registered in its adapter"
+    );
+    assert!(
+        v.gpu_correction >= 1e6,
+        "victim's correction did not pin at the lost factor: {}",
+        v.gpu_correction
+    );
+    assert!(
+        v.throttled > 0 || v.degraded > 0 || v.shed > 0,
+        "the storm left no trace on the victim"
+    );
+
+    // Nobody else moved at all: summaries are field-identical, which
+    // covers corrections, counters, queue peaks, and energy.
+    for (c, f) in calm.per_instance.iter().zip(&faulted.per_instance) {
+        if c.instance == victim {
+            continue;
+        }
+        assert_eq!(
+            c, f,
+            "instance {} changed without being faulted",
+            c.instance
+        );
+    }
+}
+
+/// Under a fleet-wide storm, untouched instances still match the calm
+/// fleet exactly: the scenario's per-instance plans are independent
+/// draws, and adapters never alias.
+#[test]
+fn storm_survivors_match_the_calm_fleet() {
+    let (net, cohorts) = setup();
+    let cfg = FleetConfig {
+        devices: 32,
+        frames: 12,
+        ..FleetConfig::default()
+    };
+    let calm = run_fleet(&net, &cohorts, None, &cfg, &drift_adapter).expect("calm fleet");
+    let storm = run_fleet(
+        &net,
+        &cohorts,
+        Some(FleetScenario::RollingGpuLoss),
+        &cfg,
+        &drift_adapter,
+    )
+    .expect("storm fleet");
+    storm.check_invariants().expect("invariants");
+    assert!(storm.gpu_lost_devices > 0, "the storm struck nobody");
+    assert!(
+        storm.gpu_lost_devices < cfg.devices as u64,
+        "the storm struck everybody"
+    );
+    let mut survivors = 0;
+    for (c, s) in calm.per_instance.iter().zip(&storm.per_instance) {
+        if s.gpu_lost {
+            assert!(
+                s.gpu_correction >= 1e6,
+                "instance {}: lost GPU not pinned",
+                s.instance
+            );
+        } else {
+            assert_eq!(c, s, "unstruck instance {} drifted", c.instance);
+            survivors += 1;
+        }
+    }
+    assert!(survivors > 0);
+}
+
+/// The trait bridge maps fleet observations onto the drift tracker:
+/// slow realized spans inflate the device's worst-case factor.
+#[test]
+fn drift_adapter_bridge_learns_from_fleet_observations() {
+    use simcore::SimSpan;
+    use usoc::DeviceId;
+
+    let mut a: Box<dyn InstanceAdapter> = drift_adapter();
+    let d = DeviceId(1);
+    assert_eq!(a.correction(d), 1.0);
+    for _ in 0..4 {
+        a.observe(d, SimSpan::from_micros(100), SimSpan::from_micros(400));
+    }
+    let inflated = a.correction(d);
+    assert!(inflated > 2.0, "bridge never fed the tracker: {inflated}");
+    a.finish_frame();
+    a.mark_lost(d);
+    assert!(a.is_lost(d));
+    assert!(a.correction(d) >= 1e6);
+}

@@ -1,0 +1,1247 @@
+//! Fleet-scale chaos serving: thousands of SoC instances driven through
+//! the serve/fault/ladder stack by one discrete-event core.
+//!
+//! The [`crate::serve`] frontend models one SoC and one arrival stream.
+//! This module is the population-level version the ROADMAP's
+//! "millions of users" goal needs:
+//!
+//! - **Cohorts, not copies.** A [`FleetCohort`] realizes a degradation
+//!   ladder once per SoC model (each rung's plan is executed once by
+//!   [`execute_plan`] — the engine is deterministic, so one execution
+//!   *is* the rung's nominal service time). Instances are assigned to
+//!   cohorts by seed and perturb their silicon with per-device speed
+//!   factors (the [`usoc::SocSpec::with_device_speeds`] model): a
+//!   rung's service time on an instance scales by the slowest involved
+//!   device's inverse factor. This keeps a 1000-device run at
+//!   thousands of cheap analytic dispatches instead of thousands of
+//!   full plan executions.
+//! - **One weight copy per network.** Every instance holds an
+//!   [`Arc`] clone of the same [`FleetNetwork`] weight set; the report
+//!   counts distinct allocations across the fleet and
+//!   [`FleetReport::check_invariants`] asserts exactly one per network
+//!   (`naive_weight_bytes` records what per-device copies would have
+//!   cost).
+//! - **Correlated storms.** Each instance draws its own
+//!   [`FaultPlan`] from a fleet-wide [`FleetScenario`] — throttle
+//!   waves, rolling GPU loss, flaky-GPU epidemics — keyed by
+//!   `(storm, seed, instance)` only, never by visit order.
+//! - **Per-instance drift isolation.** Every instance gets its own
+//!   [`InstanceAdapter`] from a factory; one device's throttle
+//!   inflates only its own corrections (the `crates/core` isolation
+//!   test pins this down against `DriftAdapter`).
+//! - **Schedule-order fuzzing.** The event core runs under a
+//!   [`TieOrder`]: FIFO by default, seeded-shuffled for fuzz runs.
+//!   Instances are causally independent and aggregation folds in
+//!   instance order, so a correct fleet produces *identical* reports
+//!   under both orderings — [`FleetReport::digest`] makes that a
+//!   byte-comparison, and the `repro fleet` gate ships it in CI.
+//!
+//! Dispatch semantics per instance mirror [`crate::serve_stream`]:
+//! bounded admission (reject at a full waiting room), FIFO dispatch,
+//! first-fit rung by fidelity whose drift-corrected estimate meets the
+//! deadline, shed when none fits — plus the fault surface: throttle
+//! windows inflate realized service, hard GPU loss removes GPU rungs
+//! (and marks the adapter), flaky transients burn retry attempts and,
+//! when persistent, re-route the frame to the first GPU-free rung
+//! (the CPU fallback path).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use simcore::{
+    ArrivalKind, ArrivalProcess, EventQueue, FaultPlan, FleetScenario, ResourceId, RetryPolicy,
+    SimSpan, SimTime, TieOrder,
+};
+use testkit::rng::fnv1a;
+use testkit::Rng;
+use unn::{Graph, Weights};
+use usoc::{DeviceId, SocSpec};
+
+use crate::engine::{execute_plan, RunError, RunResult};
+use crate::serve::{nearest_rank, LadderRung};
+
+/// Per-instance drift-adaptation seam. `ulayer::DriftAdapter`
+/// implements this in `crates/core` (this crate sits below the
+/// planner, so the fleet only sees the trait); [`UnitAdapter`] is the
+/// no-learning implementation for tests and baselines.
+pub trait InstanceAdapter {
+    /// Multiplicative correction on predicted latency for work
+    /// touching `device` (1.0 = trust the prediction; large = the
+    /// device has been observed running slow or is lost).
+    fn correction(&self, device: DeviceId) -> f64;
+    /// Feeds one realized dispatch: `observed` service against the
+    /// fault-free `predicted` service for work touching `device`.
+    fn observe(&mut self, device: DeviceId, predicted: SimSpan, observed: SimSpan);
+    /// Marks `device` permanently lost.
+    fn mark_lost(&mut self, device: DeviceId);
+    /// True once `device` was marked lost.
+    fn is_lost(&self, device: DeviceId) -> bool;
+    /// Frame boundary (adapters relax unobserved state here).
+    fn finish_frame(&mut self);
+}
+
+/// The trivial adapter: unit corrections, remembers losses, learns
+/// nothing.
+#[derive(Clone, Debug, Default)]
+pub struct UnitAdapter {
+    lost: BTreeSet<usize>,
+}
+
+impl InstanceAdapter for UnitAdapter {
+    fn correction(&self, device: DeviceId) -> f64 {
+        if self.lost.contains(&device.0) {
+            1e6
+        } else {
+            1.0
+        }
+    }
+    fn observe(&mut self, _device: DeviceId, _predicted: SimSpan, _observed: SimSpan) {}
+    fn mark_lost(&mut self, device: DeviceId) {
+        self.lost.insert(device.0);
+    }
+    fn is_lost(&self, device: DeviceId) -> bool {
+        self.lost.contains(&device.0)
+    }
+    fn finish_frame(&mut self) {}
+}
+
+/// One network's shared assets: the graph and ONE weight allocation
+/// the whole fleet clones [`Arc`] handles of.
+#[derive(Clone, Debug)]
+pub struct FleetNetwork {
+    /// Network name (e.g. `"squeezenet"`).
+    pub name: String,
+    /// The graph (shared read-only).
+    pub graph: Arc<Graph>,
+    /// The master weight set — one allocation per network, per the
+    /// ROADMAP's fleet memory contract.
+    pub weights: Arc<Weights>,
+}
+
+impl FleetNetwork {
+    /// Wraps shared network assets.
+    pub fn new(name: impl Into<String>, graph: Graph, weights: Weights) -> FleetNetwork {
+        FleetNetwork {
+            name: name.into(),
+            graph: Arc::new(graph),
+            weights: Arc::new(weights),
+        }
+    }
+
+    /// Bytes of the shared master weight allocation.
+    pub fn weight_bytes(&self) -> u64 {
+        self.weights.total_bytes_f32() as u64
+    }
+}
+
+/// One realized ladder rung: nominal service time, energy, and device
+/// footprint on the cohort's *base* (unperturbed) spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetRung {
+    /// Rung label (`"full"`, `"single-cpu"`, ...).
+    pub label: String,
+    /// Sorted device indices the rung's plan touches.
+    pub devices: Vec<usize>,
+    /// Realized service latency of one frame on the base spec.
+    pub latency: SimSpan,
+    /// Energy of one frame on the base spec, joules.
+    pub energy_j: f64,
+    /// The planner's predicted latency (ladder metadata).
+    pub predicted: SimSpan,
+}
+
+/// A SoC model's realized ladder: what every instance assigned to this
+/// cohort serves with (scaled by its own perturbation factors).
+#[derive(Clone, Debug)]
+pub struct FleetCohort {
+    /// The base SoC name.
+    pub soc: String,
+    /// The base spec (instances perturb per-device speeds around it).
+    pub spec: SocSpec,
+    /// Device index of the GPU (the storm target).
+    pub gpu: usize,
+    /// Realized rungs, fidelity order.
+    pub rungs: Vec<FleetRung>,
+}
+
+impl FleetCohort {
+    /// Realizes `ladder` on `spec`: executes each rung's plan once for
+    /// its nominal service latency, energy, and device footprint.
+    pub fn build(
+        spec: &SocSpec,
+        graph: &Graph,
+        ladder: &[LadderRung],
+    ) -> Result<FleetCohort, RunError> {
+        if ladder.is_empty() {
+            return Err(RunError::MalformedPlan(
+                "fleet: degradation ladder is empty".into(),
+            ));
+        }
+        let mut rungs = Vec::with_capacity(ladder.len());
+        for rung in ladder {
+            let result: RunResult = execute_plan(spec, graph, &rung.plan)?;
+            let devices: BTreeSet<usize> = rung
+                .plan
+                .placements
+                .iter()
+                .flat_map(|p| p.devices())
+                .map(|d| d.0)
+                .collect();
+            rungs.push(FleetRung {
+                label: rung.label.clone(),
+                devices: devices.into_iter().collect(),
+                latency: result.latency,
+                energy_j: result.energy.total_j(),
+                predicted: rung.predicted,
+            });
+        }
+        Ok(FleetCohort {
+            soc: spec.name.clone(),
+            gpu: spec.gpu().0,
+            spec: spec.clone(),
+            rungs,
+        })
+    }
+}
+
+/// Fleet-run configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of SoC instances.
+    pub devices: usize,
+    /// Frames offered per instance.
+    pub frames: usize,
+    /// Master seed: cohort assignment, perturbation, arrivals, and
+    /// storms all derive from it (per instance, never from visit
+    /// order).
+    pub seed: u64,
+    /// Arrival process shape per instance.
+    pub arrivals: ArrivalKind,
+    /// Mean inter-arrival interval per instance; `SimSpan::ZERO`
+    /// auto-derives half the slowest cohort's full-rung latency
+    /// (sustained 2x overload).
+    pub mean_interval: SimSpan,
+    /// Per-frame deadline from arrival; `SimSpan::ZERO` auto-derives
+    /// twice the slowest cohort's full-rung latency.
+    pub deadline: SimSpan,
+    /// Bounded admission queue per instance.
+    pub queue_capacity: usize,
+    /// Max +- fractional per-device throughput perturbation (silicon
+    /// binning spread).
+    pub perturb: f64,
+    /// Retry budget per dispatch (flaky epidemics at or above it force
+    /// the fallback path).
+    pub max_attempts: usize,
+    /// Same-timestamp delivery order of the fleet event core.
+    pub order: TieOrder,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 64,
+            frames: 32,
+            seed: 42,
+            arrivals: ArrivalKind::Bursty,
+            mean_interval: SimSpan::ZERO,
+            deadline: SimSpan::ZERO,
+            queue_capacity: 8,
+            perturb: 0.15,
+            max_attempts: 3,
+            order: TieOrder::Fifo,
+        }
+    }
+}
+
+/// What the fault-plan callback of [`run_fleet_with_faults`] sees for
+/// one instance.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetInstanceInfo {
+    /// Instance index in `0..fleet_size`.
+    pub instance: usize,
+    /// Fleet size.
+    pub fleet_size: usize,
+    /// The instance's cohort index.
+    pub cohort: usize,
+    /// The instance's GPU as a fault-plan resource.
+    pub gpu: ResourceId,
+    /// Expected stream makespan (storm times are placed inside it).
+    pub horizon: SimSpan,
+    /// Frames the instance will offer (transient ordinals draw from it).
+    pub frames: usize,
+    /// The retry budget.
+    pub max_attempts: usize,
+    /// The master seed.
+    pub seed: u64,
+}
+
+/// One instance's rollup inside a [`FleetReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceSummary {
+    /// Instance index.
+    pub instance: usize,
+    /// Cohort index.
+    pub cohort: usize,
+    /// Frames offered / completed at full fidelity / degraded / shed /
+    /// rejected-at-admission (rejected is a subset of shed).
+    pub offered: u64,
+    /// See `offered`.
+    pub completed: u64,
+    /// See `offered`.
+    pub degraded: u64,
+    /// See `offered`.
+    pub shed: u64,
+    /// See `offered`.
+    pub rejected: u64,
+    /// Retry attempts burned on flaky dispatches.
+    pub retries: u64,
+    /// Frames re-routed to a GPU-free rung after persistent failure.
+    pub fallbacks: u64,
+    /// Dispatches slowed by a throttle window.
+    pub throttled: u64,
+    /// Executed frames whose *realized* finish overran the deadline
+    /// (admission predicted they would fit; faults said otherwise).
+    pub missed: u64,
+    /// Peak admission-queue depth observed.
+    pub queue_peak: usize,
+    /// True when the instance's GPU was lost.
+    pub gpu_lost: bool,
+    /// The adapter's final correction for the GPU (the isolation
+    /// test's witness: storms on one instance must not move another's).
+    pub gpu_correction: f64,
+    /// Energy spent by the instance, joules.
+    pub energy_j: f64,
+}
+
+/// Aggregate fleet rollup. Everything in it is derived in instance
+/// order from per-instance state, so two runs with the same seed — or
+/// the same run under FIFO vs. shuffled event order — produce
+/// field-identical reports (`PartialEq`) and byte-identical
+/// [`FleetReport::digest`] strings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    /// Network name.
+    pub net: String,
+    /// Storm label (`"none"`, a [`FleetScenario`] name, or `"custom"`).
+    pub scenario: String,
+    /// Instances simulated.
+    pub fleet_size: usize,
+    /// Frames offered per instance.
+    pub frames_per_device: usize,
+    /// The master seed.
+    pub seed: u64,
+    /// Instances per cohort, cohort order.
+    pub cohort_instances: Vec<u64>,
+    /// Cohort SoC names, cohort order.
+    pub cohort_socs: Vec<String>,
+    /// Fleet-wide frame accounting: `offered = completed + degraded +
+    /// shed`, exact ([`FleetReport::check_invariants`]).
+    pub offered: u64,
+    /// See `offered`.
+    pub completed: u64,
+    /// See `offered`.
+    pub degraded: u64,
+    /// See `offered`.
+    pub shed: u64,
+    /// Admission rejections (subset of shed).
+    pub rejected: u64,
+    /// Fleet-wide retry attempts.
+    pub retries: u64,
+    /// Fleet-wide persistent-failure fallbacks.
+    pub fallbacks: u64,
+    /// Fleet-wide throttled dispatches.
+    pub throttled: u64,
+    /// Fleet-wide realized deadline misses among executed frames.
+    pub missed: u64,
+    /// Instances whose GPU was lost.
+    pub gpu_lost_devices: u64,
+    /// Executed frames per rung label.
+    pub rung_occupancy: BTreeMap<String, u64>,
+    /// All executed-frame latencies, sorted ascending.
+    pub latencies: Vec<SimSpan>,
+    /// The per-instance admission bound and the worst peak observed.
+    pub queue_capacity: usize,
+    /// See `queue_capacity`.
+    pub queue_peak: usize,
+    /// Fleet energy, joules.
+    pub energy_j: f64,
+    /// Bytes of the shared master weight allocation.
+    pub weight_bytes: u64,
+    /// Distinct weight allocations observed across all instances —
+    /// the memory-accounting assertion pins this to 1 per network.
+    pub weight_copies: usize,
+    /// What per-device weight copies would have cost.
+    pub naive_weight_bytes: u64,
+    /// Per-instance rollups, instance order.
+    pub per_instance: Vec<InstanceSummary>,
+}
+
+impl FleetReport {
+    /// Nearest-rank latency percentile over executed frames; `None`
+    /// when the whole fleet shed everything.
+    pub fn latency_percentile(&self, q: f64) -> Option<SimSpan> {
+        nearest_rank(&self.latencies, q)
+    }
+
+    /// Checks the fleet invariants, returning the first violation:
+    /// exact fleet-wide and per-instance frame partition, rung
+    /// occupancy vs. executed frames, queue bounds, weight memory
+    /// accounted at one copy per network, and cross-checked
+    /// per-instance sums.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.per_instance.len() != self.fleet_size {
+            return Err(format!(
+                "{} instance summaries for fleet size {}",
+                self.per_instance.len(),
+                self.fleet_size
+            ));
+        }
+        let expected = self.fleet_size as u64 * self.frames_per_device as u64;
+        if self.offered != expected {
+            return Err(format!(
+                "offered {} != fleet {} x {} frames",
+                self.offered, self.fleet_size, self.frames_per_device
+            ));
+        }
+        if self.completed + self.degraded + self.shed != self.offered {
+            return Err(format!(
+                "fleet accounting leaks: completed {} + degraded {} + shed {} != offered {}",
+                self.completed, self.degraded, self.shed, self.offered
+            ));
+        }
+        if self.rejected > self.shed {
+            return Err(format!(
+                "rejected {} exceeds shed {}",
+                self.rejected, self.shed
+            ));
+        }
+        let executed = self.completed + self.degraded;
+        let occupancy: u64 = self.rung_occupancy.values().sum();
+        if occupancy != executed {
+            return Err(format!(
+                "rung occupancy sums to {occupancy}, but {executed} frames executed"
+            ));
+        }
+        if self.latencies.len() as u64 != executed {
+            return Err(format!(
+                "{} latencies recorded for {executed} executed frames",
+                self.latencies.len()
+            ));
+        }
+        if self.latencies.windows(2).any(|w| w[1] < w[0]) {
+            return Err("latency list is not sorted".into());
+        }
+        if self.queue_peak > self.queue_capacity {
+            return Err(format!(
+                "queue depth {} exceeded its bound {}",
+                self.queue_peak, self.queue_capacity
+            ));
+        }
+        if self.weight_copies != 1 {
+            return Err(format!(
+                "weight memory not shared: {} allocations for 1 network",
+                self.weight_copies
+            ));
+        }
+        if self.naive_weight_bytes != self.weight_bytes * self.fleet_size as u64 {
+            return Err("naive weight accounting is inconsistent".into());
+        }
+        let mut sums = [0u64; 9];
+        for s in &self.per_instance {
+            if s.completed + s.degraded + s.shed != s.offered {
+                return Err(format!(
+                    "instance {}: accounting leaks ({} + {} + {} != {})",
+                    s.instance, s.completed, s.degraded, s.shed, s.offered
+                ));
+            }
+            if s.queue_peak > self.queue_capacity {
+                return Err(format!("instance {}: queue bound violated", s.instance));
+            }
+            for (acc, v) in sums.iter_mut().zip([
+                s.offered,
+                s.completed,
+                s.degraded,
+                s.shed,
+                s.rejected,
+                s.retries,
+                s.fallbacks,
+                s.throttled,
+                s.missed,
+            ]) {
+                *acc += v;
+            }
+        }
+        let totals = [
+            self.offered,
+            self.completed,
+            self.degraded,
+            self.shed,
+            self.rejected,
+            self.retries,
+            self.fallbacks,
+            self.throttled,
+            self.missed,
+        ];
+        if sums != totals {
+            return Err(format!(
+                "per-instance sums {sums:?} disagree with fleet totals {totals:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// A deterministic serialization of everything the report asserts:
+    /// aggregates, occupancy, percentiles, a hash over every latency
+    /// sample, and every per-instance rollup. Two reports are
+    /// behaviorally identical iff their digests are byte-identical —
+    /// this is what the same-seed determinism test and the
+    /// FIFO-vs-shuffled order gate compare.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet/v1 net={} scenario={} size={} frames={} seed={}",
+            self.net, self.scenario, self.fleet_size, self.frames_per_device, self.seed
+        );
+        let _ = writeln!(
+            out,
+            "cohorts={:?} instances={:?}",
+            self.cohort_socs, self.cohort_instances
+        );
+        let _ = writeln!(
+            out,
+            "offered={} completed={} degraded={} shed={} rejected={} retries={} fallbacks={} throttled={} missed={} gpu_lost={}",
+            self.offered, self.completed, self.degraded, self.shed, self.rejected,
+            self.retries, self.fallbacks, self.throttled, self.missed, self.gpu_lost_devices
+        );
+        for (label, count) in &self.rung_occupancy {
+            let _ = writeln!(out, "rung {label}={count}");
+        }
+        for (name, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999)] {
+            match self.latency_percentile(q) {
+                Some(p) => {
+                    let _ = writeln!(out, "{name}={}ns", p.as_nanos());
+                }
+                None => {
+                    let _ = writeln!(out, "{name}=-");
+                }
+            }
+        }
+        let mut lat_bytes = Vec::with_capacity(self.latencies.len() * 8);
+        for l in &self.latencies {
+            lat_bytes.extend_from_slice(&l.as_nanos().to_le_bytes());
+        }
+        let _ = writeln!(
+            out,
+            "latency_hash={:016x} queue={}/{} energy_j={:.9e} weights={}x{}(naive {})",
+            fnv1a(&lat_bytes),
+            self.queue_peak,
+            self.queue_capacity,
+            self.energy_j,
+            self.weight_copies,
+            self.weight_bytes,
+            self.naive_weight_bytes
+        );
+        for s in &self.per_instance {
+            let _ = writeln!(
+                out,
+                "inst {} cohort={} o={} c={} d={} s={} rej={} ret={} fb={} thr={} miss={} peak={} lost={} gc={:.9e} e={:.9e}",
+                s.instance, s.cohort, s.offered, s.completed, s.degraded, s.shed, s.rejected,
+                s.retries, s.fallbacks, s.throttled, s.missed, s.queue_peak, s.gpu_lost,
+                s.gpu_correction, s.energy_j
+            );
+        }
+        out
+    }
+}
+
+/// Per-instance simulation state.
+struct InstRun {
+    cohort: usize,
+    /// Per-device perturbation speed factors (>= 0.05).
+    factors: Vec<f64>,
+    arrivals: Vec<SimTime>,
+    faults: FaultPlan,
+    adapter: Box<dyn InstanceAdapter>,
+    /// Shared weight handle — the memory-accounting witness.
+    weights: Arc<Weights>,
+    device_free: Vec<SimTime>,
+    prev_dispatch: SimTime,
+    /// Dispatch instants of admitted frames still in the waiting room.
+    starts: Vec<SimTime>,
+    /// Per-instance GPU dispatch ordinal (transient-fault coordinate).
+    gpu_ord: usize,
+    offered: u64,
+    completed: u64,
+    degraded: u64,
+    shed: u64,
+    rejected: u64,
+    retries: u64,
+    fallbacks: u64,
+    throttled: u64,
+    missed: u64,
+    rung_counts: Vec<u64>,
+    latencies: Vec<SimSpan>,
+    energy_j: f64,
+    queue_peak: usize,
+}
+
+impl InstRun {
+    /// Perturbation slowdown of a rung: the slowest involved device
+    /// bounds the cooperative makespan.
+    fn slowdown(&self, rung: &FleetRung) -> f64 {
+        rung.devices
+            .iter()
+            .map(|&d| 1.0 / self.factors[d])
+            .fold(f64::MIN_POSITIVE, f64::max)
+    }
+
+    /// Drift correction of a rung: the worst involved device.
+    fn correction(&self, rung: &FleetRung) -> f64 {
+        rung.devices
+            .iter()
+            .map(|&d| self.adapter.correction(DeviceId(d)))
+            .fold(f64::MIN_POSITIVE, f64::max)
+            .clamp(1e-3, 1e6)
+    }
+}
+
+fn instance_seed(seed: u64, instance: usize) -> u64 {
+    seed ^ fnv1a(&(instance as u64).to_le_bytes()).rotate_left(23)
+}
+
+fn span_ratio(num: SimSpan, den: SimSpan) -> f64 {
+    num.as_nanos() as f64 / den.as_nanos().max(1) as f64
+}
+
+/// Runs the fleet under an optional correlated storm. See
+/// [`run_fleet_with_faults`] for the mechanics; this wrapper derives
+/// each instance's fault plan from the [`FleetScenario`].
+pub fn run_fleet(
+    net: &FleetNetwork,
+    cohorts: &[FleetCohort],
+    scenario: Option<FleetScenario>,
+    cfg: &FleetConfig,
+    new_adapter: &dyn Fn() -> Box<dyn InstanceAdapter>,
+) -> Result<FleetReport, RunError> {
+    let label = scenario.map_or("none", |s| s.name());
+    run_fleet_with_faults(
+        net,
+        cohorts,
+        cfg,
+        label,
+        &|info: &FleetInstanceInfo| match scenario {
+            Some(s) => s.plan_for(
+                info.instance,
+                info.fleet_size,
+                info.gpu,
+                info.horizon,
+                info.frames,
+                info.max_attempts,
+                info.seed,
+            ),
+            None => FaultPlan::none(),
+        },
+        new_adapter,
+    )
+}
+
+/// Runs the fleet with a caller-supplied per-instance fault plan
+/// (targeted tests inject faults into exactly one instance this way).
+///
+/// Every instance's parameters — cohort, perturbation factors, arrival
+/// stream, fault plan — derive from `(cfg.seed, instance)` alone, and
+/// instances share no mutable state, so the simulation commutes over
+/// same-timestamp event reordering; aggregation folds per-instance
+/// state in instance order. That is the property the
+/// [`TieOrder`] fuzz gate checks.
+pub fn run_fleet_with_faults(
+    net: &FleetNetwork,
+    cohorts: &[FleetCohort],
+    cfg: &FleetConfig,
+    scenario_label: &str,
+    fault_for: &dyn Fn(&FleetInstanceInfo) -> FaultPlan,
+    new_adapter: &dyn Fn() -> Box<dyn InstanceAdapter>,
+) -> Result<FleetReport, RunError> {
+    if cohorts.is_empty() {
+        return Err(RunError::MalformedPlan("fleet: no cohorts".into()));
+    }
+    if cfg.devices == 0 || cfg.frames == 0 {
+        return Err(RunError::MalformedPlan(
+            "fleet: devices and frames must be >= 1".into(),
+        ));
+    }
+    if cfg.queue_capacity == 0 || cfg.max_attempts == 0 {
+        return Err(RunError::MalformedPlan(
+            "fleet: queue capacity and max attempts must be >= 1".into(),
+        ));
+    }
+    let full_max = cohorts
+        .iter()
+        .map(|c| c.rungs[0].latency)
+        .max()
+        .expect("cohorts checked non-empty");
+    let mean = if cfg.mean_interval == SimSpan::ZERO {
+        SimSpan::from_nanos((full_max.as_nanos() / 2).max(1))
+    } else {
+        cfg.mean_interval
+    };
+    let deadline = if cfg.deadline == SimSpan::ZERO {
+        full_max * 2u64
+    } else {
+        cfg.deadline
+    };
+    let horizon = mean * cfg.frames as u64 + deadline;
+    let policy = RetryPolicy {
+        max_attempts: cfg.max_attempts,
+        ..RetryPolicy::default()
+    };
+
+    // Instance setup: everything derives from (seed, instance), never
+    // from construction or visit order.
+    let mut insts: Vec<InstRun> = Vec::with_capacity(cfg.devices);
+    for i in 0..cfg.devices {
+        let mut rng = Rng::seed_from_u64(instance_seed(cfg.seed, i) ^ fnv1a(b"fleet-instance"));
+        let cohort = rng.gen_range(0..cohorts.len());
+        let ndev = cohorts[cohort].spec.devices.len();
+        let factors: Vec<f64> = (0..ndev)
+            .map(|_| (1.0 + cfg.perturb * (2.0 * rng.unit_f64() - 1.0)).max(0.05))
+            .collect();
+        let arrivals =
+            ArrivalProcess::from_kind(cfg.arrivals, mean).times(cfg.frames, rng.next_u64());
+        let info = FleetInstanceInfo {
+            instance: i,
+            fleet_size: cfg.devices,
+            cohort,
+            gpu: ResourceId(cohorts[cohort].gpu),
+            horizon,
+            frames: cfg.frames,
+            max_attempts: cfg.max_attempts,
+            seed: cfg.seed,
+        };
+        insts.push(InstRun {
+            cohort,
+            factors,
+            arrivals,
+            faults: fault_for(&info),
+            adapter: new_adapter(),
+            weights: Arc::clone(&net.weights),
+            device_free: vec![SimTime::ZERO; ndev],
+            prev_dispatch: SimTime::ZERO,
+            starts: Vec::new(),
+            gpu_ord: 0,
+            offered: 0,
+            completed: 0,
+            degraded: 0,
+            shed: 0,
+            rejected: 0,
+            retries: 0,
+            fallbacks: 0,
+            throttled: 0,
+            missed: 0,
+            rung_counts: vec![0; cohorts[cohort].rungs.len()],
+            latencies: Vec::new(),
+            energy_j: 0.0,
+            queue_peak: 0,
+        });
+    }
+
+    // The event core: one arrival event in flight per instance; each
+    // processed arrival schedules the next, so intra-instance order is
+    // causal even under shuffled tie-breaking.
+    let mut q: EventQueue<(usize, usize)> = EventQueue::with_order(cfg.order);
+    for (i, inst) in insts.iter().enumerate() {
+        q.push(inst.arrivals[0], (i, 0));
+    }
+    while let Some((t, (i, frame))) = q.pop() {
+        if frame + 1 < cfg.frames {
+            let next_at = insts[i].arrivals[frame + 1];
+            q.push(next_at, (i, frame + 1));
+        }
+        let cohort = insts[i].cohort;
+        dispatch_frame(&mut insts[i], &cohorts[cohort], cfg, deadline, &policy, t);
+    }
+
+    // Aggregation, instance order (deterministic f64 fold order).
+    let mut cohort_instances = vec![0u64; cohorts.len()];
+    let mut rung_occupancy: BTreeMap<String, u64> = BTreeMap::new();
+    let mut latencies: Vec<SimSpan> = Vec::new();
+    let mut weight_ptrs: BTreeSet<usize> = BTreeSet::new();
+    let mut per_instance = Vec::with_capacity(insts.len());
+    let mut totals = FleetReport {
+        net: net.name.clone(),
+        scenario: scenario_label.to_string(),
+        fleet_size: cfg.devices,
+        frames_per_device: cfg.frames,
+        seed: cfg.seed,
+        cohort_instances: Vec::new(),
+        cohort_socs: cohorts.iter().map(|c| c.soc.clone()).collect(),
+        offered: 0,
+        completed: 0,
+        degraded: 0,
+        shed: 0,
+        rejected: 0,
+        retries: 0,
+        fallbacks: 0,
+        throttled: 0,
+        missed: 0,
+        gpu_lost_devices: 0,
+        rung_occupancy: BTreeMap::new(),
+        latencies: Vec::new(),
+        queue_capacity: cfg.queue_capacity,
+        queue_peak: 0,
+        energy_j: 0.0,
+        weight_bytes: net.weight_bytes(),
+        weight_copies: 0,
+        naive_weight_bytes: net.weight_bytes() * cfg.devices as u64,
+        per_instance: Vec::new(),
+    };
+    for (i, inst) in insts.iter().enumerate() {
+        let cohort = &cohorts[inst.cohort];
+        cohort_instances[inst.cohort] += 1;
+        weight_ptrs.insert(Arc::as_ptr(&inst.weights) as usize);
+        for (r, count) in inst.rung_counts.iter().enumerate() {
+            *rung_occupancy
+                .entry(cohort.rungs[r].label.clone())
+                .or_insert(0) += count;
+        }
+        latencies.extend_from_slice(&inst.latencies);
+        totals.offered += inst.offered;
+        totals.completed += inst.completed;
+        totals.degraded += inst.degraded;
+        totals.shed += inst.shed;
+        totals.rejected += inst.rejected;
+        totals.retries += inst.retries;
+        totals.fallbacks += inst.fallbacks;
+        totals.throttled += inst.throttled;
+        totals.missed += inst.missed;
+        totals.queue_peak = totals.queue_peak.max(inst.queue_peak);
+        totals.energy_j += inst.energy_j;
+        let gpu_lost = inst.adapter.is_lost(DeviceId(cohort.gpu));
+        totals.gpu_lost_devices += u64::from(gpu_lost);
+        per_instance.push(InstanceSummary {
+            instance: i,
+            cohort: inst.cohort,
+            offered: inst.offered,
+            completed: inst.completed,
+            degraded: inst.degraded,
+            shed: inst.shed,
+            rejected: inst.rejected,
+            retries: inst.retries,
+            fallbacks: inst.fallbacks,
+            throttled: inst.throttled,
+            missed: inst.missed,
+            queue_peak: inst.queue_peak,
+            gpu_lost,
+            gpu_correction: inst.adapter.correction(DeviceId(cohort.gpu)),
+            energy_j: inst.energy_j,
+        });
+    }
+    latencies.sort();
+    totals.cohort_instances = cohort_instances;
+    totals.rung_occupancy = rung_occupancy;
+    totals.latencies = latencies;
+    totals.weight_copies = weight_ptrs.len();
+    totals.per_instance = per_instance;
+    Ok(totals)
+}
+
+/// One frame through one instance: bounded admission, first-fit rung
+/// selection on drift-corrected estimates, fault realization.
+fn dispatch_frame(
+    inst: &mut InstRun,
+    cohort: &FleetCohort,
+    cfg: &FleetConfig,
+    deadline: SimSpan,
+    policy: &RetryPolicy,
+    t: SimTime,
+) {
+    inst.offered += 1;
+    // Hard losses that have struck by now feed the adapter (the fleet's
+    // analogue of the watchdog noticing the device is gone).
+    for l in &inst.faults.losses {
+        if l.at <= t && !inst.adapter.is_lost(DeviceId(l.resource.0)) {
+            inst.adapter.mark_lost(DeviceId(l.resource.0));
+        }
+    }
+
+    inst.starts.retain(|&s| s > t);
+    let depth = inst.starts.len();
+    inst.queue_peak = inst.queue_peak.max(depth);
+    if depth >= cfg.queue_capacity {
+        inst.rejected += 1;
+        inst.shed += 1;
+        inst.adapter.finish_frame();
+        return;
+    }
+
+    let ready = t.max(inst.prev_dispatch);
+    let deadline_at = t + deadline;
+    let mut chosen: Option<(usize, SimTime)> = None;
+    for (r, rung) in cohort.rungs.iter().enumerate() {
+        if rung
+            .devices
+            .iter()
+            .any(|&d| inst.adapter.is_lost(DeviceId(d)))
+        {
+            continue;
+        }
+        let start = rung
+            .devices
+            .iter()
+            .fold(ready, |acc, &d| acc.max(inst.device_free[d]));
+        let est = rung.latency * (inst.slowdown(rung) * inst.correction(rung));
+        if start + est <= deadline_at {
+            chosen = Some((r, start));
+            break;
+        }
+    }
+    let Some((r, start)) = chosen else {
+        // No rung fits (or every surviving rung's devices are lost).
+        inst.shed += 1;
+        inst.prev_dispatch = ready;
+        inst.starts.push(ready);
+        inst.queue_peak = inst.queue_peak.max(depth + usize::from(ready > t));
+        inst.adapter.finish_frame();
+        return;
+    };
+
+    let rung = &cohort.rungs[r];
+    // The perturbation-scaled nominal service — what the adapter treats
+    // as "predicted" when it compares against the realized span.
+    let base = rung.latency * inst.slowdown(rung);
+    let mut fault_slow = 1.0f64;
+    for &d in &rung.devices {
+        fault_slow = fault_slow.max(1.0 / inst.faults.speed_factor_at(ResourceId(d), start));
+    }
+    if fault_slow > 1.0 {
+        inst.throttled += 1;
+    }
+    let mut service = base * fault_slow;
+    let mut serve_rung = r;
+    let mut finish = start + service;
+
+    let mut fell_back = false;
+    if rung.devices.contains(&cohort.gpu) {
+        let ord = inst.gpu_ord;
+        inst.gpu_ord += 1;
+        if let Some(tf) = inst.faults.transient_for(ResourceId(cohort.gpu), ord) {
+            if tf.failures >= cfg.max_attempts {
+                // Persistent: the watchdog burns the whole retry budget
+                // on the faulted rung, then re-routes to the first rung
+                // that avoids the GPU (the CPU fallback path).
+                inst.retries += cfg.max_attempts.saturating_sub(1) as u64;
+                let mut burn = service * cfg.max_attempts as u64;
+                for a in 2..=cfg.max_attempts {
+                    burn += policy.backoff_before(a);
+                }
+                let detect = start + burn;
+                for &d in &rung.devices {
+                    inst.device_free[d] = detect;
+                }
+                inst.energy_j += rung.energy_j * span_ratio(burn, rung.latency);
+                for &d in &rung.devices {
+                    inst.adapter.observe(DeviceId(d), base, burn);
+                }
+                let fb = cohort.rungs.iter().position(|fr| {
+                    !fr.devices.contains(&cohort.gpu)
+                        && !fr
+                            .devices
+                            .iter()
+                            .any(|&d| inst.adapter.is_lost(DeviceId(d)))
+                });
+                match fb {
+                    Some(fbr) => {
+                        let fb_rung = &cohort.rungs[fbr];
+                        let fb_start = fb_rung
+                            .devices
+                            .iter()
+                            .fold(detect, |acc, &d| acc.max(inst.device_free[d]));
+                        let fb_base = fb_rung.latency * inst.slowdown(fb_rung);
+                        let mut fb_slow = 1.0f64;
+                        for &d in &fb_rung.devices {
+                            fb_slow = fb_slow
+                                .max(1.0 / inst.faults.speed_factor_at(ResourceId(d), fb_start));
+                        }
+                        let fb_service = fb_base * fb_slow;
+                        finish = fb_start + fb_service;
+                        for &d in &fb_rung.devices {
+                            inst.device_free[d] = finish;
+                        }
+                        inst.energy_j += fb_rung.energy_j * span_ratio(fb_service, fb_rung.latency);
+                        for &d in &fb_rung.devices {
+                            inst.adapter.observe(DeviceId(d), fb_base, fb_service);
+                        }
+                        inst.fallbacks += 1;
+                        serve_rung = fbr;
+                        fell_back = true;
+                    }
+                    None => {
+                        // No GPU-free rung survives: the frame is lost.
+                        inst.shed += 1;
+                        inst.prev_dispatch = start;
+                        inst.starts.push(start);
+                        inst.queue_peak = inst.queue_peak.max(depth + usize::from(start > t));
+                        inst.adapter.finish_frame();
+                        return;
+                    }
+                }
+            } else {
+                // Recoverable: each failed attempt costs a full service
+                // span plus its backoff before the retry succeeds.
+                inst.retries += tf.failures as u64;
+                let mut extra = SimSpan::ZERO;
+                for a in 0..tf.failures {
+                    extra += service + policy.backoff_before(a + 2);
+                }
+                service += extra;
+                finish = start + service;
+            }
+        }
+    }
+
+    if !fell_back {
+        for &d in &rung.devices {
+            inst.device_free[d] = finish;
+        }
+        inst.energy_j += rung.energy_j * span_ratio(service, rung.latency);
+        for &d in &rung.devices {
+            inst.adapter.observe(DeviceId(d), base, service);
+        }
+    }
+
+    debug_assert!(start >= t && finish >= start, "fleet dispatch causality");
+    inst.prev_dispatch = start;
+    inst.starts.push(start);
+    inst.queue_peak = inst.queue_peak.max(depth + usize::from(start > t));
+    if serve_rung == 0 {
+        inst.completed += 1;
+    } else {
+        inst.degraded += 1;
+    }
+    inst.rung_counts[serve_rung] += 1;
+    inst.latencies.push(finish.since(t));
+    if finish > deadline_at {
+        inst.missed += 1;
+    }
+    inst.adapter.finish_frame();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::single_processor_plan;
+    use utensor::DType;
+
+    fn mini_net() -> FleetNetwork {
+        let graph = unn::ModelId::SqueezeNet.build_miniature();
+        let weights = Weights::random(&graph, 5).expect("weights");
+        FleetNetwork::new("squeezenet-mini", graph, weights)
+    }
+
+    /// A two-rung ladder built without the planner: "full" pinned to
+    /// the GPU, "single-cpu" pinned to the CPU — enough structure for
+    /// degradation, loss, and fallback to be observable.
+    fn stub_ladder(spec: &SocSpec, graph: &Graph) -> Vec<LadderRung> {
+        let gpu = single_processor_plan(graph, spec, spec.gpu(), DType::F16).expect("gpu plan");
+        let cpu = single_processor_plan(graph, spec, spec.cpu(), DType::QUInt8).expect("cpu plan");
+        vec![
+            LadderRung {
+                label: "full".into(),
+                plan: gpu,
+                predicted: SimSpan::from_millis(1),
+            },
+            LadderRung {
+                label: "single-cpu".into(),
+                plan: cpu,
+                predicted: SimSpan::from_millis(1),
+            },
+        ]
+    }
+
+    fn cohorts(net: &FleetNetwork) -> Vec<FleetCohort> {
+        [SocSpec::exynos_7420(), SocSpec::exynos_7880()]
+            .iter()
+            .map(|spec| {
+                let ladder = stub_ladder(spec, &net.graph);
+                FleetCohort::build(spec, &net.graph, &ladder).expect("cohort")
+            })
+            .collect()
+    }
+
+    fn unit_adapter() -> Box<dyn InstanceAdapter> {
+        Box::<UnitAdapter>::default()
+    }
+
+    #[test]
+    fn small_fleet_accounts_every_frame_and_shares_weights() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let cfg = FleetConfig {
+            devices: 24,
+            frames: 12,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&net, &cohorts, None, &cfg, &unit_adapter).expect("fleet");
+        report.check_invariants().expect("invariants");
+        assert_eq!(report.offered, 24 * 12);
+        assert_eq!(report.weight_copies, 1);
+        assert_eq!(report.naive_weight_bytes, report.weight_bytes * 24);
+        assert_eq!(report.cohort_instances.iter().sum::<u64>(), 24);
+        // Both cohorts drew instances at this seed.
+        assert!(report.cohort_instances.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn gpu_loss_storm_pushes_frames_to_the_cpu_rung() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let cfg = FleetConfig {
+            devices: 48,
+            frames: 16,
+            ..FleetConfig::default()
+        };
+        let calm = run_fleet(&net, &cohorts, None, &cfg, &unit_adapter).expect("calm");
+        let storm = run_fleet(
+            &net,
+            &cohorts,
+            Some(FleetScenario::RollingGpuLoss),
+            &cfg,
+            &unit_adapter,
+        )
+        .expect("storm");
+        storm.check_invariants().expect("invariants");
+        assert!(storm.gpu_lost_devices > 0, "storm lost no GPUs");
+        assert!(
+            storm.rung_occupancy["single-cpu"]
+                > calm.rung_occupancy.get("single-cpu").copied().unwrap_or(0),
+            "GPU loss did not shift occupancy to the CPU rung"
+        );
+        // Lost-GPU instances are visible per instance.
+        assert!(storm.per_instance.iter().any(|s| s.gpu_lost));
+    }
+
+    #[test]
+    fn throttle_wave_counts_throttled_dispatches() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let cfg = FleetConfig {
+            devices: 32,
+            frames: 16,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(
+            &net,
+            &cohorts,
+            Some(FleetScenario::ThrottleWave),
+            &cfg,
+            &unit_adapter,
+        )
+        .expect("fleet");
+        report.check_invariants().expect("invariants");
+        assert!(report.throttled > 0, "wave throttled nothing");
+    }
+
+    #[test]
+    fn flaky_epidemic_burns_retries_and_falls_back() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let cfg = FleetConfig {
+            devices: 64,
+            frames: 24,
+            // Relax the deadline so GPU rungs keep winning dispatch and
+            // the epidemic has a dispatch stream to infect.
+            deadline: SimSpan::from_secs_f64(10.0),
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(
+            &net,
+            &cohorts,
+            Some(FleetScenario::FlakyEpidemic),
+            &cfg,
+            &unit_adapter,
+        )
+        .expect("fleet");
+        report.check_invariants().expect("invariants");
+        assert!(report.retries > 0, "epidemic burned no retries");
+        assert!(report.fallbacks > 0, "epidemic forced no fallbacks");
+        // Realized misses are possible but accounting stays exact.
+        assert_eq!(
+            report.completed + report.degraded + report.shed,
+            report.offered
+        );
+    }
+
+    #[test]
+    fn same_seed_reports_are_field_identical() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let cfg = FleetConfig {
+            devices: 32,
+            frames: 12,
+            ..FleetConfig::default()
+        };
+        let a = run_fleet(
+            &net,
+            &cohorts,
+            Some(FleetScenario::RollingGpuLoss),
+            &cfg,
+            &unit_adapter,
+        )
+        .expect("a");
+        let b = run_fleet(
+            &net,
+            &cohorts,
+            Some(FleetScenario::RollingGpuLoss),
+            &cfg,
+            &unit_adapter,
+        )
+        .expect("b");
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn malformed_configs_are_rejected() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        for cfg in [
+            FleetConfig {
+                devices: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                frames: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                queue_capacity: 0,
+                ..FleetConfig::default()
+            },
+            FleetConfig {
+                max_attempts: 0,
+                ..FleetConfig::default()
+            },
+        ] {
+            assert!(run_fleet(&net, &cohorts, None, &cfg, &unit_adapter).is_err());
+        }
+        assert!(run_fleet(&net, &[], None, &FleetConfig::default(), &unit_adapter).is_err());
+    }
+
+    #[test]
+    fn unit_adapter_tracks_losses_only() {
+        let mut a = UnitAdapter::default();
+        assert_eq!(a.correction(DeviceId(1)), 1.0);
+        a.observe(
+            DeviceId(1),
+            SimSpan::from_millis(1),
+            SimSpan::from_millis(9),
+        );
+        assert_eq!(a.correction(DeviceId(1)), 1.0, "UnitAdapter must not learn");
+        a.mark_lost(DeviceId(1));
+        assert!(a.is_lost(DeviceId(1)));
+        assert!(a.correction(DeviceId(1)) >= 1e6);
+        assert!(!a.is_lost(DeviceId(0)));
+    }
+}

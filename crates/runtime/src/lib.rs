@@ -41,6 +41,7 @@
 pub mod backend;
 pub mod baselines;
 pub mod engine;
+pub mod fleet;
 pub mod functional;
 pub mod metrics;
 pub mod observe;
@@ -57,6 +58,10 @@ pub use engine::{
     execute_plan, execute_plan_with_faults, FallbackPart, FallbackScope, FaultReport, RunError,
     RunResult, TaskMeta,
 };
+pub use fleet::{
+    run_fleet, run_fleet_with_faults, FleetCohort, FleetConfig, FleetInstanceInfo, FleetNetwork,
+    FleetReport, FleetRung, InstanceAdapter, InstanceSummary, UnitAdapter,
+};
 pub use functional::{
     eval_part_task, evaluate_plan, evaluate_plan_with_backend, evaluate_plan_with_recovery,
     split_axis, PartTask, SplitAxis,
@@ -68,4 +73,6 @@ pub use observe::{
 };
 pub use pipeline::{execute_pipeline, execute_pipeline_with_faults, PipelineResult};
 pub use plan::{ExecutionPlan, NodePlacement};
-pub use serve::{serve_stream, FrameFate, FrameRecord, LadderRung, ServeConfig, ServeReport};
+pub use serve::{
+    nearest_rank, serve_stream, FrameFate, FrameRecord, LadderRung, ServeConfig, ServeReport,
+};

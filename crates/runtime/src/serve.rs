@@ -130,15 +130,25 @@ pub struct ServeReport {
     pub metrics: MetricsRegistry,
 }
 
+/// Nearest-rank percentile over an ascending-sorted latency list: rank
+/// `⌈q · n⌉` (clamped to `[1, n]`), one-indexed, so every reported value
+/// is an actual sample. Returns `None` for an empty list — an all-shed
+/// stream has no completion latencies, and reporting 0 ms would read as
+/// an impossibly *healthy* tail instead of a dead one.
+pub fn nearest_rank(sorted: &[SimSpan], q: f64) -> Option<SimSpan> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let rank = ((n as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
 impl ServeReport {
     /// Nearest-rank percentile of executed-frame latency (`q` in 0..=1);
-    /// zero when nothing executed.
-    pub fn latency_percentile(&self, q: f64) -> SimSpan {
-        if self.latencies.is_empty() {
-            return SimSpan::ZERO;
-        }
-        let rank = ((self.latencies.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
-        self.latencies[rank.clamp(1, self.latencies.len()) - 1]
+    /// `None` when nothing executed (an all-shed stream has no tail).
+    pub fn latency_percentile(&self, q: f64) -> Option<SimSpan> {
+        nearest_rank(&self.latencies, q)
     }
 
     /// Checks the serving invariants, returning the first violation:
@@ -431,18 +441,18 @@ fn fill_serve_metrics(report: &mut ServeReport, ladder: &[LadderRung], energy_j:
     for (rung, count) in ladder.iter().zip(&report.rung_counts) {
         m.inc(&format!("serve.rung.{}", rung.label), *count);
     }
-    m.gauge(
-        "serve.latency_p50_ms",
-        report.latency_percentile(0.50).as_millis_f64(),
-    );
-    m.gauge(
-        "serve.latency_p95_ms",
-        report.latency_percentile(0.95).as_millis_f64(),
-    );
-    m.gauge(
-        "serve.latency_p99_ms",
-        report.latency_percentile(0.99).as_millis_f64(),
-    );
+    // Latency gauges are only meaningful when something completed; an
+    // all-shed stream deliberately leaves them unset rather than
+    // reporting a healthy-looking 0 ms tail.
+    for (key, q) in [
+        ("serve.latency_p50_ms", 0.50),
+        ("serve.latency_p95_ms", 0.95),
+        ("serve.latency_p99_ms", 0.99),
+    ] {
+        if let Some(p) = report.latency_percentile(q) {
+            m.gauge(key, p.as_millis_f64());
+        }
+    }
     m.gauge("serve.energy_j", energy_j);
     if let (Some(first), Some(last)) = (report.frames.first(), report.frames.last()) {
         let makespan = last.finish.since(first.arrival).as_secs_f64();
@@ -454,4 +464,60 @@ fn fill_serve_metrics(report: &mut ServeReport, ladder: &[LadderRung], energy_j:
         }
     }
     report.metrics = m;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans(ms: &[u64]) -> Vec<SimSpan> {
+        ms.iter().map(|&v| SimSpan::from_millis(v)).collect()
+    }
+
+    #[test]
+    fn nearest_rank_empty_is_none_at_every_quantile() {
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&[], q), None, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_single_sample_is_every_quantile() {
+        let s = spans(&[7]);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                nearest_rank(&s, q),
+                Some(SimSpan::from_millis(7)),
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_rank_two_samples() {
+        let s = spans(&[10, 20]);
+        // rank = ceil(2q) clamped to [1, 2]: q <= 0.5 -> first sample,
+        // q > 0.5 -> second.
+        assert_eq!(nearest_rank(&s, 0.0), Some(SimSpan::from_millis(10)));
+        assert_eq!(nearest_rank(&s, 0.50), Some(SimSpan::from_millis(10)));
+        assert_eq!(nearest_rank(&s, 0.51), Some(SimSpan::from_millis(20)));
+        assert_eq!(nearest_rank(&s, 0.99), Some(SimSpan::from_millis(20)));
+        assert_eq!(nearest_rank(&s, 1.0), Some(SimSpan::from_millis(20)));
+    }
+
+    #[test]
+    fn nearest_rank_is_an_actual_sample_and_monotone_in_q() {
+        let s = spans(&[1, 2, 3, 5, 8, 13, 21]);
+        let mut prev = SimSpan::ZERO;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let p = nearest_rank(&s, q).unwrap();
+            assert!(s.contains(&p), "q = {q} returned a non-sample {p:?}");
+            assert!(p >= prev, "percentile not monotone at q = {q}");
+            prev = p;
+        }
+        // Out-of-range quantiles clamp instead of indexing out of bounds.
+        assert_eq!(nearest_rank(&s, -1.0), Some(SimSpan::from_millis(1)));
+        assert_eq!(nearest_rank(&s, 2.0), Some(SimSpan::from_millis(21)));
+    }
 }

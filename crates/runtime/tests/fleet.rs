@@ -1,0 +1,210 @@
+//! Fleet simulator contracts: seeded determinism, invariant coverage
+//! across seeds and storms, the FIFO-vs-shuffled order-fuzzing gate,
+//! and the thousand-device acceptance run.
+
+use simcore::{FleetScenario, SimSpan, TieOrder};
+use unn::{ModelId, Weights};
+use uruntime::{
+    run_fleet, single_processor_plan, FleetCohort, FleetConfig, FleetNetwork, InstanceAdapter,
+    LadderRung, UnitAdapter,
+};
+use usoc::SocSpec;
+use utensor::DType;
+
+fn unit_adapter() -> Box<dyn InstanceAdapter> {
+    Box::<UnitAdapter>::default()
+}
+
+/// A three-rung ladder built from the baseline planners (this crate
+/// sits below the μLayer partitioner): GPU-f16 full fidelity, GPU-quint8
+/// coarse, CPU-quint8 floor.
+fn ladder(spec: &SocSpec, graph: &unn::Graph) -> Vec<LadderRung> {
+    let mk = |label: &str, plan| LadderRung {
+        label: label.into(),
+        plan,
+        predicted: SimSpan::from_millis(1),
+    };
+    vec![
+        mk(
+            "full",
+            single_processor_plan(graph, spec, spec.gpu(), DType::F16).expect("full"),
+        ),
+        mk(
+            "coarse",
+            single_processor_plan(graph, spec, spec.gpu(), DType::QUInt8).expect("coarse"),
+        ),
+        mk(
+            "single-cpu",
+            single_processor_plan(graph, spec, spec.cpu(), DType::QUInt8).expect("floor"),
+        ),
+    ]
+}
+
+fn setup() -> (FleetNetwork, Vec<FleetCohort>) {
+    let graph = ModelId::SqueezeNet.build_miniature();
+    let weights = Weights::random(&graph, 11).expect("weights");
+    let net = FleetNetwork::new("squeezenet-mini", graph, weights);
+    let cohorts = [SocSpec::exynos_7420(), SocSpec::exynos_7880()]
+        .iter()
+        .map(|spec| {
+            let rungs = ladder(spec, &net.graph);
+            FleetCohort::build(spec, &net.graph, &rungs).expect("cohort")
+        })
+        .collect();
+    (net, cohorts)
+}
+
+#[test]
+fn same_seed_same_report_byte_for_byte() {
+    let (net, cohorts) = setup();
+    for scenario in [None, Some(FleetScenario::FlakyEpidemic)] {
+        let cfg = FleetConfig {
+            devices: 48,
+            frames: 16,
+            seed: 1234,
+            ..FleetConfig::default()
+        };
+        let a = run_fleet(&net, &cohorts, scenario, &cfg, &unit_adapter).expect("run a");
+        let b = run_fleet(&net, &cohorts, scenario, &cfg, &unit_adapter).expect("run b");
+        assert_eq!(a, b, "scenario {scenario:?} not reproducible");
+        assert_eq!(a.digest(), b.digest());
+    }
+}
+
+#[test]
+fn different_seeds_differ_but_always_hold_invariants() {
+    let (net, cohorts) = setup();
+    let mut digests = Vec::new();
+    for seed in [1u64, 7, 42, 1_000_003] {
+        for scenario in FleetScenario::ALL {
+            let cfg = FleetConfig {
+                devices: 32,
+                frames: 12,
+                seed,
+                ..FleetConfig::default()
+            };
+            let report =
+                run_fleet(&net, &cohorts, Some(scenario), &cfg, &unit_adapter).expect("fleet");
+            report
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("seed {seed} {}: {e}", scenario.name()));
+            if scenario == FleetScenario::RollingGpuLoss {
+                digests.push(report.digest());
+            }
+        }
+    }
+    digests.dedup();
+    assert!(
+        digests.len() > 1,
+        "four distinct seeds produced identical fleets"
+    );
+}
+
+/// The order-fuzzing gate: instances are causally independent, so
+/// seeded-shuffled same-timestamp delivery must reproduce the FIFO
+/// fleet report exactly — any divergence means hidden cross-instance
+/// coupling through event order.
+#[test]
+fn fifo_and_shuffled_orders_produce_identical_reports() {
+    let (net, cohorts) = setup();
+    for scenario in [
+        None,
+        Some(FleetScenario::ThrottleWave),
+        Some(FleetScenario::RollingGpuLoss),
+    ] {
+        let cfg = FleetConfig {
+            devices: 40,
+            frames: 12,
+            seed: 99,
+            order: TieOrder::Fifo,
+            ..FleetConfig::default()
+        };
+        let fifo = run_fleet(&net, &cohorts, scenario, &cfg, &unit_adapter).expect("fifo");
+        for shuffle_seed in [3u64, 17, 0xDEAD_BEEF] {
+            let fuzzed_cfg = FleetConfig {
+                order: TieOrder::Shuffled { seed: shuffle_seed },
+                ..cfg.clone()
+            };
+            let fuzzed =
+                run_fleet(&net, &cohorts, scenario, &fuzzed_cfg, &unit_adapter).expect("fuzzed");
+            assert_eq!(
+                fifo.digest(),
+                fuzzed.digest(),
+                "scenario {scenario:?}: shuffle seed {shuffle_seed} changed the fleet report"
+            );
+            assert_eq!(fifo, fuzzed);
+        }
+    }
+}
+
+/// The ISSUE's acceptance run: a 1000-device mixed-SoC fleet under a
+/// correlated GPU-loss storm — invariants hold, weights stay at one
+/// copy for the whole fleet, and the order gate passes at scale.
+#[test]
+fn thousand_device_fleet_under_gpu_loss_storm() {
+    let (net, cohorts) = setup();
+    let cfg = FleetConfig {
+        devices: 1000,
+        frames: 8,
+        seed: 20260807,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(
+        &net,
+        &cohorts,
+        Some(FleetScenario::RollingGpuLoss),
+        &cfg,
+        &unit_adapter,
+    )
+    .expect("fleet");
+    report.check_invariants().expect("invariants");
+    assert_eq!(report.fleet_size, 1000);
+    assert_eq!(report.offered, 8000);
+    // Mixed SoCs: both cohorts are populated.
+    assert_eq!(report.cohort_instances.len(), 2);
+    assert!(report.cohort_instances.iter().all(|&n| n > 0));
+    // One weight allocation serves the whole fleet.
+    assert_eq!(report.weight_copies, 1);
+    assert_eq!(report.naive_weight_bytes, report.weight_bytes * 1000);
+    // The storm struck a seeded fraction (~30%), not nobody/everybody.
+    assert!(
+        (100..=500).contains(&(report.gpu_lost_devices as usize)),
+        "gpu_lost_devices = {}",
+        report.gpu_lost_devices
+    );
+    // Struck instances degraded off the GPU rungs.
+    assert!(report.degraded > 0);
+    // The order gate holds at scale.
+    let fuzzed_cfg = FleetConfig {
+        order: TieOrder::Shuffled { seed: 5 },
+        ..cfg
+    };
+    let fuzzed = run_fleet(
+        &net,
+        &cohorts,
+        Some(FleetScenario::RollingGpuLoss),
+        &fuzzed_cfg,
+        &unit_adapter,
+    )
+    .expect("fuzzed");
+    assert_eq!(report.digest(), fuzzed.digest());
+}
+
+/// Percentile rollups on fleet latencies follow the nearest-rank
+/// contract: present and monotone when frames executed.
+#[test]
+fn fleet_percentiles_are_monotone_and_from_samples() {
+    let (net, cohorts) = setup();
+    let cfg = FleetConfig {
+        devices: 64,
+        frames: 16,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&net, &cohorts, None, &cfg, &unit_adapter).expect("fleet");
+    let p50 = report.latency_percentile(0.50).expect("p50");
+    let p95 = report.latency_percentile(0.95).expect("p95");
+    let p99 = report.latency_percentile(0.99).expect("p99");
+    let p999 = report.latency_percentile(0.999).expect("p99.9");
+    assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+    assert!(report.latencies.binary_search(&p999).is_ok());
+}

@@ -203,7 +203,15 @@ fn impossible_deadline_sheds_every_admitted_frame() {
     // admission never rejects.
     assert_eq!(report.rejected, 0);
     assert_eq!(report.latencies.len(), 0);
-    assert_eq!(report.latency_percentile(0.95), SimSpan::ZERO);
+    // An all-shed stream has no completion tail: the percentile is
+    // absent, not a healthy-looking 0 ms, and the latency gauges are
+    // deliberately unset.
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(report.latency_percentile(q), None, "q = {q}");
+    }
+    assert!(report.metrics.gauge_of("serve.latency_p50_ms").is_none());
+    assert!(report.metrics.gauge_of("serve.latency_p95_ms").is_none());
+    assert!(report.metrics.gauge_of("serve.latency_p99_ms").is_none());
 }
 
 #[test]
@@ -298,8 +306,11 @@ fn seeded_bursty_overload_is_fully_accounted() {
     assert!(m.gauge_of("serve.latency_p95_ms").is_some());
     assert!(m.gauge_of("serve.latency_p99_ms").is_some());
     // Percentiles are monotone in q.
-    assert!(report.latency_percentile(0.50) <= report.latency_percentile(0.95));
-    assert!(report.latency_percentile(0.95) <= report.latency_percentile(0.99));
+    let p50 = report.latency_percentile(0.50).expect("frames completed");
+    let p95 = report.latency_percentile(0.95).expect("frames completed");
+    let p99 = report.latency_percentile(0.99).expect("frames completed");
+    assert!(p50 <= p95);
+    assert!(p95 <= p99);
 }
 
 #[test]

@@ -3,15 +3,61 @@
 //! [`EventQueue`] is a min-heap keyed by [`SimTime`]. Events scheduled for
 //! the same instant are delivered in insertion order (stable FIFO), which
 //! makes every simulation built on top of it fully deterministic.
+//!
+//! The FIFO tie-break is a *convention*, not a guarantee callers may lean
+//! on: two events at the same instant are causally concurrent, and a
+//! simulation whose results change with their delivery order has a latent
+//! race. [`TieOrder::Shuffled`] turns that convention off — same-timestamp,
+//! same-priority events are delivered in a seeded pseudo-random permutation
+//! instead — while keeping the queue fully deterministic per seed. Running
+//! a simulation under [`TieOrder::Fifo`] and a few shuffled seeds and
+//! asserting identical reports is the schedule-order fuzz gate the fleet
+//! simulator ships in CI.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Delivery order among events scheduled for the same (instant, priority).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieOrder {
+    /// Insertion order (stable FIFO) — the historical default.
+    Fifo,
+    /// A seeded pseudo-random permutation of each simultaneity class.
+    /// Deterministic per seed; different seeds explore different
+    /// interleavings of causally-concurrent events.
+    Shuffled { seed: u64 },
+}
+
+impl TieOrder {
+    /// Human-readable label (`fifo` / `shuffled(seed)`), used by reports.
+    pub fn label(&self) -> String {
+        match self {
+            TieOrder::Fifo => "fifo".to_string(),
+            TieOrder::Shuffled { seed } => format!("shuffled({seed})"),
+        }
+    }
+}
+
+/// SplitMix64 finalizer over the insertion sequence number: a cheap,
+/// stateless way to give every entry a seeded pseudo-random rank.
+fn shuffle_rank(seed: u64, seq: u64) -> u64 {
+    let mut z = seq
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seed ^ 0x1656_7A09_E667_F3BC);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 struct Entry<E> {
     at: SimTime,
     prio: i8,
+    /// Tie rank among simultaneous same-priority events: `seq` under
+    /// [`TieOrder::Fifo`], a seeded hash of `seq` under
+    /// [`TieOrder::Shuffled`].
+    tie: u64,
     seq: u64,
     event: E,
 }
@@ -33,11 +79,14 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the earliest
-        // (time, priority, seq) — lower priority values first.
+        // (time, priority, tie) — lower priority values first. `seq`
+        // makes the order total even on (astronomically unlikely) tie
+        // hash collisions.
         other
             .at
             .cmp(&self.at)
             .then_with(|| other.prio.cmp(&self.prio))
+            .then_with(|| other.tie.cmp(&self.tie))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -64,6 +113,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     peak_len: usize,
+    order: TieOrder,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,12 +125,24 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
+        Self::with_order(TieOrder::Fifo)
+    }
+
+    /// Creates an empty queue with an explicit same-timestamp delivery
+    /// order. [`TieOrder::Fifo`] reproduces [`EventQueue::new`] exactly.
+    pub fn with_order(order: TieOrder) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             peak_len: 0,
+            order,
         }
+    }
+
+    /// The queue's same-timestamp delivery order.
+    pub fn order(&self) -> TieOrder {
+        self.order
     }
 
     /// Schedules `event` at instant `at` with default (0) priority.
@@ -107,9 +169,14 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        let tie = match self.order {
+            TieOrder::Fifo => seq,
+            TieOrder::Shuffled { seed } => shuffle_rank(seed, seq),
+        };
         self.heap.push(Entry {
             at,
             prio,
+            tie,
             seq,
             event,
         });
@@ -238,6 +305,66 @@ mod tests {
         assert_eq!(q.peak_len(), 5);
         q.push(SimTime::from_nanos(10), 10);
         assert_eq!(q.peak_len(), 5);
+    }
+
+    #[test]
+    fn shuffled_order_permutes_simultaneous_events() {
+        let t = SimTime::from_nanos(7);
+        let mut q = EventQueue::with_order(TieOrder::Shuffled { seed: 1 });
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        // Every event is delivered exactly once...
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // ...but not in insertion order (the permutation is non-trivial).
+        assert_ne!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_order_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<u32> {
+            let mut q = EventQueue::with_order(TieOrder::Shuffled { seed });
+            for i in 0..64 {
+                q.push(SimTime::from_nanos(u64::from(i % 4)), i);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(
+            run(9),
+            run(10),
+            "different seeds should permute differently"
+        );
+    }
+
+    #[test]
+    fn shuffled_order_never_violates_time_or_priority() {
+        let mut q = EventQueue::with_order(TieOrder::Shuffled { seed: 3 });
+        for i in 0..200u64 {
+            q.push_with_priority(SimTime::from_nanos(i % 5), (i % 3) as i8 - 1, i);
+        }
+        let mut prev: Option<(SimTime, i8)> = None;
+        while let Some((at, i)) = q.pop() {
+            let prio = (i % 3) as i8 - 1;
+            if let Some((pt, pp)) = prev {
+                assert!(at >= pt, "time order violated");
+                if at == pt {
+                    assert!(prio >= pp, "priority order violated within an instant");
+                }
+            }
+            prev = Some((at, prio));
+        }
+    }
+
+    #[test]
+    fn fifo_order_label_and_accessor() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.order(), TieOrder::Fifo);
+        assert_eq!(TieOrder::Fifo.label(), "fifo");
+        assert_eq!(TieOrder::Shuffled { seed: 42 }.label(), "shuffled(42)");
     }
 
     #[test]

@@ -358,6 +358,139 @@ impl Scenario {
     }
 }
 
+/// Correlated fault storms over a *fleet* of simulated devices.
+///
+/// [`Scenario`] perturbs one run of one device; a `FleetScenario` is the
+/// population-level version: every instance of a fleet draws its own
+/// [`FaultPlan`] from the same storm, and the plans are *correlated* —
+/// a thermal wave rolls across the fleet in instance order, a GPU-loss
+/// storm strikes a seeded fraction of devices inside a rolling window,
+/// a flaky-GPU epidemic gives each infected device a seeded onset and
+/// recovery time. Each instance's plan depends only on
+/// `(storm, seed, instance, fleet_size)` — never on the order instances
+/// are visited — so fleet runs stay deterministic and immune to event
+/// reordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetScenario {
+    /// A fleet-wide thermal throttle wave: every device is throttled
+    /// once, with the window's onset rolling across the fleet (early
+    /// instances first) and seeded per-device factor/duration jitter.
+    ThrottleWave,
+    /// Rolling hard GPU loss over a seeded fraction (~30%) of the
+    /// fleet; loss instants roll across the affected devices.
+    RollingGpuLoss,
+    /// A flaky-GPU epidemic: a seeded fraction (~50%) of devices
+    /// suffer transient dispatch failures between a seeded onset and
+    /// recovery point, mixing retryable faults with retry-exhausting
+    /// ones (which force the CPU fallback path).
+    FlakyEpidemic,
+}
+
+impl FleetScenario {
+    /// Every storm, in display order.
+    pub const ALL: [FleetScenario; 3] = [
+        FleetScenario::ThrottleWave,
+        FleetScenario::RollingGpuLoss,
+        FleetScenario::FlakyEpidemic,
+    ];
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetScenario::ThrottleWave => "throttle-wave",
+            FleetScenario::RollingGpuLoss => "gpu-loss",
+            FleetScenario::FlakyEpidemic => "flaky-epidemic",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<FleetScenario> {
+        FleetScenario::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name() == name)
+    }
+
+    /// The storm's fault plan for one fleet `instance` (of
+    /// `fleet_size`), targeting `resource` (the instance's GPU).
+    ///
+    /// `horizon` is the instance's expected stream makespan and
+    /// `dispatches` the number of frames it will offer; `max_attempts`
+    /// is the retry budget (epidemic faults at or above it are
+    /// persistent and force a fallback). Deterministic in
+    /// `(self, seed, instance, fleet_size)` alone.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_for(
+        self,
+        instance: usize,
+        fleet_size: usize,
+        resource: ResourceId,
+        horizon: SimSpan,
+        dispatches: usize,
+        max_attempts: usize,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut rng = testkit::Rng::seed_from_u64(
+            seed ^ testkit::rng::fnv1a(self.name().as_bytes()).rotate_left(29)
+                ^ testkit::rng::fnv1a(&(instance as u64).to_le_bytes()).rotate_left(7),
+        );
+        // The instance's position in the wave front, in [0, 1).
+        let wave = instance as f64 / fleet_size.max(1) as f64;
+        let at = |frac: f64| SimTime::ZERO + horizon * frac.clamp(0.0, 1.0);
+        match self {
+            FleetScenario::ThrottleWave => {
+                let from = 0.05 + 0.55 * wave + rng.unit_f64() * 0.05;
+                let until = from + 0.15 + rng.unit_f64() * 0.15;
+                FaultPlan::none().with_throttle(ThrottleWindow {
+                    resource,
+                    factor: 0.25 + rng.unit_f64() * 0.35,
+                    from: at(from),
+                    until: at(until),
+                })
+            }
+            FleetScenario::RollingGpuLoss => {
+                if !rng.gen_bool(0.3) {
+                    return FaultPlan::none();
+                }
+                FaultPlan::none().with_loss(DeviceLoss {
+                    resource,
+                    at: at(0.1 + 0.6 * wave + rng.unit_f64() * 0.05),
+                })
+            }
+            FleetScenario::FlakyEpidemic => {
+                if !rng.gen_bool(0.5) {
+                    return FaultPlan::none();
+                }
+                let onset = 0.1 + rng.unit_f64() * 0.4;
+                let recovery = (onset + 0.2 + rng.unit_f64() * 0.3).min(1.0);
+                let n = dispatches.max(1);
+                let first = ((n as f64) * onset) as usize;
+                let last = (((n as f64) * recovery) as usize).min(n);
+                let mut plan = FaultPlan::none();
+                for ordinal in first..last {
+                    if !rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    // 1 in 4 infected dispatches exhausts the retry
+                    // budget (persistent -> fallback); the rest recover
+                    // after one or two retries.
+                    let failures = if rng.gen_bool(0.25) {
+                        max_attempts
+                    } else {
+                        rng.gen_range(1..max_attempts.max(2))
+                    };
+                    plan = plan.with_transient(TransientFault {
+                        resource,
+                        ordinal,
+                        failures,
+                    });
+                }
+                plan
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +592,87 @@ mod tests {
             assert_eq!(Scenario::from_name(s.name()), Some(s));
         }
         assert_eq!(Scenario::from_name("nope"), None);
+    }
+
+    #[test]
+    fn fleet_storms_are_deterministic_per_seed_and_instance() {
+        let r = ResourceId(1);
+        let h = SimSpan::from_millis(50);
+        for s in FleetScenario::ALL {
+            for inst in [0usize, 17, 999] {
+                let a = s.plan_for(inst, 1000, r, h, 32, 3, 42);
+                let b = s.plan_for(inst, 1000, r, h, 32, 3, 42);
+                assert_eq!(a, b, "{} inst {inst}", s.name());
+            }
+            // Different instances draw from independent streams.
+            let p0 = s.plan_for(0, 1000, r, h, 32, 3, 42);
+            let p1 = s.plan_for(1, 1000, r, h, 32, 3, 42);
+            if !p0.is_empty() && !p1.is_empty() {
+                assert_ne!(p0, p1, "{}: instances got identical plans", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn throttle_wave_rolls_across_the_fleet() {
+        let r = ResourceId(1);
+        let h = SimSpan::from_millis(100);
+        let onset = |inst: usize| {
+            FleetScenario::ThrottleWave
+                .plan_for(inst, 1000, r, h, 32, 3, 7)
+                .throttles[0]
+                .from
+        };
+        // Early instances throttle well before late ones (jitter is
+        // +-5% of the horizon; the wave spans 55%).
+        assert!(onset(0) < onset(500));
+        assert!(onset(500) < onset(999));
+    }
+
+    #[test]
+    fn gpu_loss_storm_strikes_a_seeded_fraction() {
+        let r = ResourceId(1);
+        let h = SimSpan::from_millis(100);
+        let lost: usize = (0..1000)
+            .filter(|&i| {
+                !FleetScenario::RollingGpuLoss
+                    .plan_for(i, 1000, r, h, 32, 3, 42)
+                    .is_empty()
+            })
+            .count();
+        assert!(
+            (150..=450).contains(&lost),
+            "expected ~30% of 1000 devices lost, got {lost}"
+        );
+    }
+
+    #[test]
+    fn flaky_epidemic_mixes_retryable_and_persistent_faults() {
+        let r = ResourceId(1);
+        let h = SimSpan::from_millis(100);
+        let mut retryable = 0usize;
+        let mut persistent = 0usize;
+        for inst in 0..200 {
+            let plan = FleetScenario::FlakyEpidemic.plan_for(inst, 200, r, h, 64, 3, 42);
+            for t in &plan.transients {
+                assert!(t.ordinal < 64, "ordinal past the dispatch horizon");
+                if t.failures >= 3 {
+                    persistent += 1;
+                } else {
+                    retryable += 1;
+                }
+            }
+        }
+        assert!(retryable > 0, "epidemic produced no retryable faults");
+        assert!(persistent > 0, "epidemic produced no persistent faults");
+    }
+
+    #[test]
+    fn fleet_scenario_names_round_trip() {
+        for s in FleetScenario::ALL {
+            assert_eq!(FleetScenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(FleetScenario::from_name("nope"), None);
     }
 
     #[test]

@@ -29,10 +29,10 @@ pub mod trace;
 pub use arrivals::{ArrivalKind, ArrivalProcess};
 pub use chrome::{validate_chrome_trace, ChromeTraceSummary, JsonValue, OverlayEvent, TraceArg};
 pub use dag::{SchedStats, ScheduleError, TaskGraph, TaskId, TaskSpec};
-pub use event::EventQueue;
+pub use event::{EventQueue, TieOrder};
 pub use faults::{
-    AttemptOutcome, AttemptRecord, DeviceLoss, FaultLog, FaultPlan, RetryPolicy, Scenario,
-    ThrottleWindow, TransientFault,
+    AttemptOutcome, AttemptRecord, DeviceLoss, FaultLog, FaultPlan, FleetScenario, RetryPolicy,
+    Scenario, ThrottleWindow, TransientFault,
 };
 pub use resource::{BusyInterval, ResourceId, ResourcePool, Timeline};
 pub use time::{SimSpan, SimTime};

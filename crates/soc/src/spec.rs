@@ -223,6 +223,32 @@ impl SocSpec {
         self
     }
 
+    /// A fleet-perturbed copy of this SoC: device `d`'s compute
+    /// throughput is scaled by `factors[d]` (silicon binning, DVFS
+    /// floors, and vendor-kernel variance across nominally identical
+    /// parts). Factors below 1 model slower-than-nominal silicon and
+    /// are clamped to 0.05 to keep the roofline finite; memory
+    /// bandwidth and fixed overheads keep the base spec's values, so a
+    /// compute-bound kernel's latency scales by exactly `1/factor`.
+    /// Missing factors (fewer than `devices.len()`) leave their device
+    /// untouched.
+    pub fn with_device_speeds(&self, factors: &[f64]) -> SocSpec {
+        let mut spec = self.clone();
+        for (dev, &f) in spec.devices.iter_mut().zip(factors) {
+            let f = f.max(0.05);
+            dev.throughput.f32_gmacs *= f;
+            dev.throughput.f16_gmacs *= f;
+            dev.throughput.quint8_gmacs *= f;
+        }
+        let tag: Vec<String> = factors
+            .iter()
+            .take(spec.devices.len())
+            .map(|f| format!("x{:.2}", f.max(0.05)))
+            .collect();
+        spec.name = format!("{} [{}]", self.name, tag.join("/"));
+        spec
+    }
+
     /// The device table.
     pub fn device(&self, id: DeviceId) -> Result<&DeviceSpec, SocError> {
         self.devices.get(id.0).ok_or(SocError::UnknownDevice(id))
@@ -402,6 +428,27 @@ mod tests {
         ));
         let q = gemm_work(1000, DType::QUInt8);
         assert!(soc.kernel_latency(npu, &q).is_ok());
+    }
+
+    #[test]
+    fn perturbed_spec_scales_compute_bound_latency_inversely() {
+        let base = SocSpec::exynos_7420();
+        let slow = base.with_device_speeds(&[0.8, 1.25]);
+        let w = gemm_work(10_000_000_000, DType::F32);
+        let t_base_cpu = base.kernel_latency(base.cpu(), &w).unwrap().as_secs_f64();
+        let t_slow_cpu = slow.kernel_latency(slow.cpu(), &w).unwrap().as_secs_f64();
+        let ratio = t_slow_cpu / t_base_cpu;
+        assert!((ratio - 1.0 / 0.8).abs() < 0.02, "cpu ratio = {ratio}");
+        let t_base_gpu = base.kernel_latency(base.gpu(), &w).unwrap().as_secs_f64();
+        let t_fast_gpu = slow.kernel_latency(slow.gpu(), &w).unwrap().as_secs_f64();
+        let ratio = t_fast_gpu / t_base_gpu;
+        assert!((ratio - 1.0 / 1.25).abs() < 0.02, "gpu ratio = {ratio}");
+        // The perturbed part is labeled, and the base spec is untouched.
+        assert!(slow.name.contains("x0.80"), "{}", slow.name);
+        assert_eq!(base.devices[0].throughput.f32_gmacs, 14.0);
+        // Degenerate factors clamp instead of zeroing the roofline.
+        let dead = base.with_device_speeds(&[0.0]);
+        assert!(dead.devices[0].throughput.f32_gmacs > 0.0);
     }
 
     #[test]
