@@ -111,11 +111,26 @@ cargo run --release --offline -p ubench --bin repro -- \
   --seed=42 --fuzz-orders=2 "--out=$smoke_fleet" --baseline=BENCH_fleet.json >/dev/null
 test -s "$smoke_fleet"
 
+echo "==> repro mesh smoke (4-node partition storm + surviving-subset degradation)"
+# Seeded 4-node MCU mesh with the middle link cut mid-stream. The
+# subcommand exits non-zero if the frame accounting leaks (exact
+# offered = completed + degraded + shed), if any rung's output diverges
+# from the single-device QUInt8 reference, or if the partition
+# bookkeeping is inconsistent. Timings are simulated, so the checked-in
+# BENCH_mesh.json baseline is gated on document structure only.
+smoke_mesh="$(mktemp -t ulayer-smoke-mesh.XXXXXX.json)"
+trap 'rm -f "$smoke_trace" "$smoke_measure" "$smoke_fleet" "$smoke_mesh"' EXIT
+cargo run --release --offline -p ubench --bin repro -- \
+  mesh --nodes=4 --frames=24 --link-fault=partition --seed=42 \
+  "--out=$smoke_mesh" --baseline=BENCH_mesh.json >/dev/null
+test -s "$smoke_mesh"
+
 echo "==> repro CLI rejection smoke (typed errors exit non-zero)"
 # The hardened parser must refuse unknown flags and malformed values on
 # every subcommand with exit code 2, never a panic or a silent default.
 for bad_args in "fleet --bogus-flag" "fleet --storm=hurricane" \
-  "serve --queue=0" "measure --kernel-path=warp" "fleet resnet99"; do
+  "serve --queue=0" "measure --kernel-path=warp" "fleet resnet99" \
+  "mesh --link-fault=cosmic-ray" "mesh --nodes=1" "mesh squeezenet"; do
   if cargo run --release --offline -q -p ubench --bin repro -- \
     $bad_args >/dev/null 2>&1; then
     echo "ci.sh: repro $bad_args should have failed" >&2

@@ -10,9 +10,13 @@
 //! repro measure [net] [--miniature] [--threads=N] [--repeat=N]
 //!               [--kernel-path=auto|scalar|simd] [--out=FILE] [--baseline=FILE]
 //! repro fleet [net] [--devices=N] [--frames=N] [--seed=N] [--miniature]
-//!             [--storm=none|throttle-wave|gpu-loss|flaky-epidemic]
+//!             [--storm=none|throttle-wave|gpu-loss|flaky-epidemic|link-partition]
 //!             [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS]
 //!             [--queue=N] [--fuzz-orders=N] [--out=FILE] [--baseline=FILE]
+//! repro mesh [--nodes=N] [--frames=N] [--seed=N]
+//!            [--link-fault=none|drop|delay|jitter|flap|partition]
+//!            [--arrivals=fixed|bursty|poisson] [--rate=FPS] [--deadline=MS]
+//!            [--queue=N] [--out=FILE] [--baseline=FILE]
 //! ```
 //!
 //! Each subcommand prints paper-style rows; `all` runs everything.
@@ -28,6 +32,11 @@
 //! `fleet` simulates a mixed-SoC device fleet under a correlated fault
 //! storm, checks the fleet invariants and the schedule-order fuzz gate,
 //! and writes a machine-readable `BENCH_fleet.json`.
+//!
+//! `mesh` serves a RAM-limited MCU-style mesh through the partition-
+//! tolerant degradation ladder under a seeded link-fault scenario,
+//! checks the exact frame accounting and the QUInt8 bit-identity gate,
+//! and writes a machine-readable `BENCH_mesh.json`.
 //!
 //! Argument parsing is table-driven ([`ubench::cli`]): unknown flags and
 //! malformed `--key=value` pairs are typed errors with exit code 2.
@@ -100,6 +109,7 @@ fn main() {
         Some("serve") => return serve(&args[1..]),
         Some("measure") => return measure_cmd(&args[1..]),
         Some("fleet") => return fleet_cmd(&args[1..]),
+        Some("mesh") => return mesh_cmd(&args[1..]),
         _ => {}
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -120,7 +130,7 @@ fn main() {
     ];
     if !known.contains(&what) {
         eprintln!(
-            "repro: {}\nusage: repro [{}|trace|passes|faults|serve|measure|fleet] | repro --json <dir> [--with-fig10]",
+            "repro: {}\nusage: repro [{}|trace|passes|faults|serve|measure|fleet|mesh] | repro --json <dir> [--with-fig10]",
             cli::CliError::UnknownSubcommand { given: what.into() },
             known.join("|")
         );
@@ -984,6 +994,252 @@ fn fleet_cmd(args: &[String]) {
         }
         std::process::exit(1);
     }
+}
+
+fn mesh_cmd(args: &[String]) {
+    let p = parse_or_exit("mesh", args);
+    if let Some(a) = p.positional.first() {
+        // The mesh network is fixed (the RAM-limited mesh CNN);
+        // a positional is always a mistake.
+        fail(cli::CliError::BadPositional {
+            subcommand: "mesh",
+            given: a.clone(),
+        });
+    }
+    let nodes = p.usize_of("--nodes").unwrap_or(4);
+    let frames = p.usize_of("--frames").unwrap_or(32);
+    let seed = p.u64_of("--seed").unwrap_or(42);
+    let fault_name = p.str_of("--link-fault").unwrap_or("partition").to_string();
+    let link_fault = if fault_name == "none" {
+        None
+    } else {
+        Some(simcore::LinkFaultScenario::from_name(&fault_name).expect("validated at parse"))
+    };
+    let arrivals = p
+        .str_of("--arrivals")
+        .map(|s| simcore::ArrivalKind::from_name(s).expect("validated at parse"))
+        .unwrap_or(simcore::ArrivalKind::Fixed);
+    let rate_fps = p.f64_of("--rate").unwrap_or(0.0);
+    let deadline_ms = p.f64_of("--deadline").unwrap_or(0.0);
+    let queue = p.usize_of("--queue").unwrap_or(4);
+    let out_path = p.str_of("--out").unwrap_or("BENCH_mesh.json").to_string();
+    let baseline: Option<String> = p.str_of("--baseline").map(str::to_string);
+
+    heading(&format!(
+        "Mesh serving: {nodes}-node MCU mesh under link fault `{fault_name}` (seed {seed}, {frames} frames)",
+    ));
+    let rep = figures::mesh_scenario(
+        nodes,
+        link_fault,
+        frames,
+        arrivals,
+        rate_fps,
+        deadline_ms,
+        queue,
+        seed,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("mesh run failed: {e}");
+        std::process::exit(1);
+    });
+    let r = &rep.report;
+
+    let mut t = Table::new(&["Rung", "Service (ms)"]);
+    for (label, lat_ms) in &rep.rungs {
+        t.row(vec![label.clone(), ms(*lat_ms)]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\n{} nodes over {} links (mean interval {} ms, deadline {} ms)",
+        rep.nodes,
+        r.links,
+        ms(rep.mean_interval_ms),
+        ms(rep.deadline_ms),
+    );
+
+    let s = &r.serve;
+    let mut t = Table::new(&[
+        "Offered",
+        "Completed",
+        "Degraded",
+        "Shed",
+        "Rejected",
+        "Queue peak/cap",
+        "p50",
+        "p95",
+        "p99",
+    ]);
+    t.row(vec![
+        s.offered.to_string(),
+        s.completed.to_string(),
+        s.degraded.to_string(),
+        s.shed.to_string(),
+        s.rejected.to_string(),
+        format!("{}/{}", s.queue_peak, s.queue_capacity),
+        opt_ms(s.latency_percentile(0.50)),
+        opt_ms(s.latency_percentile(0.95)),
+        opt_ms(s.latency_percentile(0.99)),
+    ]);
+    print!("{}", t.render());
+
+    let mut t = Table::new(&["Rung occupancy", "Frames"]);
+    for (label, count) in s.rung_labels.iter().zip(&s.rung_counts) {
+        t.row(vec![label.clone(), count.to_string()]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\npartition: {} frames arrived with a link down, {} of them degraded to a surviving-subset rung",
+        r.frames_during_partition, r.partition_degraded
+    );
+
+    let mut violations = Vec::new();
+    if let Err(e) = r.check_invariants() {
+        violations.push(format!("mesh invariant: {e}"));
+    }
+    if rep.bit_identical {
+        println!("numerics gate: every rung bit-identical to the single-device QUInt8 reference");
+    } else {
+        violations.push("numerics gate: a rung diverged from the QUInt8 reference".to_string());
+    }
+
+    let json = mesh_json(&rep, &fault_name);
+    if let Err(e) = std::fs::write(&out_path, json.render()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(doc) => {
+                if let Err(missing) = check_mesh_schema(&doc) {
+                    eprintln!("baseline {path} fails the schema check: missing {missing}");
+                    std::process::exit(1);
+                }
+                println!("baseline {path}: schema ok");
+            }
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("\n(each rung covers one surviving connected device subset; a partitioned mesh");
+    println!(" degrades to its surviving component's rung instead of shedding the frame)");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("MESH VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Schema tag of the mesh document (`BENCH_mesh.json`).
+const MESH_SCHEMA: &str = "ulayer-mesh/v1";
+
+/// The machine-readable mesh document.
+fn mesh_json(rep: &figures::MeshScenarioReport, fault: &str) -> ubench::Json {
+    use ubench::Json;
+    let s = &rep.report.serve;
+    let opt_ms_json = |q: f64| match s.latency_percentile(q) {
+        Some(span) => Json::n(span.as_millis_f64()),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        ("schema", Json::s(MESH_SCHEMA)),
+        ("net", Json::s("mesh-cnn")),
+        ("scenario", Json::s(fault)),
+        (
+            "mesh",
+            Json::obj(vec![
+                ("nodes", Json::n(rep.nodes as f64)),
+                ("links", Json::n(rep.report.links as f64)),
+                ("seed", Json::n(rep.seed as f64)),
+                ("queue_capacity", Json::n(s.queue_capacity as f64)),
+                ("mean_interval_ms", Json::n(rep.mean_interval_ms)),
+                ("deadline_ms", Json::n(rep.deadline_ms)),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj(vec![
+                ("offered", Json::n(s.offered as f64)),
+                ("completed", Json::n(s.completed as f64)),
+                ("degraded", Json::n(s.degraded as f64)),
+                ("shed", Json::n(s.shed as f64)),
+                ("rejected", Json::n(s.rejected as f64)),
+                ("queue_peak", Json::n(s.queue_peak as f64)),
+                (
+                    "frames_during_partition",
+                    Json::n(rep.report.frames_during_partition as f64),
+                ),
+                (
+                    "partition_degraded",
+                    Json::n(rep.report.partition_degraded as f64),
+                ),
+            ]),
+        ),
+        (
+            "rung_occupancy",
+            Json::Obj(
+                s.rung_labels
+                    .iter()
+                    .zip(&s.rung_counts)
+                    .map(|(k, v)| (k.clone(), Json::n(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "latency",
+            Json::obj(vec![
+                ("p50_ms", opt_ms_json(0.50)),
+                ("p95_ms", opt_ms_json(0.95)),
+                ("p99_ms", opt_ms_json(0.99)),
+                ("samples", Json::n(s.latencies.len() as f64)),
+            ]),
+        ),
+        ("bit_identical", Json::Bool(rep.bit_identical)),
+        (
+            "invariants",
+            Json::s(match rep.report.check_invariants() {
+                Ok(()) => "ok".to_string(),
+                Err(e) => e,
+            }),
+        ),
+    ])
+}
+
+/// Checks that `doc` carries the mesh schema tag and every required
+/// key. Returns the first missing marker.
+fn check_mesh_schema(doc: &str) -> Result<(), &'static str> {
+    if !doc.contains("\"schema\":\"ulayer-mesh/v1\"") {
+        return Err("\"schema\":\"ulayer-mesh/v1\"");
+    }
+    for marker in [
+        "\"net\"",
+        "\"scenario\"",
+        "\"mesh\"",
+        "\"nodes\"",
+        "\"links\"",
+        "\"totals\"",
+        "\"offered\"",
+        "\"completed\"",
+        "\"degraded\"",
+        "\"shed\"",
+        "\"frames_during_partition\"",
+        "\"partition_degraded\"",
+        "\"rung_occupancy\"",
+        "\"latency\"",
+        "\"bit_identical\"",
+        "\"invariants\"",
+    ] {
+        if !doc.contains(marker) {
+            return Err(marker);
+        }
+    }
+    Ok(())
 }
 
 /// Schema tag of the fleet document (`BENCH_fleet.json`).

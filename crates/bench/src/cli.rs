@@ -31,7 +31,18 @@ pub const SCENARIOS: &[&str] = &["throttle", "flaky-gpu", "gpu-loss"];
 
 /// Fleet storm names (`--storm=`): the [`simcore::FleetScenario`]
 /// names plus `none`; kept in sync by a test.
-pub const STORMS: &[&str] = &["none", "throttle-wave", "gpu-loss", "flaky-epidemic"];
+pub const STORMS: &[&str] = &[
+    "none",
+    "throttle-wave",
+    "gpu-loss",
+    "flaky-epidemic",
+    "link-partition",
+];
+
+/// Link-fault scenario names (`--link-fault=`): the
+/// [`simcore::LinkFaultScenario`] names plus `none`; kept in sync by a
+/// test.
+pub const LINK_FAULTS: &[&str] = &["none", "drop", "delay", "jitter", "flap", "partition"];
 
 /// Kernel-path choices (`--kernel-path=`).
 pub const KERNEL_PATHS: &[&str] = &["auto", "scalar", "simd"];
@@ -135,6 +146,20 @@ pub const FLEET_FLAGS: &[FlagSpec] = &[
     flag("--baseline", FlagKind::Str),
 ];
 
+/// `repro mesh` flags.
+pub const MESH_FLAGS: &[FlagSpec] = &[
+    flag("--nodes", FlagKind::UsizeMin(2)),
+    flag("--frames", FlagKind::UsizeMin(1)),
+    flag("--seed", FlagKind::U64),
+    flag("--link-fault", FlagKind::OneOf(LINK_FAULTS)),
+    flag("--arrivals", FlagKind::OneOf(ARRIVALS)),
+    flag("--queue", FlagKind::UsizeMin(1)),
+    flag("--rate", FlagKind::F64NonNeg),
+    flag("--deadline", FlagKind::F64NonNeg),
+    flag("--out", FlagKind::Str),
+    flag("--baseline", FlagKind::Str),
+];
+
 /// Every flag-taking subcommand and its table, for table-driven tests
 /// and for `main`'s dispatcher.
 pub const SUBCOMMANDS: &[(&str, &[FlagSpec])] = &[
@@ -144,6 +169,7 @@ pub const SUBCOMMANDS: &[(&str, &[FlagSpec])] = &[
     ("serve", SERVE_FLAGS),
     ("measure", MEASURE_FLAGS),
     ("fleet", FLEET_FLAGS),
+    ("mesh", MESH_FLAGS),
 ];
 
 /// The flag table of a subcommand, if it has one.

@@ -884,6 +884,192 @@ pub fn fleet_storm(
     })
 }
 
+/// The outcome of a [`mesh_scenario`] run: the partition-tolerant
+/// serving report on an MCU-style mesh plus the numerics gate.
+#[derive(Clone, Debug)]
+pub struct MeshScenarioReport {
+    /// Mesh size (devices).
+    pub nodes: usize,
+    /// Link-fault scenario driven against the mesh (`None` = clean).
+    pub link_fault: Option<simcore::LinkFaultScenario>,
+    /// Seed the arrivals and faults were drawn from.
+    pub seed: u64,
+    /// Mean inter-arrival interval (ms) the stream was sized with.
+    pub mean_interval_ms: f64,
+    /// Per-frame deadline (ms).
+    pub deadline_ms: f64,
+    /// Ladder rungs: label and realized single-frame latency (ms).
+    pub rungs: Vec<(String, f64)>,
+    /// The mesh serving outcome (frame + partition accounting).
+    pub report: uruntime::MeshReport,
+    /// Whether every rung's quantized output matched the single-device
+    /// QUInt8 reference bit for bit.
+    pub bit_identical: bool,
+}
+
+/// Builds the mesh workload: a compact CNN whose hot conv layers hold
+/// a QUInt8 working set larger than one MCU node's RAM
+/// ([`usoc::MCU_RAM_BYTES`]), so the partitioner *must* split them
+/// across nodes — the split is forced by memory, not won on latency.
+/// The MAC count stays small enough for the functional bit-identity
+/// gate to run in milliseconds.
+pub fn mesh_workload_graph() -> Graph {
+    let mut g = Graph::new("mesh-cnn", utensor::Shape::nchw(1, 64, 40, 40));
+    let conv = |oc| unn::LayerKind::Conv {
+        oc,
+        k: 3,
+        stride: 1,
+        pad: 1,
+        relu: true,
+    };
+    // 64ch at 40x40: ~236 KiB working set per conv, over the 192 KiB node.
+    let c1 = g.add_input_layer("conv1", conv(64));
+    let c2 = g.add("conv2", conv(64), c1);
+    let p = g.add(
+        "pool",
+        unn::LayerKind::Pool {
+            func: unn::PoolFunc::Max,
+            k: 2,
+            stride: 2,
+            pad: 0,
+        },
+        c2,
+    );
+    let c3 = g.add("conv3", conv(32), p);
+    let fc = g.add(
+        "fc",
+        unn::LayerKind::FullyConnected {
+            out: 10,
+            relu: false,
+        },
+        c3,
+    );
+    g.add("softmax", unn::LayerKind::Softmax, fc);
+    g
+}
+
+/// Serves `frames` seeded arrivals through the partition-tolerant
+/// ladder on an MCU-style mesh of `nodes` devices, under an optional
+/// seeded link-fault scenario targeting the middle link.
+///
+/// The network is [`mesh_workload_graph`] — sized so a single MCU
+/// node's RAM cannot hold the hot layers, forcing genuinely multi-node
+/// splits.
+/// `rate_fps == 0` sizes the offered load at the full rung's service
+/// rate; `deadline_ms == 0` defaults to 4x the full rung's latency
+/// (remote rungs pay the wire, so mesh deadlines run looser than
+/// on-chip ones). Every rung is uniform QUInt8, and the report carries
+/// a bit-identity verdict against the single-device reference.
+#[allow(clippy::too_many_arguments)]
+pub fn mesh_scenario(
+    nodes: usize,
+    link_fault: Option<simcore::LinkFaultScenario>,
+    frames: usize,
+    arrivals: simcore::ArrivalKind,
+    rate_fps: f64,
+    deadline_ms: f64,
+    queue: usize,
+    seed: u64,
+) -> Result<MeshScenarioReport, String> {
+    use simcore::{ArrivalProcess, SimSpan};
+
+    let spec = SocSpec::mcu_mesh(nodes);
+    let g = mesh_workload_graph();
+    let rt = ULayer::with_config(spec.clone(), ULayerConfig::channel_distribution_only())
+        .map_err(|e| e.to_string())?;
+    let ladder = rt.degradation_ladder(&g, None).map_err(|e| e.to_string())?;
+
+    let full_run = uruntime::execute_plan(&spec, &g, &ladder[0].plan).map_err(|e| e.to_string())?;
+    let full = full_run.latency;
+    let mean = if rate_fps > 0.0 {
+        SimSpan::from_secs_f64(1.0 / rate_fps)
+    } else {
+        full
+    };
+    let deadline = if deadline_ms > 0.0 {
+        SimSpan::from_secs_f64(deadline_ms / 1e3)
+    } else {
+        full * 4u64
+    };
+    let times = ArrivalProcess::from_kind(arrivals, mean).times(frames, seed);
+
+    let faults = match link_fault {
+        None => simcore::FaultPlan::none(),
+        Some(sc) => {
+            // Target the middle link: on a line topology that is the
+            // cut that strands the most devices.
+            let ndev = spec.devices.len();
+            let li = spec.links.len() / 2;
+            let link_res = simcore::ResourceId(ndev + li);
+            let horizon = times
+                .last()
+                .copied()
+                .unwrap_or(simcore::SimTime::ZERO)
+                .since(simcore::SimTime::ZERO)
+                + deadline;
+            let transfers = full_run
+                .trace
+                .records()
+                .iter()
+                .filter(|t| t.resource == link_res)
+                .count()
+                .max(1)
+                * frames;
+            sc.plan(
+                link_res,
+                horizon,
+                transfers,
+                simcore::RetryPolicy::default().max_attempts,
+                seed,
+            )
+        }
+    };
+
+    let cfg = uruntime::ServeConfig {
+        queue_capacity: queue,
+        deadline,
+    };
+    let report = uruntime::serve_mesh(&spec, &g, &ladder, &times, &cfg, &faults)
+        .map_err(|e| e.to_string())?;
+
+    // Numerics gate: every rung — full mesh split, surviving subsets,
+    // singles — must be bit-identical to the single-device QUInt8
+    // reference (degradation loses latency headroom, never numerics).
+    let w = unn::Weights::random(&g, seed).map_err(|e| e.to_string())?;
+    let input = utensor::Tensor::from_f32(
+        g.input_shape().clone(),
+        (0..g.input_shape().numel())
+            .map(|i| ((i % 255) as f32) / 255.0)
+            .collect(),
+    )
+    .map_err(|e| e.to_string())?;
+    let calib = unn::calibrate(&g, &w, std::slice::from_ref(&input)).map_err(|e| e.to_string())?;
+    let reference =
+        unn::forward(&g, &w, &calib, &input, DType::QUInt8).map_err(|e| e.to_string())?;
+    let logits = g.len() - 2;
+    let bit_identical = ladder.iter().all(|rung| {
+        uruntime::evaluate_plan(&g, &rung.plan, &w, &calib, &input)
+            .map(|outs| outs[logits].bit_equal(&reference[logits]))
+            .unwrap_or(false)
+    });
+
+    let rungs = ladder
+        .iter()
+        .zip(&report.serve.rung_latency)
+        .map(|(r, lat)| (r.label.clone(), lat.as_secs_f64() * 1e3))
+        .collect();
+    Ok(MeshScenarioReport {
+        nodes: spec.devices.len(),
+        link_fault,
+        seed,
+        mean_interval_ms: mean.as_secs_f64() * 1e3,
+        deadline_ms: deadline.as_secs_f64() * 1e3,
+        rungs,
+        report,
+        bit_identical,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -959,6 +1145,29 @@ mod tests {
             assert!(rep.report.queue_peak <= 6);
             assert!(!rep.rungs.is_empty());
         }
+    }
+
+    #[test]
+    fn mesh_scenario_survives_a_partition_without_shedding() {
+        let rep = mesh_scenario(
+            4,
+            Some(simcore::LinkFaultScenario::Partition),
+            16,
+            simcore::ArrivalKind::Fixed,
+            0.0,
+            0.0,
+            4,
+            42,
+        )
+        .expect("mesh run");
+        rep.report.check_invariants().expect("mesh invariants");
+        assert_eq!(rep.report.serve.shed, 0, "partition must not shed frames");
+        assert!(rep.report.frames_during_partition > 0, "cut never landed");
+        assert!(
+            rep.report.partition_degraded > 0,
+            "no frame degraded to a surviving-subset rung"
+        );
+        assert!(rep.bit_identical, "a rung diverged from the reference");
     }
 
     #[test]

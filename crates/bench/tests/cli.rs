@@ -137,6 +137,15 @@ fn enumerated_lists_match_their_enums() {
             "storm {name} does not round-trip"
         );
     }
+    let mut link_faults = vec!["none"];
+    link_faults.extend(simcore::LinkFaultScenario::ALL.iter().map(|s| s.name()));
+    assert_eq!(cli::LINK_FAULTS, link_faults.as_slice());
+    for name in cli::LINK_FAULTS.iter().filter(|n| **n != "none") {
+        assert!(
+            simcore::LinkFaultScenario::from_name(name).is_some(),
+            "link fault {name} does not round-trip"
+        );
+    }
     for name in cli::KERNEL_PATHS {
         assert!(
             ukernels::PathChoice::parse(name).is_some(),

@@ -100,7 +100,12 @@ pub fn apply_branch_distribution(
     let shapes = graph.infer_shapes()?;
     let groups = unn::find_branch_groups(graph);
     let cpu = spec.cpu();
-    let gpu = spec.gpu();
+    // Branch distribution maps whole branches onto the CPU/GPU pair
+    // (§3.3); a spec without a GPU (an MCU mesh, say) has nothing to
+    // map onto and keeps its per-layer placements.
+    let Some(gpu) = spec.find(DeviceKind::Gpu) else {
+        return Ok(Vec::new());
+    };
     let mut applied = Vec::new();
 
     for group in &groups {

@@ -36,9 +36,32 @@ use utensor::DType;
 use crate::adapt::DriftAdapter;
 use crate::config::ULayerConfig;
 use crate::error::ULayerError;
-use crate::partitioner::{LayerCoster, PartitionPass};
+use crate::partitioner::{partition_over, LayerCoster, PartitionPass};
 use crate::planning::{PlanContext, PlanPassRunner};
 use crate::runtime::ULayer;
+
+/// True when `subset` is connected in the subgraph induced by the
+/// spec's link table (only links with *both* endpoints in the subset
+/// count — a surviving subset cannot relay through a partitioned-away
+/// device).
+fn subset_is_connected(spec: &usoc::SocSpec, subset: &[DeviceId]) -> bool {
+    let Some(&start) = subset.first() else {
+        return false;
+    };
+    let mut seen = vec![start];
+    let mut queue = vec![start];
+    while let Some(d) = queue.pop() {
+        for l in &spec.links {
+            if let Some(other) = l.other_end(d) {
+                if subset.contains(&other) && !seen.contains(&other) {
+                    seen.push(other);
+                    queue.push(other);
+                }
+            }
+        }
+    }
+    seen.len() == subset.len()
+}
 
 impl ULayer {
     /// Emits the degradation ladder for `graph`: highest fidelity
@@ -90,13 +113,74 @@ impl ULayer {
             }
         }
 
+        // Surviving-subset rungs (networked specs only): one uniform
+        // QUInt8 cooperative plan per proper connected device subset
+        // containing the host. When a link fault partitions the mesh,
+        // the serving loop degrades to the rung whose footprint is the
+        // surviving component instead of shedding the frame. Subsets
+        // with no feasible plan (a layer that fits nowhere) are skipped.
+        let networked = spec.has_network_links();
+        if networked && spec.devices.len() <= 16 {
+            let ids = spec.device_ids();
+            let host = spec.cpu();
+            let full_mask: u32 = ((1u64 << ids.len()) - 1) as u32;
+            let uniform_cfg = ULayerConfig {
+                proc_friendly_quant: false,
+                branch_distribution: false,
+                ..self.config().clone()
+            };
+            let mut subsets = Vec::new();
+            for mask in 1u32..=full_mask {
+                if mask == full_mask || mask.count_ones() < 2 || mask & (1 << host.0) == 0 {
+                    continue;
+                }
+                let subset: Vec<DeviceId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|d| mask & (1 << d.0) != 0)
+                    .collect();
+                if !subset_is_connected(spec, &subset) {
+                    continue;
+                }
+                let Ok((placements, costs)) =
+                    partition_over(spec, self.predictor(), &uniform_cfg, graph, &subset, drift)
+                else {
+                    continue;
+                };
+                let predicted: SimSpan = costs.iter().copied().sum();
+                let label = format!(
+                    "subset-{}",
+                    subset
+                        .iter()
+                        .map(|d| d.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                );
+                let plan = ExecutionPlan::new(graph, spec, placements, &label)?;
+                subsets.push(LadderRung {
+                    label,
+                    plan,
+                    predicted,
+                });
+            }
+            subsets.sort_by_key(|r| r.predicted);
+            ladder.extend(subsets);
+        }
+
         // Single-processor rungs: one per device, fastest predicted
         // first. Uniform QUInt8 keeps every rung's storage dtype
         // compatible with the quantized network regardless of the
         // active quantization config.
         let mut singles = Vec::new();
         for device in spec.device_ids() {
-            let predicted = self.predict_single_processor(graph, device, drift)?;
+            let predicted = match self.predict_single_processor(graph, device, drift) {
+                Ok(p) => p,
+                // On a networked mesh a device whose RAM cannot hold
+                // some layer simply has no single-processor rung; on
+                // legacy specs infeasibility is still an error.
+                Err(_) if networked => continue,
+                Err(e) => return Err(e),
+            };
             let plan = single_processor_plan(graph, spec, device, DType::QUInt8)?;
             let label = format!(
                 "single-{}",
@@ -251,6 +335,41 @@ mod tests {
         // Fastest-first ordering now puts the CPU rung ahead of the GPU.
         let pos = |l: &[LadderRung], name: &str| l.iter().position(|r| r.label == name).unwrap();
         assert!(pos(&drifted, "single-cpu") < pos(&drifted, "single-gpu"));
+    }
+
+    #[test]
+    fn mesh_ladder_has_a_rung_per_surviving_connected_subset() {
+        let spec = SocSpec::mcu_mesh(4);
+        let rt = ULayer::new(spec.clone()).unwrap();
+        let g = unn::ModelId::LeNet.build_miniature();
+        let ladder = rt.degradation_ladder(&g, None).unwrap();
+        let labels: Vec<&str> = ladder.iter().map(|r| r.label.as_str()).collect();
+        // Line topology 0-1-2-3, host = node 0: the proper connected
+        // subsets containing the host are exactly {0,1} and {0,1,2}.
+        assert!(labels.contains(&"subset-0+1"), "labels: {labels:?}");
+        assert!(labels.contains(&"subset-0+1+2"), "labels: {labels:?}");
+        assert!(
+            !labels
+                .iter()
+                .any(|l| l.contains('3') && l.starts_with("subset")),
+            "the full set is the `full` rung, not a subset rung: {labels:?}"
+        );
+        // Subset rungs stay inside their subset.
+        for r in &ladder {
+            if let Some(members) = r.label.strip_prefix("subset-") {
+                let allowed: Vec<usize> = members.split('+').map(|s| s.parse().unwrap()).collect();
+                for p in &r.plan.placements {
+                    for d in p.devices() {
+                        assert!(allowed.contains(&d.0), "{} uses dev#{}", r.label, d.0);
+                    }
+                }
+            }
+        }
+        // Labels stay unique metric keys.
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
     }
 
     #[test]

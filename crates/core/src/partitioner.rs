@@ -66,7 +66,12 @@ impl<'a> LayerCoster<'a> {
     }
 
     /// Predicted latency of running the whole layer on one device,
-    /// including the host-side costs of a single-device execution.
+    /// including the host-side costs of a single-device execution and —
+    /// on specs with network links — the round trip of shipping the
+    /// input to the device and the output back to the host. Returns
+    /// `None` when the placement is infeasible: unsupported dtype, no
+    /// route from the host, or a working set that overflows the
+    /// device's local RAM.
     pub fn single_cost(
         &self,
         device: DeviceId,
@@ -76,6 +81,9 @@ impl<'a> LayerCoster<'a> {
     ) -> Option<SimSpan> {
         let dtypes = device_dtypes(self.spec, device, self.cfg);
         let work = usoc::layer_work(kind, in_shape, out_shape, dtypes, 1.0);
+        if !self.spec.devices[device.0].fits_in_ram(work.total_bytes()) {
+            return None;
+        }
         let kernel = self.corrected(
             device,
             work.class,
@@ -87,11 +95,22 @@ impl<'a> LayerCoster<'a> {
                 self.spec.gpu_issue_span() + self.spec.gpu_wait_span()
             }
         };
-        Some(kernel + host)
+        let transfer = if self.spec.has_network_links() {
+            let home = self.spec.cpu();
+            self.spec.transfer_span(home, device, work.bytes_in)?
+                + self.spec.transfer_span(device, home, work.bytes_out)?
+        } else {
+            SimSpan::ZERO
+        };
+        Some(kernel + host + transfer)
     }
 
     /// Predicted latency of a channel-wise split across `parts`
-    /// (`(device, fraction)`), including issue/merge overheads.
+    /// (`(device, fraction)`), including issue/merge overheads. On
+    /// specs with network links each remote part also pays the serial
+    /// transfer of its input slice out and its output slice back; a
+    /// part with no route or an over-RAM working set makes the whole
+    /// split infeasible (`None`).
     pub fn split_cost(
         &self,
         parts: &[(DeviceId, f64)],
@@ -99,17 +118,22 @@ impl<'a> LayerCoster<'a> {
         in_shape: &Shape,
         out_shape: &Shape,
     ) -> Option<SimSpan> {
+        let networked = self.spec.has_network_links();
+        let home = self.spec.cpu();
         let mut slowest = SimSpan::ZERO;
         let mut issue_total = SimSpan::ZERO;
         for &(device, frac) in parts {
             let dtypes = device_dtypes(self.spec, device, self.cfg);
             let work = usoc::layer_work(kind, in_shape, out_shape, dtypes, frac);
+            if !self.spec.devices[device.0].fits_in_ram(work.total_bytes()) {
+                return None;
+            }
             let kernel = self.corrected(
                 device,
                 work.class,
                 self.predictor.predict(device, &work).ok()?,
             );
-            let part = match self.spec.devices[device.0].kind {
+            let mut part = match self.spec.devices[device.0].kind {
                 DeviceKind::CpuCluster => kernel + self.spec.cpu_dispatch_span(),
                 DeviceKind::Gpu | DeviceKind::Npu => {
                     // The issue precedes the CPU-side work on the host
@@ -118,6 +142,11 @@ impl<'a> LayerCoster<'a> {
                     kernel
                 }
             };
+            if networked && device != home {
+                part = part
+                    + self.spec.transfer_span(home, device, work.bytes_in)?
+                    + self.spec.transfer_span(device, home, work.bytes_out)?;
+            }
             slowest = slowest.max(part);
         }
         let merge = if issue_total.is_zero() {
@@ -135,6 +164,22 @@ impl<'a> LayerCoster<'a> {
         in_shape: &Shape,
         out_shape: &Shape,
     ) -> Result<(NodePlacement, SimSpan), ULayerError> {
+        self.best_placement_over(&self.spec.device_ids(), kind, in_shape, out_shape)
+    }
+
+    /// [`Self::best_placement`] restricted to a device subset: the
+    /// split host is the subset's first CPU cluster (its first device
+    /// when it has none) and every other subset member is a split
+    /// partner. With the full device set this enumerates exactly the
+    /// legacy CPU+accelerator candidates in the same order. All ids in
+    /// `devices` must exist in the spec.
+    pub fn best_placement_over(
+        &self,
+        devices: &[DeviceId],
+        kind: &LayerKind,
+        in_shape: &Shape,
+        out_shape: &Shape,
+    ) -> Result<(NodePlacement, SimSpan), ULayerError> {
         let mut best: Option<(NodePlacement, SimSpan)> = None;
         let mut consider = |placement: NodePlacement, cost: SimSpan| {
             if best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
@@ -143,7 +188,7 @@ impl<'a> LayerCoster<'a> {
         };
 
         // Single-device candidates.
-        for device in self.spec.device_ids() {
+        for &device in devices {
             if let Some(cost) = self.single_cost(device, kind, in_shape, out_shape) {
                 consider(
                     NodePlacement::Single {
@@ -156,69 +201,76 @@ impl<'a> LayerCoster<'a> {
         }
 
         // Channel-wise split candidates.
+        let host = devices
+            .iter()
+            .copied()
+            .find(|d| self.spec.devices[d.0].kind == DeviceKind::CpuCluster)
+            .or_else(|| devices.first().copied());
         if self.cfg.channel_distribution && kind.is_distributable() {
-            let cpu = self.spec.cpu();
-            let accels: Vec<DeviceId> = self
-                .spec
-                .device_ids()
-                .into_iter()
-                .filter(|d| self.spec.devices[d.0].kind != DeviceKind::CpuCluster)
-                .collect();
-            // Two-way CPU+accelerator splits at the configured p values.
-            for &accel in &accels {
-                for &p in &self.cfg.p_candidates {
-                    let parts = [(cpu, p), (accel, 1.0 - p)];
-                    if let Some(cost) = self.split_cost(&parts, kind, in_shape, out_shape) {
-                        consider(
-                            NodePlacement::Split {
-                                parts: parts
-                                    .iter()
-                                    .map(|&(d, f)| (d, device_dtypes(self.spec, d, self.cfg), f))
-                                    .collect(),
-                            },
-                            cost,
-                        );
+            if let Some(host) = host {
+                let partners: Vec<DeviceId> =
+                    devices.iter().copied().filter(|&d| d != host).collect();
+                // Two-way host+partner splits at the configured p values.
+                for &partner in &partners {
+                    for &p in &self.cfg.p_candidates {
+                        let parts = [(host, p), (partner, 1.0 - p)];
+                        if let Some(cost) = self.split_cost(&parts, kind, in_shape, out_shape) {
+                            consider(
+                                NodePlacement::Split {
+                                    parts: parts
+                                        .iter()
+                                        .map(|&(d, f)| {
+                                            (d, device_dtypes(self.spec, d, self.cfg), f)
+                                        })
+                                        .collect(),
+                                },
+                                cost,
+                            );
+                        }
                     }
                 }
-            }
-            // N-way split with throughput-proportional shares (NPU
-            // extension): shares proportional to predicted speed.
-            if accels.len() >= 2 {
-                let devices: Vec<DeviceId> =
-                    std::iter::once(cpu).chain(accels.iter().copied()).collect();
-                let speeds: Option<Vec<f64>> = devices
-                    .iter()
-                    .map(|&d| {
-                        self.single_cost(d, kind, in_shape, out_shape)
-                            .map(|c| 1.0 / c.as_secs_f64().max(1e-12))
-                    })
-                    .collect();
-                if let Some(speeds) = speeds {
-                    let total: f64 = speeds.iter().sum();
-                    if total > 0.0 {
-                        let mut parts: Vec<(DeviceId, f64)> = devices
-                            .iter()
-                            .zip(&speeds)
-                            .map(|(&d, &s)| (d, s / total))
-                            .collect();
-                        // Re-normalize exactly.
-                        let sum: f64 = parts.iter().map(|p| p.1).sum();
-                        for p in &mut parts {
-                            p.1 /= sum;
-                        }
-                        if parts.iter().all(|p| p.1 > 0.01) {
-                            if let Some(cost) = self.split_cost(&parts, kind, in_shape, out_shape) {
-                                consider(
-                                    NodePlacement::Split {
-                                        parts: parts
-                                            .iter()
-                                            .map(|&(d, f)| {
-                                                (d, device_dtypes(self.spec, d, self.cfg), f)
-                                            })
-                                            .collect(),
-                                    },
-                                    cost,
-                                );
+                // N-way split with throughput-proportional shares (NPU
+                // extension): shares proportional to predicted speed.
+                if partners.len() >= 2 {
+                    let devices: Vec<DeviceId> = std::iter::once(host)
+                        .chain(partners.iter().copied())
+                        .collect();
+                    let speeds: Option<Vec<f64>> = devices
+                        .iter()
+                        .map(|&d| {
+                            self.single_cost(d, kind, in_shape, out_shape)
+                                .map(|c| 1.0 / c.as_secs_f64().max(1e-12))
+                        })
+                        .collect();
+                    if let Some(speeds) = speeds {
+                        let total: f64 = speeds.iter().sum();
+                        if total > 0.0 {
+                            let mut parts: Vec<(DeviceId, f64)> = devices
+                                .iter()
+                                .zip(&speeds)
+                                .map(|(&d, &s)| (d, s / total))
+                                .collect();
+                            // Re-normalize exactly.
+                            let sum: f64 = parts.iter().map(|p| p.1).sum();
+                            for p in &mut parts {
+                                p.1 /= sum;
+                            }
+                            if parts.iter().all(|p| p.1 > 0.01) {
+                                if let Some(cost) =
+                                    self.split_cost(&parts, kind, in_shape, out_shape)
+                                {
+                                    consider(
+                                        NodePlacement::Split {
+                                            parts: parts
+                                                .iter()
+                                                .map(|&(d, f)| {
+                                                    (d, device_dtypes(self.spec, d, self.cfg), f)
+                                                })
+                                                .collect(),
+                                        },
+                                        cost,
+                                    );
+                                }
                             }
                         }
                     }
@@ -255,6 +307,21 @@ pub fn partition_with_drift(
     graph: &Graph,
     drift: Option<&DriftAdapter>,
 ) -> Result<(Vec<NodePlacement>, Vec<SimSpan>), ULayerError> {
+    partition_over(spec, predictor, cfg, graph, &spec.device_ids(), drift)
+}
+
+/// [`partition`] restricted to a device subset — every layer is placed
+/// on (or split across) members of `devices` only. The degradation
+/// ladder uses this to build rungs for each surviving connected subset
+/// of a networked mesh.
+pub fn partition_over(
+    spec: &SocSpec,
+    predictor: &LatencyPredictor,
+    cfg: &ULayerConfig,
+    graph: &Graph,
+    devices: &[DeviceId],
+    drift: Option<&DriftAdapter>,
+) -> Result<(Vec<NodePlacement>, Vec<SimSpan>), ULayerError> {
     let shapes = graph.infer_shapes()?;
     let coster = LayerCoster {
         spec,
@@ -266,7 +333,8 @@ pub fn partition_with_drift(
     let mut costs = Vec::with_capacity(graph.len());
     for (i, node) in graph.nodes().iter().enumerate() {
         let in_shape = graph.node_input_shape(NodeId(i), &shapes);
-        let (placement, cost) = coster.best_placement(&node.kind, in_shape, &shapes[i])?;
+        let (placement, cost) =
+            coster.best_placement_over(devices, &node.kind, in_shape, &shapes[i])?;
         placements.push(placement);
         costs.push(cost);
     }
@@ -457,6 +525,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn subset_placement_never_leaves_the_subset() {
+        let spec = SocSpec::exynos_7420().with_npu();
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        let cfg = ULayerConfig::full();
+        let g = unn::ModelId::SqueezeNet.build_miniature();
+        let subset = [spec.cpu(), spec.find(DeviceKind::Npu).unwrap()];
+        let (placements, _) = partition_over(&spec, &pred, &cfg, &g, &subset, None).unwrap();
+        for p in &placements {
+            match p {
+                NodePlacement::Single { device, .. } => assert!(subset.contains(device)),
+                NodePlacement::Split { parts } => {
+                    for (d, _, _) in parts {
+                        assert!(subset.contains(d), "split uses {d} outside the subset");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_subset_matches_legacy_partition() {
+        // The generalized search over the full device set must reproduce
+        // the legacy two-device partitioner decision by decision.
+        let (spec, pred) = setup();
+        let cfg = ULayerConfig::full();
+        let g = unn::ModelId::SqueezeNet.build();
+        let (legacy, legacy_costs) = partition(&spec, &pred, &cfg, &g).unwrap();
+        let (general, general_costs) =
+            partition_over(&spec, &pred, &cfg, &g, &spec.device_ids(), None).unwrap();
+        assert_eq!(legacy, general);
+        assert_eq!(legacy_costs, general_costs);
+    }
+
+    #[test]
+    fn mesh_ram_limit_forces_a_multi_node_split() {
+        // A layer whose QUInt8 working set overflows one MCU node's RAM
+        // must be split across nodes; a layer that fits may stay single.
+        let spec = SocSpec::mcu_mesh(4);
+        let pred = LatencyPredictor::train(&spec).unwrap();
+        let cfg = ULayerConfig::channel_distribution_only();
+        let coster = LayerCoster {
+            spec: &spec,
+            predictor: &pred,
+            cfg: &cfg,
+            drift: None,
+        };
+        let kind = LayerKind::Conv {
+            oc: 64,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        };
+        let in_shape = Shape::nchw(1, 64, 40, 40);
+        let out_shape = Shape::nchw(1, 64, 40, 40);
+        assert!(
+            coster
+                .single_cost(spec.cpu(), &kind, &in_shape, &out_shape)
+                .is_none(),
+            "the full layer should overflow one node's RAM"
+        );
+        let (placement, _) = coster.best_placement(&kind, &in_shape, &out_shape).unwrap();
+        assert!(
+            matches!(placement, NodePlacement::Split { .. }),
+            "expected a RAM-forced split, got {placement:?}"
+        );
     }
 
     #[test]

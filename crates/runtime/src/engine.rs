@@ -256,6 +256,117 @@ pub(crate) fn alloc_weight_buffers(
     }
 }
 
+/// Checks a plan's structural consistency against the spec and graph
+/// before any task is scheduled, so a corrupted or hand-mutated plan
+/// surfaces as [`RunError::MalformedPlan`] instead of a panic: every
+/// placement must reference a known device that is reachable from the
+/// host over the spec's links, and split shares must be sane.
+pub(crate) fn validate_plan(
+    spec: &SocSpec,
+    graph: &Graph,
+    plan: &ExecutionPlan,
+) -> Result<(), RunError> {
+    if plan.placements.len() != graph.len() {
+        return Err(RunError::MalformedPlan(format!(
+            "plan has {} placements for a {}-node graph",
+            plan.placements.len(),
+            graph.len()
+        )));
+    }
+    let ndev = spec.devices.len();
+    let host = spec.cpu();
+    for (i, p) in plan.placements.iter().enumerate() {
+        for d in p.devices() {
+            if d.0 >= ndev {
+                return Err(RunError::MalformedPlan(format!(
+                    "node {i} placed on unknown device dev#{}",
+                    d.0
+                )));
+            }
+            if spec.route(host, d).is_none() {
+                return Err(RunError::MalformedPlan(format!(
+                    "node {i} placed on dev#{} with no route from the host",
+                    d.0
+                )));
+            }
+        }
+        if let NodePlacement::Split { parts } = p {
+            if parts.is_empty() {
+                return Err(RunError::MalformedPlan(format!(
+                    "node {i} has a split placement with no parts"
+                )));
+            }
+            for &(_, _, f) in parts {
+                if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                    return Err(RunError::MalformedPlan(format!(
+                        "node {i} has a split share of {f}"
+                    )));
+                }
+            }
+        }
+    }
+    for &c in &plan.elided_concats {
+        if c >= graph.len() {
+            return Err(RunError::MalformedPlan(format!(
+                "elided concat index {c} out of range for a {}-node graph",
+                graph.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Schedules the store-and-forward hop tasks moving `bytes` from `from`
+/// to `to` over the spec's network links, returning the task the
+/// consumer must depend on (`src` when the route has no hops). Each hop
+/// occupies its link's timeline — `ResourceId(ndev + link_index)`, the
+/// convention every executor that registers link resources follows —
+/// for the link's serial transfer span.
+#[allow(clippy::too_many_arguments)]
+fn transfer_chain(
+    tg: &mut TaskGraph<TaskMeta>,
+    spec: &SocSpec,
+    from: DeviceId,
+    to: DeviceId,
+    bytes: u64,
+    src: Option<TaskId>,
+    label: &str,
+    node: Option<NodeId>,
+    instance: usize,
+) -> Result<Option<TaskId>, RunError> {
+    let route = spec.route(from, to).ok_or_else(|| {
+        RunError::MalformedPlan(format!(
+            "no route from dev#{} to dev#{} for {label}",
+            from.0, to.0
+        ))
+    })?;
+    let ndev = spec.devices.len();
+    let mut prev = src;
+    let mut at = from;
+    for (hop, li) in route.iter().enumerate() {
+        let link = &spec.links[*li];
+        let next = link.other_end(at).expect("route hops are incident");
+        let deps: Vec<TaskId> = prev.into_iter().collect();
+        let t = tg.add(
+            format!("{label}::xfer#{hop}[{}-{}]", at.0, next.0),
+            simcore::ResourceId(ndev + *li),
+            link.link.transfer_span(bytes),
+            &deps,
+            TaskMeta {
+                device: at,
+                work: KernelWork::nop(),
+                node,
+                class: OverheadClass::Transfer,
+                map: SimSpan::ZERO,
+                instance,
+            },
+        );
+        prev = Some(t);
+        at = next;
+    }
+    Ok(prev)
+}
+
 /// Builds the task DAG of one inference instance of `plan` into `tg`.
 ///
 /// `prefix` namespaces task labels (used by the pipeline executor);
@@ -279,7 +390,13 @@ pub(crate) fn schedule_instance(
     resilient: bool,
 ) -> Result<InstanceTasks, RunError> {
     let cpu = spec.cpu();
+    let networked = spec.has_network_links();
     let mut fallbacks: Vec<FallbackPart> = Vec::new();
+    // Transfer chains already scheduled for this instance, keyed by
+    // (producer node — usize::MAX for the input frame — and destination
+    // device), so two consumers on one device share the same transfer.
+    let mut xfers: std::collections::BTreeMap<(usize, usize), TaskId> =
+        std::collections::BTreeMap::new();
     let res = |d: DeviceId| simcore::ResourceId(d.0);
     let meta_overhead =
         |device: DeviceId, node: Option<NodeId>, class: OverheadClass, map: SimSpan| TaskMeta {
@@ -300,6 +417,9 @@ pub(crate) fn schedule_instance(
     // resides.
     let mut producers: Vec<(TaskId, Residency)> = Vec::with_capacity(graph.len());
     let mut node_first_task: Vec<TaskId> = Vec::with_capacity(graph.len());
+    // Per node: the device holding the node's output (for networked
+    // specs; a split's merged output lives on the host).
+    let mut producer_locs: Vec<DeviceId> = Vec::with_capacity(graph.len());
 
     // Branches of an elided concat write their channel range directly
     // into the join buffer: `inplace_target` maps each such producer to
@@ -324,8 +444,11 @@ pub(crate) fn schedule_instance(
         // Dependencies of this node's compute: the producers of each
         // input, adjusted for residency crossings; source layers wait for
         // the instance's arrival gate instead.
-        let input_producers: Vec<(TaskId, Residency)> =
-            node.inputs.iter().map(|d| producers[d.0]).collect();
+        let input_producers: Vec<(usize, TaskId, Residency)> = node
+            .inputs
+            .iter()
+            .map(|d| (d.0, producers[d.0].0, producers[d.0].1))
+            .collect();
 
         // Output buffer for this node (zero-copy shared memory). A
         // branch of an elided concat owns no buffer of its own — it
@@ -344,16 +467,50 @@ pub(crate) fn schedule_instance(
         };
 
         // Builds the dependency list for a consumer on `consumer_dev`,
-        // inserting host-side sync/map tasks as required.
-        let deps_for = |tg: &mut TaskGraph<TaskMeta>, consumer_dev: DeviceId| -> Vec<TaskId> {
+        // inserting host-side sync/map tasks — and, on networked specs,
+        // store-and-forward link transfers — as required.
+        let deps_for = |tg: &mut TaskGraph<TaskMeta>,
+                        xfers: &mut std::collections::BTreeMap<(usize, usize), TaskId>,
+                        consumer_dev: DeviceId|
+         -> Result<Vec<TaskId>, RunError> {
             let consumer_kind = spec.devices[consumer_dev.0].kind;
             let mut deps = Vec::with_capacity(input_producers.len() + 1);
             if node.inputs.is_empty() {
-                if let Some(a) = arrival {
+                // The input frame arrives at the host; a remote source
+                // layer waits for the frame to cross the mesh instead.
+                if networked && consumer_dev != cpu {
+                    let key = (usize::MAX, consumer_dev.0);
+                    let cached = match xfers.get(&key).copied() {
+                        Some(t) => Some(t),
+                        None => {
+                            let bytes = (in_shape.numel()
+                                * plan.placements[i].storage_dtype().size_bytes())
+                                as u64;
+                            let t = transfer_chain(
+                                tg,
+                                spec,
+                                cpu,
+                                consumer_dev,
+                                bytes,
+                                arrival,
+                                &format!("{prefix}input"),
+                                Some(id),
+                                instance,
+                            )?;
+                            if let Some(t) = t {
+                                xfers.insert(key, t);
+                            }
+                            t
+                        }
+                    };
+                    if let Some(t) = cached {
+                        deps.push(t);
+                    }
+                } else if let Some(a) = arrival {
                     deps.push(a);
                 }
             }
-            for &(ptask, res_where) in &input_producers {
+            for &(pnode, ptask, res_where) in &input_producers {
                 match (consumer_kind, res_where) {
                     // CPU reading accelerator output: wait for the queue,
                     // then map the buffer for reading.
@@ -396,11 +553,44 @@ pub(crate) fn schedule_instance(
                         );
                         deps.push(sync);
                     }
-                    // Same residency: direct dependency.
-                    _ => deps.push(ptask),
+                    // Same residency: direct dependency — or, when the
+                    // producer's output lives on another mesh device, a
+                    // dependency on the (shared) transfer chain moving
+                    // the whole output to the consumer's device.
+                    _ => {
+                        if networked && producer_locs[pnode] != consumer_dev {
+                            let key = (pnode, consumer_dev.0);
+                            let cached = match xfers.get(&key).copied() {
+                                Some(t) => Some(t),
+                                None => {
+                                    let bytes = (shapes[pnode].numel()
+                                        * plan.placements[pnode].storage_dtype().size_bytes())
+                                        as u64;
+                                    let t = transfer_chain(
+                                        tg,
+                                        spec,
+                                        producer_locs[pnode],
+                                        consumer_dev,
+                                        bytes,
+                                        Some(ptask),
+                                        &format!("{prefix}{}", graph.nodes()[pnode].name),
+                                        Some(id),
+                                        instance,
+                                    )?;
+                                    if let Some(t) = t {
+                                        xfers.insert(key, t);
+                                    }
+                                    t
+                                }
+                            };
+                            deps.push(cached.unwrap_or(ptask));
+                        } else {
+                            deps.push(ptask);
+                        }
+                    }
                 }
             }
-            deps
+            Ok(deps)
         };
 
         // The §6 overhead class a node's kernel tasks belong to. A
@@ -414,13 +604,13 @@ pub(crate) fn schedule_instance(
         };
 
         let placement = &plan.placements[i];
-        let (final_task, residency, first_task) = if plan.elided_concats.contains(&i) {
+        let (final_task, residency, first_task, loc) = if plan.elided_concats.contains(&i) {
             // Elided concat: the branches already wrote their channel
             // ranges into the join buffer, so the merge is a zero-span
             // synchronization point. Residency crossings of the branch
             // outputs (accelerator queues the host must still wait for)
             // are preserved by the dependency builder.
-            let deps = deps_for(tg, cpu);
+            let deps = deps_for(tg, &mut xfers, cpu)?;
             let t = tg.add_with_priority(
                 format!("{name}::elided"),
                 res(cpu),
@@ -429,7 +619,7 @@ pub(crate) fn schedule_instance(
                 -1,
                 meta_overhead(cpu, Some(id), OverheadClass::Merge, SimSpan::ZERO),
             );
-            (t, Residency::Cpu, t)
+            (t, Residency::Cpu, t, cpu)
         } else {
             match placement {
                 NodePlacement::Single { device, dtypes } => {
@@ -437,7 +627,7 @@ pub(crate) fn schedule_instance(
                     let span = spec.kernel_latency(*device, &work)?;
                     match spec.devices[device.0].kind {
                         DeviceKind::CpuCluster => {
-                            let deps = deps_for(tg, *device);
+                            let deps = deps_for(tg, &mut xfers, *device)?;
                             memory.map(out_buf, MapMode::WriteInvalidate)?;
                             let k = tg.add(
                                 format!("{name}@CPU"),
@@ -454,7 +644,7 @@ pub(crate) fn schedule_instance(
                                 },
                             );
                             memory.unmap(out_buf)?;
-                            (k, Residency::Cpu, k)
+                            (k, Residency::Cpu, k, *device)
                         }
                         DeviceKind::Gpu | DeviceKind::Npu => {
                             let issue = tg.add_with_priority(
@@ -465,7 +655,7 @@ pub(crate) fn schedule_instance(
                                 -1,
                                 meta_overhead(cpu, Some(id), OverheadClass::Issue, SimSpan::ZERO),
                             );
-                            let mut deps = deps_for(tg, *device);
+                            let mut deps = deps_for(tg, &mut xfers, *device)?;
                             deps.push(issue);
                             let k = tg.add(
                                 format!("{name}@{}", spec.devices[device.0].kind),
@@ -509,7 +699,7 @@ pub(crate) fn schedule_instance(
                                     fallback: fb,
                                 });
                             }
-                            (k, Residency::Accel(*device), issue)
+                            (k, Residency::Accel(*device), issue, *device)
                         }
                     }
                 }
@@ -560,7 +750,7 @@ pub(crate) fn schedule_instance(
                         let span = spec.kernel_latency(device, &work)?;
                         match spec.devices[device.0].kind {
                             DeviceKind::CpuCluster => {
-                                let deps = deps_for(tg, device);
+                                let deps = deps_for(tg, &mut xfers, device)?;
                                 let k = tg.add(
                                     format!("{name}@CPU[{frac:.2}]"),
                                     res(device),
@@ -576,7 +766,24 @@ pub(crate) fn schedule_instance(
                                     },
                                 );
                                 first.get_or_insert(k);
-                                part_tasks.push(k);
+                                // A remote part's partial output must cross
+                                // back to the host before the merge.
+                                if networked && device != cpu {
+                                    let t = transfer_chain(
+                                        tg,
+                                        spec,
+                                        device,
+                                        cpu,
+                                        work.bytes_out,
+                                        Some(k),
+                                        &format!("{name}[{frac:.2}]"),
+                                        Some(id),
+                                        instance,
+                                    )?;
+                                    part_tasks.push(t.unwrap_or(k));
+                                } else {
+                                    part_tasks.push(k);
+                                }
                             }
                             DeviceKind::Gpu | DeviceKind::Npu => {
                                 any_accel = true;
@@ -593,7 +800,7 @@ pub(crate) fn schedule_instance(
                                         SimSpan::ZERO,
                                     ),
                                 );
-                                let mut deps = deps_for(tg, device);
+                                let mut deps = deps_for(tg, &mut xfers, device)?;
                                 deps.push(issue);
                                 let k = tg.add(
                                     format!("{name}@{}[{frac:.2}]", spec.devices[device.0].kind),
@@ -664,12 +871,13 @@ pub(crate) fn schedule_instance(
                         -1,
                         meta_overhead(cpu, Some(id), OverheadClass::Merge, merge_map),
                     );
-                    (merge, Residency::Cpu, first.unwrap_or(merge))
+                    (merge, Residency::Cpu, first.unwrap_or(merge), cpu)
                 }
             }
         };
         producers.push((final_task, residency));
         node_first_task.push(first_task);
+        producer_locs.push(loc);
     }
 
     // The inference completes when the designated output is CPU-visible:
@@ -689,6 +897,27 @@ pub(crate) fn schedule_instance(
             meta_overhead(cpu, None, OverheadClass::Sync, spec.map_span()),
         ),
         (last, Residency::Cpu) => last,
+    };
+    // A remote output must cross back to the host before the inference
+    // counts as complete.
+    let out = graph.output().0;
+    let completion = if networked && producer_locs[out] != cpu {
+        let bytes =
+            (shapes[out].numel() * plan.placements[out].storage_dtype().size_bytes()) as u64;
+        transfer_chain(
+            tg,
+            spec,
+            producer_locs[out],
+            cpu,
+            bytes,
+            Some(completion),
+            &format!("{prefix}final"),
+            None,
+            instance,
+        )?
+        .unwrap_or(completion)
+    } else {
+        completion
     };
 
     Ok(InstanceTasks {
@@ -742,12 +971,20 @@ pub fn execute_plan_with_faults(
     faults: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Result<(RunResult, FaultReport), RunError> {
+    validate_plan(spec, graph, plan)?;
     let shapes = graph.infer_shapes()?;
     let resilient = !faults.is_empty();
 
     let mut pool = ResourcePool::new();
     for dev in &spec.devices {
         pool.add(dev.name.clone());
+    }
+    // Networked specs schedule transfer tasks on per-link timelines at
+    // `ResourceId(ndev + link_index)`.
+    if spec.has_network_links() {
+        for l in &spec.links {
+            pool.add(l.resource_name());
+        }
     }
 
     let mut tg: TaskGraph<TaskMeta> = TaskGraph::new();
@@ -773,6 +1010,11 @@ pub fn execute_plan_with_faults(
 
     let mut energy = EnergyAccumulator::new(spec);
     for rec in trace.records() {
+        // Link time is not processor time: transfers burn no device
+        // energy (there is no link power model yet).
+        if rec.payload.class == OverheadClass::Transfer {
+            continue;
+        }
         energy.add_task(
             rec.payload.device,
             rec.span(),
@@ -783,6 +1025,9 @@ pub fn execute_plan_with_faults(
     // does not show; they burn energy all the same.
     for attempt in &log.wasted {
         let meta = &trace.records()[attempt.task.0].payload;
+        if meta.class == OverheadClass::Transfer {
+            continue;
+        }
         energy.add_task(
             meta.device,
             attempt.end - attempt.start,
@@ -800,7 +1045,10 @@ pub fn execute_plan_with_faults(
         })
         .collect();
 
-    let resource_names: Vec<String> = spec.devices.iter().map(|d| d.name.clone()).collect();
+    let mut resource_names: Vec<String> = spec.devices.iter().map(|d| d.name.clone()).collect();
+    if spec.has_network_links() {
+        resource_names.extend(spec.links.iter().map(|l| l.resource_name()));
+    }
     let attribution = attribute(&trace, &resource_names, spec);
     let stats = memory.stats();
     let mut metrics = MetricsRegistry::new();

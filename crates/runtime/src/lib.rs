@@ -22,6 +22,10 @@
 //! - [`serve`] — the overload-robust serving frontend: bounded
 //!   admission with explicit backpressure, a deadline-aware degradation
 //!   ladder over pre-computed plans, and exact shed-frame accounting.
+//! - [`mesh`] — partition-tolerant serving for networked multi-device
+//!   specs: rung eligibility gated on link reachability, service times
+//!   stretched by link throttles, and partition bookkeeping on top of
+//!   the exact serving accounting.
 //! - [`metrics`] — the counters/gauges registry every executor fills.
 //!
 //! # Examples
@@ -43,6 +47,7 @@ pub mod baselines;
 pub mod engine;
 pub mod fleet;
 pub mod functional;
+pub mod mesh;
 pub mod metrics;
 pub mod observe;
 pub mod pipeline;
@@ -66,6 +71,7 @@ pub use functional::{
     eval_part_task, evaluate_plan, evaluate_plan_with_backend, evaluate_plan_with_recovery,
     split_axis, PartTask, SplitAxis,
 };
+pub use mesh::{serve_mesh, MeshReport};
 pub use metrics::{MetricsRegistry, SharedMetrics};
 pub use observe::{
     attribute, chrome_trace_json, chrome_trace_json_with_faults, Attribution, OverheadClass,

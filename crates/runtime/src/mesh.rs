@@ -1,0 +1,450 @@
+//! Partition-tolerant mesh serving: the [`crate::serve`] loop
+//! generalized to networked multi-device specs under link faults.
+//!
+//! [`crate::serve_stream`] assumes every rung of the degradation ladder
+//! is always *executable* — devices never become unreachable, only
+//! slow. On a networked mesh that assumption breaks: a link fault can
+//! partition the topology, and any rung whose footprint spans the cut
+//! cannot run at all. [`serve_mesh`] closes the gap:
+//!
+//! - **Reachability-gated rungs.** At each frame's arrival the down
+//!   links are read from the [`simcore::FaultPlan`]
+//!   ([`simcore::FaultPlan::is_down_at`] over the link resources at
+//!   `ResourceId(ndev + link_index)`, the engine's convention), and
+//!   only rungs whose whole device footprint is reachable from the
+//!   host over surviving links are eligible. The ladder built by the
+//!   core crate carries one rung per surviving connected subset, so a
+//!   partitioned mesh degrades to the rung matching its surviving
+//!   component instead of shedding the frame.
+//! - **Throttle-aware service times.** A throttled (but up) link
+//!   stretches the service time of every eligible rung routed over it
+//!   by the worst link speed factor along its routes.
+//! - **Exact accounting.** The invariant `offered = completed +
+//!   degraded + shed` is inherited from [`crate::serve::ServeReport`]
+//!   and re-checked by [`MeshReport::check_invariants`], together with
+//!   the mesh-specific bookkeeping.
+//!
+//! Retry/timeout behaviour of individual transfers is *engine-level*:
+//! transfer tasks scheduled by [`crate::execute_plan_with_faults`] are
+//! retried by the same watchdog and [`simcore::RetryPolicy`] as kernel
+//! tasks, so link drops and device hiccups share one backoff bound.
+
+use simcore::{FaultPlan, SimSpan, SimTime};
+use std::collections::BTreeSet;
+use unn::Graph;
+use usoc::SocSpec;
+
+use crate::engine::{execute_plan, RunError, RunResult};
+use crate::metrics::MetricsRegistry;
+use crate::serve::{
+    fill_serve_metrics, FrameFate, FrameRecord, LadderRung, ServeConfig, ServeReport,
+};
+
+/// The outcome of [`serve_mesh`]: the serving report plus the
+/// mesh-specific partition bookkeeping.
+#[derive(Clone, Debug)]
+pub struct MeshReport {
+    /// The underlying serving report (frames, rung counts, invariants).
+    pub serve: ServeReport,
+    /// Number of network links in the spec.
+    pub links: usize,
+    /// Per frame, in arrival order: how many links were down at its
+    /// arrival.
+    pub down_links_at_arrival: Vec<usize>,
+    /// Frames that arrived while at least one link was down.
+    pub frames_during_partition: u64,
+    /// Frames executed on a degraded rung (rung > 0) while at least one
+    /// link was down.
+    pub partition_degraded: u64,
+}
+
+impl MeshReport {
+    /// Checks the serving invariants plus the mesh bookkeeping:
+    /// the per-frame down-link vector covers every offered frame, and
+    /// partition-degraded frames are a subset of both the degraded and
+    /// the during-partition populations.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.serve.check_invariants()?;
+        if self.down_links_at_arrival.len() as u64 != self.serve.offered {
+            return Err(format!(
+                "down-link records cover {} frames of {} offered",
+                self.down_links_at_arrival.len(),
+                self.serve.offered
+            ));
+        }
+        if self.partition_degraded > self.frames_during_partition {
+            return Err(format!(
+                "partition-degraded {} exceeds frames during partition {}",
+                self.partition_degraded, self.frames_during_partition
+            ));
+        }
+        if self.partition_degraded > self.serve.degraded {
+            return Err(format!(
+                "partition-degraded {} exceeds degraded {}",
+                self.partition_degraded, self.serve.degraded
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Serves `arrivals` through `ladder` on a networked `spec` under the
+/// link faults of `faults`.
+///
+/// The model extends [`crate::serve_stream`]: each rung's fault-free
+/// service time and device footprint come from executing its plan once;
+/// per frame, rungs whose footprint is unreachable from the host over
+/// surviving links are skipped, surviving rungs' service times are
+/// stretched by the worst active link throttle on their routes, and the
+/// first (highest-fidelity) rung whose projected completion meets the
+/// deadline wins. Frames meeting no reachable rung are shed; frames
+/// arriving at a full waiting room are rejected.
+///
+/// Link state is read from `faults` over the engine's link-resource
+/// convention (`ResourceId(ndev + link_index)`): a link is *down* at
+/// `t` when it was lost by `t` or its composed throttle factor sinks
+/// below [`simcore::FaultPlan::DOWN_FACTOR`].
+pub fn serve_mesh(
+    spec: &SocSpec,
+    graph: &Graph,
+    ladder: &[LadderRung],
+    arrivals: &[SimTime],
+    cfg: &ServeConfig,
+    faults: &FaultPlan,
+) -> Result<MeshReport, RunError> {
+    if ladder.is_empty() {
+        return Err(RunError::MalformedPlan(
+            "mesh: degradation ladder is empty".into(),
+        ));
+    }
+    if cfg.queue_capacity == 0 {
+        return Err(RunError::MalformedPlan(
+            "mesh: queue capacity must be >= 1".into(),
+        ));
+    }
+    if arrivals.windows(2).any(|w| w[1] < w[0]) {
+        return Err(RunError::MalformedPlan(
+            "mesh: arrivals must be sorted".into(),
+        ));
+    }
+
+    let host = spec.cpu();
+    let ndev = spec.devices.len();
+    let nlinks = spec.links.len();
+    let link_res = |j: usize| simcore::ResourceId(ndev + j);
+
+    // Execute each rung once, fault-free: realized service latency plus
+    // device footprint (remote rungs already include their transfers).
+    let mut rung_latency = Vec::with_capacity(ladder.len());
+    let mut rung_devices: Vec<Vec<usoc::DeviceId>> = Vec::with_capacity(ladder.len());
+    let mut rung_energy_j = Vec::with_capacity(ladder.len());
+    for rung in ladder {
+        let result: RunResult = execute_plan(spec, graph, &rung.plan)?;
+        rung_latency.push(result.latency);
+        rung_energy_j.push(result.energy.total_j());
+        let devs: BTreeSet<usize> = rung
+            .plan
+            .placements
+            .iter()
+            .flat_map(|p| p.devices())
+            .map(|d| d.0)
+            .collect();
+        rung_devices.push(devs.into_iter().map(usoc::DeviceId).collect());
+    }
+
+    let mut device_free = vec![SimTime::ZERO; ndev];
+    let mut prev_dispatch = SimTime::ZERO;
+    let mut frames: Vec<FrameRecord> = Vec::with_capacity(arrivals.len());
+    let mut rung_counts = vec![0u64; ladder.len()];
+    let mut queue_peak = 0usize;
+    let mut rejected = 0u64;
+    let mut dropped = 0u64;
+    let mut latencies: Vec<SimSpan> = Vec::new();
+    let mut energy_j = 0.0f64;
+    let mut down_links_at_arrival = Vec::with_capacity(arrivals.len());
+    let mut frames_during_partition = 0u64;
+    let mut partition_degraded = 0u64;
+
+    for (k, &arrival) in arrivals.iter().enumerate() {
+        let down: Vec<usize> = (0..nlinks)
+            .filter(|&j| faults.is_down_at(link_res(j), arrival))
+            .collect();
+        down_links_at_arrival.push(down.len());
+        let partitioned = !down.is_empty();
+        if partitioned {
+            frames_during_partition += 1;
+        }
+
+        let depth = frames
+            .iter()
+            .filter(|r| r.fate != FrameFate::Rejected && r.start > arrival)
+            .count();
+        if depth >= cfg.queue_capacity {
+            rejected += 1;
+            frames.push(FrameRecord {
+                frame: k,
+                arrival,
+                start: arrival,
+                finish: arrival,
+                depth_at_arrival: depth,
+                fate: FrameFate::Rejected,
+            });
+            continue;
+        }
+
+        let ready = arrival.max(prev_dispatch);
+        let deadline_at = arrival + cfg.deadline;
+        let mut chosen: Option<(usize, SimTime, SimSpan)> = None;
+        'rungs: for r in 0..ladder.len() {
+            // Every device the rung touches must be reachable over the
+            // surviving links, and the rung pays the worst throttle on
+            // its routes.
+            let mut factor = 1.0f64;
+            for &d in &rung_devices[r] {
+                let Some(route) = spec.route_avoiding(host, d, &down) else {
+                    continue 'rungs;
+                };
+                for li in route {
+                    factor = factor.min(faults.speed_factor_at(link_res(li), arrival));
+                }
+            }
+            let service = rung_latency[r] * (1.0 / factor.max(1e-3));
+            let start = rung_devices[r]
+                .iter()
+                .fold(ready, |acc, d| acc.max(device_free[d.0]));
+            if start + service <= deadline_at {
+                chosen = Some((r, start, service));
+                break;
+            }
+        }
+        match chosen {
+            Some((r, start, service)) => {
+                let finish = start + service;
+                for d in &rung_devices[r] {
+                    device_free[d.0] = finish;
+                }
+                prev_dispatch = start;
+                rung_counts[r] += 1;
+                latencies.push(finish.since(arrival));
+                energy_j += rung_energy_j[r];
+                if partitioned && r > 0 {
+                    partition_degraded += 1;
+                }
+                let waited = usize::from(start > arrival);
+                queue_peak = queue_peak.max(depth + waited);
+                frames.push(FrameRecord {
+                    frame: k,
+                    arrival,
+                    start,
+                    finish,
+                    depth_at_arrival: depth,
+                    fate: FrameFate::Executed { rung: r },
+                });
+            }
+            None => {
+                dropped += 1;
+                prev_dispatch = ready;
+                let waited = usize::from(ready > arrival);
+                queue_peak = queue_peak.max(depth + waited);
+                frames.push(FrameRecord {
+                    frame: k,
+                    arrival,
+                    start: ready,
+                    finish: ready,
+                    depth_at_arrival: depth,
+                    fate: FrameFate::Shed,
+                });
+            }
+        }
+    }
+
+    latencies.sort();
+    let offered = frames.len() as u64;
+    let completed = rung_counts.first().copied().unwrap_or(0);
+    let degraded: u64 = rung_counts.iter().skip(1).sum();
+    let shed = rejected + dropped;
+
+    let mut serve = ServeReport {
+        frames,
+        rung_labels: ladder.iter().map(|r| r.label.clone()).collect(),
+        rung_latency,
+        rung_counts,
+        offered,
+        completed,
+        degraded,
+        shed,
+        rejected,
+        queue_capacity: cfg.queue_capacity,
+        queue_peak,
+        latencies,
+        metrics: MetricsRegistry::new(),
+    };
+    fill_serve_metrics(&mut serve, ladder, energy_j);
+    serve.metrics.inc("mesh.links", nlinks as u64);
+    serve
+        .metrics
+        .inc("mesh.frames_during_partition", frames_during_partition);
+    serve
+        .metrics
+        .inc("mesh.partition_degraded", partition_degraded);
+
+    Ok(MeshReport {
+        serve,
+        links: nlinks,
+        down_links_at_arrival,
+        frames_during_partition,
+        partition_degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::single_processor_plan;
+    use crate::engine::execute_plan_with_faults;
+    use simcore::{DeviceLoss, RetryPolicy, TransientFault};
+    use utensor::DType;
+
+    fn mesh() -> (SocSpec, Graph) {
+        (SocSpec::mcu_mesh(4), unn::ModelId::LeNet.build_miniature())
+    }
+
+    /// A hand-built ladder: full rung on the far node (crosses every
+    /// link), then node 1 (first link only), then the host alone.
+    fn ladder(spec: &SocSpec, g: &Graph) -> Vec<LadderRung> {
+        [3usize, 1, 0]
+            .iter()
+            .map(|&d| LadderRung {
+                label: format!("node-{d}"),
+                plan: single_processor_plan(g, spec, usoc::DeviceId(d), DType::QUInt8).unwrap(),
+                predicted: SimSpan::from_millis(1),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn remote_plan_schedules_transfer_tasks_per_hop() {
+        let (spec, g) = mesh();
+        let plan = single_processor_plan(&g, &spec, usoc::DeviceId(2), DType::QUInt8).unwrap();
+        let r = execute_plan(&spec, &g, &plan).unwrap();
+        let xfers: Vec<&str> = r
+            .trace
+            .records()
+            .iter()
+            .filter(|t| t.label.contains("::xfer"))
+            .map(|t| t.label.as_str())
+            .collect();
+        // Input crosses links 0 and 1 to reach node 2, the output
+        // crosses back: at least four hop tasks.
+        assert!(xfers.len() >= 4, "transfer tasks: {xfers:?}");
+        assert!(xfers.iter().any(|l| l.contains("[0-1]")));
+        assert!(xfers.iter().any(|l| l.contains("[1-2]")));
+        // Transfers occupy the link resources, not device timelines.
+        let ndev = spec.devices.len();
+        for t in r.trace.records() {
+            if t.label.contains("::xfer") {
+                assert!(t.resource.0 >= ndev, "{} on {:?}", t.label, t.resource);
+            }
+        }
+        // A remote run is slower than a host-local one (it pays the
+        // wire), but still completes.
+        let local = execute_plan(
+            &spec,
+            &g,
+            &single_processor_plan(&g, &spec, spec.cpu(), DType::QUInt8).unwrap(),
+        )
+        .unwrap();
+        assert!(r.latency > local.latency);
+    }
+
+    #[test]
+    fn link_drop_is_retried_by_the_shared_policy() {
+        let (spec, g) = mesh();
+        let plan = single_processor_plan(&g, &spec, usoc::DeviceId(1), DType::QUInt8).unwrap();
+        let ndev = spec.devices.len();
+        let mut faults = FaultPlan::none();
+        faults.transients.push(TransientFault {
+            resource: simcore::ResourceId(ndev), // link 0-1
+            ordinal: 0,
+            failures: 1,
+        });
+        let policy = RetryPolicy::default();
+        let (r, report) = execute_plan_with_faults(&spec, &g, &plan, &faults, &policy).unwrap();
+        assert!(report.retries >= 1, "drop was not retried");
+        assert!(r.latency > SimSpan::ZERO);
+    }
+
+    #[test]
+    fn partition_degrades_to_surviving_rung_and_accounts_exactly() {
+        let (spec, g) = mesh();
+        let ladder = ladder(&spec, &g);
+        let ndev = spec.devices.len();
+        // Cut the middle link (1-2) halfway through: nodes 2 and 3
+        // become unreachable, so the far-node rung is ineligible and
+        // frames fall through to node 1 / host rungs.
+        let full = execute_plan(&spec, &g, &ladder[0].plan).unwrap().latency;
+        let n = 24u64;
+        let interval = full * 2u64;
+        let cut = SimTime::ZERO + interval * (n / 2);
+        let mut faults = FaultPlan::none();
+        faults.losses.push(DeviceLoss {
+            resource: simcore::ResourceId(ndev + 1),
+            at: cut,
+        });
+        let arrivals: Vec<SimTime> = (0..n).map(|k| SimTime::ZERO + interval * k).collect();
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            deadline: full * 4u64,
+        };
+        let report = serve_mesh(&spec, &g, &ladder, &arrivals, &cfg, &faults).unwrap();
+        report.check_invariants().unwrap();
+        assert_eq!(report.serve.shed, 0, "every frame should find a rung");
+        assert!(report.serve.completed > 0, "pre-cut frames run rung 0");
+        assert!(report.serve.degraded > 0, "post-cut frames degrade");
+        assert!(report.frames_during_partition > 0);
+        assert!(report.partition_degraded > 0);
+        assert_eq!(
+            report.serve.completed + report.serve.degraded + report.serve.shed,
+            report.serve.offered
+        );
+        // After the cut, nothing executes on the far rung.
+        for rec in &report.serve.frames {
+            if let FrameFate::Executed { rung } = rec.fate {
+                if rec.arrival >= cut {
+                    assert_ne!(rung, 0, "frame {} ran the cut-off rung", rec.frame);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throttled_link_stretches_service_without_shedding() {
+        let (spec, g) = mesh();
+        let ladder = ladder(&spec, &g);
+        let full = execute_plan(&spec, &g, &ladder[0].plan).unwrap().latency;
+        let ndev = spec.devices.len();
+        let mut faults = FaultPlan::none();
+        faults.throttles.push(simcore::ThrottleWindow {
+            resource: simcore::ResourceId(ndev),
+            factor: 0.5,
+            from: SimTime::ZERO,
+            until: SimTime::ZERO + full * 100u64,
+        });
+        let arrivals: Vec<SimTime> = (0..8u64)
+            .map(|k| SimTime::ZERO + (full * 4u64) * k)
+            .collect();
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            deadline: full * 3u64,
+        };
+        let clean = serve_mesh(&spec, &g, &ladder, &arrivals, &cfg, &FaultPlan::none()).unwrap();
+        let slow = serve_mesh(&spec, &g, &ladder, &arrivals, &cfg, &faults).unwrap();
+        clean.check_invariants().unwrap();
+        slow.check_invariants().unwrap();
+        assert_eq!(slow.serve.offered, clean.serve.offered);
+        // Throttling the first link makes remote rungs slower, so the
+        // throttled run cannot complete more full-fidelity frames.
+        assert!(slow.serve.completed <= clean.serve.completed);
+        assert_eq!(slow.frames_during_partition, 0, "throttle is not a cut");
+    }
+}

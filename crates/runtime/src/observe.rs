@@ -50,13 +50,16 @@ pub enum OverheadClass {
     /// surviving processor (watchdog/fallback path). Skipped fallbacks
     /// are zero-span and contribute nothing.
     Fallback,
+    /// Serial network-link occupancy moving tensors between devices
+    /// (store-and-forward, one task per hop).
+    Transfer,
     /// No task scheduled.
     Idle,
 }
 
 impl OverheadClass {
     /// Number of classes (array dimension for per-class totals).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every class, in display order.
     pub const ALL: [OverheadClass; OverheadClass::COUNT] = [
@@ -68,6 +71,7 @@ impl OverheadClass {
         OverheadClass::Merge,
         OverheadClass::Arrival,
         OverheadClass::Fallback,
+        OverheadClass::Transfer,
         OverheadClass::Idle,
     ];
 
@@ -82,6 +86,7 @@ impl OverheadClass {
             OverheadClass::Merge => "merge",
             OverheadClass::Arrival => "arrival",
             OverheadClass::Fallback => "fallback",
+            OverheadClass::Transfer => "transfer",
             OverheadClass::Idle => "idle",
         }
     }
@@ -269,8 +274,9 @@ pub fn attribute(
             layer[class.index()] += portion;
             // Dynamic energy: active power over the portion, plus DRAM
             // traffic (carried entirely by the task's own class). The
-            // virtual arrival source is not a processor and burns nothing.
-            if class != OverheadClass::Arrival {
+            // virtual arrival source and the network links are not
+            // processors and burn nothing (no link power model yet).
+            if !matches!(class, OverheadClass::Arrival | OverheadClass::Transfer) {
                 if let Ok(dev) = spec.device(meta.device) {
                     let mut j = dev.active_power_w * portion.as_secs_f64();
                     if class == meta.class {

@@ -121,12 +121,24 @@ pub fn execute_pipeline_with_faults(
     degraded: Option<&ExecutionPlan>,
     deadline: Option<SimSpan>,
 ) -> Result<(PipelineResult, FaultReport), RunError> {
+    super::engine::validate_plan(spec, graph, plan)?;
+    if let Some(d) = degraded {
+        super::engine::validate_plan(spec, graph, d)?;
+    }
     let shapes = graph.infer_shapes()?;
     let resilient = !faults.is_empty();
 
     let mut pool = ResourcePool::new();
     for dev in &spec.devices {
         pool.add(dev.name.clone());
+    }
+    // Networked specs schedule transfer tasks on per-link timelines at
+    // `ResourceId(ndev + link_index)` — registered before the source so
+    // the engine's link-resource convention holds.
+    if spec.has_network_links() {
+        for l in &spec.links {
+            pool.add(l.resource_name());
+        }
     }
     // A virtual source (the camera / microphone) delivering one input per
     // interval; it is not a processor and consumes no energy.
@@ -208,7 +220,9 @@ pub fn execute_pipeline_with_faults(
 
     let mut energy = EnergyAccumulator::new(spec);
     for rec in trace.records() {
-        if rec.resource != simcore::ResourceId(source.0) {
+        if rec.resource != simcore::ResourceId(source.0)
+            && rec.payload.class != OverheadClass::Transfer
+        {
             energy.add_task(
                 rec.payload.device,
                 rec.span(),
@@ -220,6 +234,9 @@ pub fn execute_pipeline_with_faults(
     // before being thrown away; charge them to the device they ran on.
     for attempt in &log.wasted {
         let meta = &trace.records()[attempt.task.0].payload;
+        if meta.class == OverheadClass::Transfer {
+            continue;
+        }
         energy.add_task(
             meta.device,
             attempt.end - attempt.start,
@@ -254,6 +271,9 @@ pub fn execute_pipeline_with_faults(
         .unwrap_or(0);
 
     let mut resource_names: Vec<String> = spec.devices.iter().map(|d| d.name.clone()).collect();
+    if spec.has_network_links() {
+        resource_names.extend(spec.links.iter().map(|l| l.resource_name()));
+    }
     resource_names.push("source".to_string());
     let attribution = attribute(&trace, &resource_names, spec);
     let stats = memory.stats();

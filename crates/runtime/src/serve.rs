@@ -429,7 +429,7 @@ pub fn serve_stream(
     Ok(report)
 }
 
-fn fill_serve_metrics(report: &mut ServeReport, ladder: &[LadderRung], energy_j: f64) {
+pub(crate) fn fill_serve_metrics(report: &mut ServeReport, ladder: &[LadderRung], energy_j: f64) {
     let mut m = MetricsRegistry::new();
     m.inc("frames.offered", report.offered);
     m.inc("frames.completed", report.completed);

@@ -122,6 +122,66 @@ fn perturbed_plan(
 testkit::props! {
     #![cases(48)]
 
+    /// Mutated N-device mesh plans never panic: a plan corrupted
+    /// *after* construction (unknown device, device cut off from the
+    /// host, non-finite or out-of-range split fractions, out-of-range
+    /// concat elisions) is rejected by the engine with
+    /// `RunError::MalformedPlan` — on both specs, never a panic.
+    fn mesh_plan_mutations_are_typed_errors_not_panics(
+        mutation in testkit::select(vec![0usize, 1, 2, 3, 4]),
+        node in 0usize..64,
+        bad_dev in 4usize..32,
+        frac in testkit::select(vec![-0.5f64, 1.5, f64::NAN, f64::INFINITY]),
+    ) {
+        let mut spec = SocSpec::mcu_mesh(4);
+        let g = ModelId::LeNet.build_miniature();
+        let mut plan =
+            uruntime::baselines::single_processor_plan(&g, &spec, spec.cpu(), DType::QUInt8)
+                .expect("base mesh plan");
+        let i = node % plan.placements.len();
+        match mutation {
+            0 => {
+                // Unknown device: index past the spec's device table.
+                plan.placements[i] = NodePlacement::single(usoc::DeviceId(bad_dev), DType::QUInt8);
+            }
+            1 => {
+                // Cut the last link: node 3 still exists but has no
+                // route from the host.
+                spec.links.pop();
+                plan.placements[i] = NodePlacement::single(usoc::DeviceId(3), DType::QUInt8);
+            }
+            2 => {
+                // A split fraction that is non-finite or outside [0, 1].
+                plan.placements[i] = NodePlacement::Split {
+                    parts: vec![
+                        (spec.cpu(), DtypePlan::uniform(DType::QUInt8), frac),
+                        (usoc::DeviceId(1), DtypePlan::uniform(DType::QUInt8), 1.0 - frac),
+                    ],
+                };
+            }
+            3 => {
+                // A split with no parts at all.
+                plan.placements[i] = NodePlacement::Split { parts: vec![] };
+            }
+            _ => {
+                // Concat elision pointing past the graph.
+                plan.elided_concats.insert(g.len() + bad_dev);
+            }
+        }
+        let err = execute_plan(&spec, &g, &plan)
+            .expect_err("a corrupted plan must not execute");
+        testkit::prop_assert!(
+            matches!(err, RunError::MalformedPlan(_)),
+            "expected MalformedPlan, got: {err}"
+        );
+        // The resilient entry point rejects it identically.
+        let err2 = execute_plan_with_faults(
+            &spec, &g, &plan, &FaultPlan::none(), &RetryPolicy::default(),
+        )
+        .expect_err("a corrupted plan must not execute under faults either");
+        testkit::prop_assert!(matches!(err2, RunError::MalformedPlan(_)));
+    }
+
     /// The engine never panics on a perturbed-but-valid plan: it either
     /// executes (positive latency, non-empty trace) or rejects the plan
     /// with a typed error at construction.

@@ -730,6 +730,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 3,
             backoff: span(10),
+            ..RetryPolicy::default()
         };
         let (trace, _, log) = g.run_with_faults(&mut pool, &faults, &policy).unwrap();
         // Attempt 1 occupies [0, 100us) and fails; the retry starts after
@@ -762,6 +763,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 3,
             backoff: span(10),
+            ..RetryPolicy::default()
         };
         let (trace, _, log) = g.run_with_faults(&mut pool, &faults, &policy).unwrap();
         // Attempts: [0,100), retry +10 -> [110,210), retry +20 -> [230,330).

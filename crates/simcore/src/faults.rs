@@ -115,6 +115,21 @@ impl FaultPlan {
         factor.max(0.01)
     }
 
+    /// Speed factor below which a resource counts as *down* rather than
+    /// merely slow (see [`FaultPlan::is_down_at`]).
+    pub const DOWN_FACTOR: f64 = 0.05;
+
+    /// True when `resource` is unusable at `t`: hard-lost by then, or
+    /// inside a throttle window so deep (below
+    /// [`FaultPlan::DOWN_FACTOR`]) that it models an outage — a link
+    /// flap, a bricked radio — rather than congestion.
+    pub fn is_down_at(&self, resource: ResourceId, t: SimTime) -> bool {
+        if self.loss_at(resource).map(|at| at <= t).unwrap_or(false) {
+            return true;
+        }
+        self.speed_factor_at(resource, t) < FaultPlan::DOWN_FACTOR
+    }
+
     /// The earliest loss instant of `resource`, if it is lost at all.
     pub fn loss_at(&self, resource: ResourceId) -> Option<SimTime> {
         self.losses
@@ -166,7 +181,16 @@ impl FaultPlan {
     }
 }
 
-/// How failed attempts are retried.
+/// How failed attempts are retried — shared by the task watchdog
+/// ([`crate::dag::TaskGraph::run_with_faults`]) and link-transfer
+/// retries, so one policy object bounds every retry loop in a run.
+///
+/// The delay the policy can add to one task is provably bounded:
+/// per-attempt backoff doubles from `backoff` (capped at 64×), optional
+/// seeded jitter adds at most `jitter` per wait, and the *cumulative*
+/// backoff across all attempts is clamped to `max_total_backoff` — see
+/// [`RetryPolicy::total_backoff_bound`] and
+/// [`RetryPolicy::worst_case_delay`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum attempts per task (first try included). At least 1.
@@ -174,6 +198,20 @@ pub struct RetryPolicy {
     /// Backoff before attempt 2; doubles per further attempt (bounded
     /// exponential backoff).
     pub backoff: SimSpan,
+    /// Upper bound of the deterministic jitter added to each backoff
+    /// (decorrelates retry storms across tasks sharing a policy). ZERO
+    /// — the default — disables jitter entirely, preserving the
+    /// pre-jitter schedule byte-for-byte.
+    pub jitter: SimSpan,
+    /// Seed of the jitter stream. Two equal policies produce identical
+    /// backoff sequences; policies differing only in seed produce
+    /// different (but individually deterministic) jitter.
+    pub seed: u64,
+    /// Hard cap on the cumulative backoff one task can accumulate
+    /// across *all* its retries. The previous doubling scheme was
+    /// unbounded in `max_attempts`; this clamp makes the total delay a
+    /// documented constant regardless of the attempt budget.
+    pub max_total_backoff: SimSpan,
 }
 
 impl Default for RetryPolicy {
@@ -181,17 +219,69 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff: SimSpan::from_micros(50),
+            jitter: SimSpan::ZERO,
+            seed: 0,
+            // 1024x the base backoff: far above what default doubling
+            // can reach (so legacy schedules are unchanged), yet a hard
+            // ceiling for pathological attempt budgets.
+            max_total_backoff: SimSpan::from_micros(50 * 1024),
         }
     }
 }
 
 impl RetryPolicy {
-    /// The backoff inserted before attempt number `next_attempt`
-    /// (2-based: the wait between attempt `n-1` failing and attempt `n`
-    /// starting). Doubles per attempt, capped at 64x.
-    pub fn backoff_before(&self, next_attempt: usize) -> SimSpan {
+    /// The uncapped exponential term for attempt `next_attempt`:
+    /// doubles per attempt, capped at 64x the base backoff.
+    fn raw_backoff(&self, next_attempt: usize) -> SimSpan {
         let exp = next_attempt.saturating_sub(2).min(6) as u32;
         self.backoff * (1u64 << exp)
+    }
+
+    /// The deterministic jitter term for attempt `next_attempt`: a hash
+    /// of `(seed, attempt)` reduced into `[0, jitter]`.
+    fn jitter_before(&self, next_attempt: usize) -> SimSpan {
+        if self.jitter.is_zero() {
+            return SimSpan::ZERO;
+        }
+        let mut buf = [0u8; 16];
+        buf[..8].copy_from_slice(&self.seed.to_le_bytes());
+        buf[8..].copy_from_slice(&(next_attempt as u64).to_le_bytes());
+        let h = testkit::rng::fnv1a(&buf);
+        SimSpan::from_nanos(h % (self.jitter.as_nanos() + 1))
+    }
+
+    /// The backoff inserted before attempt number `next_attempt`
+    /// (2-based: the wait between attempt `n-1` failing and attempt `n`
+    /// starting). Doubles per attempt (capped at 64x), plus the seeded
+    /// jitter term, with the whole sequence clamped so the cumulative
+    /// backoff through this attempt never exceeds `max_total_backoff`.
+    pub fn backoff_before(&self, next_attempt: usize) -> SimSpan {
+        let mut prior = SimSpan::ZERO;
+        for a in 2..next_attempt {
+            prior += self.raw_backoff(a) + self.jitter_before(a);
+        }
+        if prior >= self.max_total_backoff {
+            return SimSpan::ZERO;
+        }
+        let this = self.raw_backoff(next_attempt) + self.jitter_before(next_attempt);
+        this.min(self.max_total_backoff - prior)
+    }
+
+    /// The exact cumulative backoff this policy can insert across one
+    /// task's full attempt budget: the sum of every
+    /// [`RetryPolicy::backoff_before`], which by construction is
+    /// `<= max_total_backoff`.
+    pub fn total_backoff_bound(&self) -> SimSpan {
+        (2..=self.max_attempts)
+            .map(|a| self.backoff_before(a))
+            .sum()
+    }
+
+    /// The provable worst-case delay of one task whose every attempt
+    /// takes `attempt_span`: all `max_attempts` attempts run to their
+    /// watchdog timeout, plus the full (capped) backoff budget.
+    pub fn worst_case_delay(&self, attempt_span: SimSpan) -> SimSpan {
+        attempt_span * (self.max_attempts.max(1) as u64) + self.total_backoff_bound()
     }
 }
 
@@ -358,6 +448,151 @@ impl Scenario {
     }
 }
 
+/// The built-in *link* fault scenarios of the `repro mesh` subcommand.
+///
+/// Links are scheduler resources like devices, so link faults reuse the
+/// [`FaultPlan`] machinery directly: a *drop* is a transient failure of
+/// a transfer task (retried under the shared [`RetryPolicy`]), *delay*
+/// and *jitter* are throttle windows stretching transfer reservations,
+/// a *flap* is a train of near-total throttles (the link is effectively
+/// down inside each window, see [`FaultPlan::is_down_at`]), and a
+/// *partition* is a hard [`DeviceLoss`] of the link — the mesh splits
+/// into connected components and only surviving-subset plans can run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFaultScenario {
+    /// Transient transfer drops, each recovered by bounded retries.
+    Drop,
+    /// One long high-latency window (bufferbloat, a congested link).
+    Delay,
+    /// Several short seeded slow windows of varying depth.
+    Jitter,
+    /// The link flaps: repeated near-total outage windows with
+    /// recovery gaps between them.
+    Flap,
+    /// A hard network partition: the link goes down and stays down.
+    Partition,
+}
+
+impl LinkFaultScenario {
+    /// Every scenario, in display order.
+    pub const ALL: [LinkFaultScenario; 5] = [
+        LinkFaultScenario::Drop,
+        LinkFaultScenario::Delay,
+        LinkFaultScenario::Jitter,
+        LinkFaultScenario::Flap,
+        LinkFaultScenario::Partition,
+    ];
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkFaultScenario::Drop => "drop",
+            LinkFaultScenario::Delay => "delay",
+            LinkFaultScenario::Jitter => "jitter",
+            LinkFaultScenario::Flap => "flap",
+            LinkFaultScenario::Partition => "partition",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<LinkFaultScenario> {
+        LinkFaultScenario::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name() == name)
+    }
+
+    /// Generates the scenario's fault plan against one link `resource`,
+    /// deterministically from `seed`. `horizon` is the fault-free
+    /// stream makespan, `transfers` the number of transfer tasks the
+    /// fault-free run dispatched on the link (drop ordinals are drawn
+    /// from it), and `max_attempts` the retry budget (drops stay below
+    /// it, so every dropped transfer is recovered by retries).
+    pub fn plan(
+        self,
+        resource: ResourceId,
+        horizon: SimSpan,
+        transfers: usize,
+        max_attempts: usize,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut rng = testkit::Rng::seed_from_u64(
+            seed ^ testkit::rng::fnv1a(self.name().as_bytes()).rotate_left(11),
+        );
+        let at = |frac: f64| SimTime::ZERO + horizon * frac.clamp(0.0, 1.0);
+        match self {
+            LinkFaultScenario::Drop => {
+                let n = transfers.max(1);
+                let drops = rng.gen_range(1..(n / 4 + 2).min(6));
+                let mut plan = FaultPlan::none();
+                let mut used = Vec::new();
+                for _ in 0..drops {
+                    let ordinal = rng.gen_range(0..n);
+                    if used.contains(&ordinal) {
+                        continue;
+                    }
+                    used.push(ordinal);
+                    plan = plan.with_transient(TransientFault {
+                        resource,
+                        ordinal,
+                        // Always recoverable: below the retry budget.
+                        failures: rng.gen_range(1..max_attempts.max(2)),
+                    });
+                }
+                plan
+            }
+            LinkFaultScenario::Delay => {
+                let from = 0.15 + rng.unit_f64() * 0.2;
+                FaultPlan::none().with_throttle(ThrottleWindow {
+                    resource,
+                    factor: 0.2 + rng.unit_f64() * 0.2,
+                    from: at(from),
+                    until: at(from + 0.3 + rng.unit_f64() * 0.2),
+                })
+            }
+            LinkFaultScenario::Jitter => {
+                let mut plan = FaultPlan::none();
+                let windows = rng.gen_range(3..6usize);
+                let mut lo = 0.05;
+                for _ in 0..windows {
+                    let from = lo + rng.unit_f64() * 0.05;
+                    let until = from + 0.05 + rng.unit_f64() * 0.08;
+                    plan = plan.with_throttle(ThrottleWindow {
+                        resource,
+                        factor: 0.3 + rng.unit_f64() * 0.5,
+                        from: at(from),
+                        until: at(until.min(0.95)),
+                    });
+                    lo = until + 0.03;
+                }
+                plan
+            }
+            LinkFaultScenario::Flap => {
+                let mut plan = FaultPlan::none();
+                let flaps = rng.gen_range(2..4usize);
+                let mut lo = 0.1;
+                for _ in 0..flaps {
+                    let from = lo + rng.unit_f64() * 0.08;
+                    let until = from + 0.08 + rng.unit_f64() * 0.08;
+                    plan = plan.with_throttle(ThrottleWindow {
+                        resource,
+                        // Effectively down: below the is_down_at cutoff.
+                        factor: FaultPlan::DOWN_FACTOR * 0.5,
+                        from: at(from),
+                        until: at(until.min(0.95)),
+                    });
+                    lo = until + 0.1;
+                }
+                plan
+            }
+            LinkFaultScenario::Partition => FaultPlan::none().with_loss(DeviceLoss {
+                resource,
+                at: at(0.3 + rng.unit_f64() * 0.3),
+            }),
+        }
+    }
+}
+
 /// Correlated fault storms over a *fleet* of simulated devices.
 ///
 /// [`Scenario`] perturbs one run of one device; a `FleetScenario` is the
@@ -384,14 +619,22 @@ pub enum FleetScenario {
     /// recovery point, mixing retryable faults with retry-exhausting
     /// ones (which force the CPU fallback path).
     FlakyEpidemic,
+    /// A rolling *link* partition: a seeded fraction (~40%) of
+    /// instances lose the interconnect to their accelerator — the link
+    /// degrades briefly (a deep pre-cut throttle), then partitions hard
+    /// at a wave-rolled instant. From then on the accelerator is
+    /// unreachable and every frame must degrade to plans the surviving
+    /// subset supports.
+    LinkPartition,
 }
 
 impl FleetScenario {
     /// Every storm, in display order.
-    pub const ALL: [FleetScenario; 3] = [
+    pub const ALL: [FleetScenario; 4] = [
         FleetScenario::ThrottleWave,
         FleetScenario::RollingGpuLoss,
         FleetScenario::FlakyEpidemic,
+        FleetScenario::LinkPartition,
     ];
 
     /// The CLI name.
@@ -400,6 +643,7 @@ impl FleetScenario {
             FleetScenario::ThrottleWave => "throttle-wave",
             FleetScenario::RollingGpuLoss => "gpu-loss",
             FleetScenario::FlakyEpidemic => "flaky-epidemic",
+            FleetScenario::LinkPartition => "link-partition",
         }
     }
 
@@ -487,6 +731,23 @@ impl FleetScenario {
                 }
                 plan
             }
+            FleetScenario::LinkPartition => {
+                if !rng.gen_bool(0.4) {
+                    return FaultPlan::none();
+                }
+                let cut = 0.15 + 0.5 * wave + rng.unit_f64() * 0.05;
+                FaultPlan::none()
+                    .with_throttle(ThrottleWindow {
+                        resource,
+                        factor: 0.3 + rng.unit_f64() * 0.2,
+                        from: at(cut - 0.08),
+                        until: at(cut),
+                    })
+                    .with_loss(DeviceLoss {
+                        resource,
+                        at: at(cut),
+                    })
+            }
         }
     }
 }
@@ -544,11 +805,88 @@ mod tests {
         let p = RetryPolicy {
             max_attempts: 10,
             backoff: SimSpan::from_micros(10),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_before(2), SimSpan::from_micros(10));
         assert_eq!(p.backoff_before(3), SimSpan::from_micros(20));
         assert_eq!(p.backoff_before(4), SimSpan::from_micros(40));
         assert_eq!(p.backoff_before(12), SimSpan::from_micros(640));
+    }
+
+    #[test]
+    fn total_backoff_respects_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            backoff: SimSpan::from_micros(100),
+            max_total_backoff: SimSpan::from_micros(500),
+            ..RetryPolicy::default()
+        };
+        // 100 + 200 + clamp(400 -> 200) + 0 + 0 + ... = exactly the cap.
+        assert_eq!(p.backoff_before(2), SimSpan::from_micros(100));
+        assert_eq!(p.backoff_before(3), SimSpan::from_micros(200));
+        assert_eq!(p.backoff_before(4), SimSpan::from_micros(200));
+        assert_eq!(p.backoff_before(5), SimSpan::ZERO);
+        assert_eq!(p.total_backoff_bound(), SimSpan::from_micros(500));
+        // The worst-case delay is attempts x span + the capped budget.
+        let wc = p.worst_case_delay(SimSpan::from_micros(10));
+        assert_eq!(wc, SimSpan::from_micros(100 * 10 + 500));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let mk = |seed| RetryPolicy {
+            jitter: SimSpan::from_micros(30),
+            seed,
+            ..RetryPolicy::default()
+        };
+        let seq = |p: RetryPolicy| -> Vec<SimSpan> {
+            (2..=p.max_attempts).map(|a| p.backoff_before(a)).collect()
+        };
+        assert_eq!(seq(mk(7)), seq(mk(7)));
+        assert_ne!(seq(mk(7)), seq(mk(8)), "seeds should decorrelate");
+        // Jitter never exceeds its bound per wait.
+        let p = mk(7);
+        for a in 2..=p.max_attempts {
+            let extra = p.backoff_before(a);
+            let base = RetryPolicy {
+                jitter: SimSpan::ZERO,
+                ..p
+            }
+            .backoff_before(a);
+            assert!(extra >= base && extra <= base + SimSpan::from_micros(30));
+        }
+    }
+
+    testkit::props! {
+        #![cases(64)]
+        fn retry_backoff_total_is_capped_and_deterministic(
+            max_attempts in 1usize..24,
+            backoff_us in 1u64..500,
+            jitter_us in 0u64..200,
+            seed in 0u64..1_000,
+            cap_us in 1u64..2_000,
+        ) {
+            let p = RetryPolicy {
+                max_attempts,
+                backoff: SimSpan::from_micros(backoff_us),
+                jitter: SimSpan::from_micros(jitter_us),
+                seed,
+                max_total_backoff: SimSpan::from_micros(cap_us),
+            };
+            let waits: Vec<SimSpan> =
+                (2..=max_attempts).map(|a| p.backoff_before(a)).collect();
+            let total: SimSpan = waits.iter().copied().sum();
+            testkit::prop_assert!(total <= p.max_total_backoff);
+            testkit::prop_assert!(total == p.total_backoff_bound());
+            // Deterministic: recomputing yields the identical sequence.
+            let again: Vec<SimSpan> =
+                (2..=max_attempts).map(|a| p.backoff_before(a)).collect();
+            testkit::prop_assert!(waits == again);
+            // The documented worst case dominates any realizable delay.
+            let span = SimSpan::from_micros(80);
+            let realized = span * (max_attempts as u64) + total;
+            testkit::prop_assert!(realized <= p.worst_case_delay(span));
+        }
     }
 
     #[test]
@@ -665,6 +1003,53 @@ mod tests {
         }
         assert!(retryable > 0, "epidemic produced no retryable faults");
         assert!(persistent > 0, "epidemic produced no persistent faults");
+    }
+
+    #[test]
+    fn link_scenarios_are_deterministic_and_typed() {
+        let r = ResourceId(4);
+        let h = SimSpan::from_millis(20);
+        for s in LinkFaultScenario::ALL {
+            let a = s.plan(r, h, 16, 3, 42);
+            let b = s.plan(r, h, 16, 3, 42);
+            assert_eq!(a, b, "{}", s.name());
+            assert!(!a.is_empty(), "{}", s.name());
+            assert_eq!(LinkFaultScenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(LinkFaultScenario::from_name("nope"), None);
+        // Drops stay strictly below the retry budget (always recovered).
+        let drops = LinkFaultScenario::Drop.plan(r, h, 16, 3, 7);
+        assert!(!drops.transients.is_empty());
+        assert!(drops.transients.iter().all(|t| t.failures < 3));
+        // A partition is a hard loss; a flap is down inside its windows
+        // but recovers between them.
+        let cut = LinkFaultScenario::Partition.plan(r, h, 16, 3, 7);
+        let at = cut.loss_at(r).expect("partition has a loss");
+        assert!(cut.is_down_at(r, at) && !cut.is_down_at(r, SimTime::ZERO));
+        let flap = LinkFaultScenario::Flap.plan(r, h, 16, 3, 7);
+        assert!(flap.losses.is_empty());
+        let w = flap.throttles[0];
+        assert!(flap.is_down_at(r, w.from));
+        assert!(!flap.is_down_at(r, w.until + SimSpan::from_nanos(1)));
+    }
+
+    #[test]
+    fn link_partition_storm_cuts_a_seeded_fraction_for_good() {
+        let r = ResourceId(1);
+        let h = SimSpan::from_millis(100);
+        let mut cut = 0usize;
+        for i in 0..500 {
+            let plan = FleetScenario::LinkPartition.plan_for(i, 500, r, h, 32, 3, 42);
+            if plan.is_empty() {
+                continue;
+            }
+            cut += 1;
+            let at = plan.loss_at(r).expect("partition is a hard loss");
+            assert!(plan.is_down_at(r, at));
+            // The pre-cut degradation window ends at the cut.
+            assert!(plan.throttles[0].until <= at + SimSpan::from_nanos(1));
+        }
+        assert!((120..=280).contains(&cut), "expected ~40% cut, got {cut}");
     }
 
     #[test]

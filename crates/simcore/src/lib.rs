@@ -31,8 +31,8 @@ pub use chrome::{validate_chrome_trace, ChromeTraceSummary, JsonValue, OverlayEv
 pub use dag::{SchedStats, ScheduleError, TaskGraph, TaskId, TaskSpec};
 pub use event::{EventQueue, TieOrder};
 pub use faults::{
-    AttemptOutcome, AttemptRecord, DeviceLoss, FaultLog, FaultPlan, FleetScenario, RetryPolicy,
-    Scenario, ThrottleWindow, TransientFault,
+    AttemptOutcome, AttemptRecord, DeviceLoss, FaultLog, FaultPlan, FleetScenario,
+    LinkFaultScenario, RetryPolicy, Scenario, ThrottleWindow, TransientFault,
 };
 pub use resource::{BusyInterval, ResourceId, ResourcePool, Timeline};
 pub use time::{SimSpan, SimTime};

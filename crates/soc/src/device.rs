@@ -97,6 +97,12 @@ pub struct DeviceSpec {
     /// an unsupported compute dtype is an error (e.g. float work on an
     /// NPU).
     pub supported: Vec<DType>,
+    /// Local working memory available to one kernel, bytes. `None` (the
+    /// SoC default) means the device works out of shared DRAM and is not
+    /// RAM-constrained; `Some(n)` models an MCU-style node whose weights
+    /// and activations must fit in `n` bytes, which forces the
+    /// partitioner to split layers whose working set exceeds it.
+    pub ram_bytes: Option<u64>,
 }
 
 impl DeviceSpec {
@@ -112,6 +118,12 @@ impl DeviceSpec {
             DeviceKind::CpuCluster | DeviceKind::Npu => DType::QUInt8,
             DeviceKind::Gpu => DType::F16,
         }
+    }
+
+    /// True when a kernel with working set `bytes` fits this device's
+    /// local RAM (always true for unconstrained devices).
+    pub fn fits_in_ram(&self, bytes: u64) -> bool {
+        self.ram_bytes.map(|ram| bytes <= ram).unwrap_or(true)
     }
 }
 
@@ -132,6 +144,7 @@ mod tests {
             active_power_w: 2.0,
             kernel_overhead_us: 5.0,
             supported: vec![DType::F32, DType::F16, DType::QUInt8],
+            ram_bytes: None,
         }
     }
 
@@ -150,6 +163,15 @@ mod tests {
         assert_eq!(s.preferred_dtype(), DType::F16);
         s.kind = DeviceKind::Npu;
         assert_eq!(s.preferred_dtype(), DType::QUInt8);
+    }
+
+    #[test]
+    fn ram_limit_gates_working_sets() {
+        let mut s = spec();
+        assert!(s.fits_in_ram(u64::MAX));
+        s.ram_bytes = Some(1024);
+        assert!(s.fits_in_ram(1024));
+        assert!(!s.fits_in_ram(1025));
     }
 
     #[test]

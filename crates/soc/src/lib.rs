@@ -12,6 +12,10 @@
 //! - [`spec`] — the SoC: devices + shared memory + §6 management
 //!   overheads (async GPU command issue, sync, zero-copy map/unmap), with
 //!   [`SocSpec::exynos_7420`] and [`SocSpec::exynos_7880`] presets.
+//! - [`link`] — the typed device interconnect (zero-copy shared memory
+//!   vs. serial network links with bandwidth/latency/MTU), routing, and
+//!   partition reachability; an empty link table keeps the legacy
+//!   all-shared-memory semantics.
 //! - [`memory`] — the zero-copy shared-buffer lifecycle model.
 //! - [`energy`] — the Monsoon-style energy integration (Figure 15).
 //! - [`profiler`] — per-layer single-device profiling (Figure 5) and the
@@ -20,6 +24,7 @@
 pub mod device;
 pub mod energy;
 pub mod error;
+pub mod link;
 pub mod memory;
 pub mod profiler;
 pub mod spec;
@@ -28,6 +33,7 @@ pub mod work;
 pub use device::{DeviceId, DeviceKind, DeviceSpec, Throughput};
 pub use energy::{average_power_w, energy_of_tasks, EnergyAccumulator, EnergyBreakdown};
 pub use error::SocError;
+pub use link::{Link, LinkSpec, PACKET_HEADER_BYTES};
 pub use memory::{BufferId, MapMode, MemoryStats, SharedMemory};
 pub use profiler::{
     profile_graph, single_layer_cost, single_layer_latency, total_latency, LayerCost, LayerProfile,

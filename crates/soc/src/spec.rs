@@ -23,6 +23,7 @@ use utensor::DType;
 
 use crate::device::{DeviceId, DeviceKind, DeviceSpec, Throughput};
 use crate::error::SocError;
+use crate::link::{Link, LinkSpec};
 use crate::work::KernelWork;
 
 /// Shared-memory system parameters.
@@ -75,6 +76,13 @@ pub struct SocSpec {
     pub name: String,
     /// Processors, CPU cluster first by convention.
     pub devices: Vec<DeviceSpec>,
+    /// The device interconnect. **Empty means the legacy topology**:
+    /// every device pair shares zero-copy memory, so transfers are free
+    /// and all devices are mutually reachable (every pre-link preset
+    /// keeps byte-identical behavior). A non-empty table makes
+    /// connectivity explicit: only listed pairs are joined, and
+    /// transfers route hop-by-hop over the listed [`Link`]s.
+    pub links: Vec<LinkSpec>,
     /// Shared memory system.
     pub memory: MemorySpec,
     /// Multi-processor management overheads.
@@ -110,6 +118,7 @@ impl SocSpec {
                     // fork/join in ACL's NEON backend.
                     kernel_overhead_us: 120.0,
                     supported: vec![DType::F32, DType::F16, DType::QUInt8],
+                    ram_bytes: None,
                 },
                 DeviceSpec {
                     name: "Mali-T760 MP8 @700MHz".into(),
@@ -128,8 +137,10 @@ impl SocSpec {
                     // Mali kernel setup/teardown per enqueued job.
                     kernel_overhead_us: 180.0,
                     supported: vec![DType::F32, DType::F16, DType::QUInt8],
+                    ram_bytes: None,
                 },
             ],
+            links: Vec::new(),
             memory: MemorySpec {
                 bandwidth_gbps: 24.8,
                 dram_pj_per_byte: 120.0,
@@ -167,6 +178,7 @@ impl SocSpec {
                     active_power_w: 2.8, // 8x A53 under sustained NEON load
                     kernel_overhead_us: 150.0,
                     supported: vec![DType::F32, DType::F16, DType::QUInt8],
+                    ram_bytes: None,
                 },
                 DeviceSpec {
                     name: "Mali-T830 MP3 @962MHz".into(),
@@ -182,8 +194,10 @@ impl SocSpec {
                     active_power_w: 0.9, // Mali-T830 MP3 is a small, efficient part
                     kernel_overhead_us: 250.0,
                     supported: vec![DType::F32, DType::F16, DType::QUInt8],
+                    ram_bytes: None,
                 },
             ],
+            links: Vec::new(),
             memory: MemorySpec {
                 bandwidth_gbps: 13.0,
                 dram_pj_per_byte: 140.0,
@@ -218,9 +232,97 @@ impl SocSpec {
             active_power_w: 1.1,
             kernel_overhead_us: 25.0,
             supported: vec![DType::QUInt8],
+            ram_bytes: None,
         });
         self.name.push_str(" + NPU");
         self
+    }
+
+    /// A big.LITTLE variant of the high-end SoC: the A53 little cluster
+    /// — which ACL's big-cluster configuration leaves idle — becomes a
+    /// third schedulable device sharing zero-copy memory with the big
+    /// cluster and the GPU, so the partitioner can enlist it in n-way
+    /// splits.
+    pub fn big_little() -> SocSpec {
+        let mut spec = SocSpec::exynos_7420();
+        spec.devices.insert(
+            1,
+            DeviceSpec {
+                name: "4x Cortex-A53 @1.5GHz (LITTLE)".into(),
+                kind: DeviceKind::CpuCluster,
+                cores: 4,
+                throughput: Throughput {
+                    // The in-order A53 cluster delivers roughly 40% of
+                    // the big cluster's sustained MAC rate per dtype.
+                    f32_gmacs: 5.6,
+                    f16_gmacs: 4.8,
+                    quint8_gmacs: 12.3,
+                },
+                active_power_w: 0.8,
+                kernel_overhead_us: 140.0,
+                supported: vec![DType::F32, DType::F16, DType::QUInt8],
+                ram_bytes: None,
+            },
+        );
+        spec.name = "Exynos 7420 big.LITTLE".into();
+        spec
+    }
+
+    /// An MCU-style mesh of `nodes` (clamped to 2..=8) identical
+    /// Cortex-M7-class nodes in a line topology, joined by 100 Mbps
+    /// network links. Each node's working memory is capped at
+    /// [`SocSpec::MCU_RAM_BYTES`], so layers whose weights + activations
+    /// exceed it *cannot* run on one node — the split is forced by RAM,
+    /// not latency (the networked-microcontroller scenario). Node 0 is
+    /// the host: inputs arrive there and merges run there.
+    pub fn mcu_mesh(nodes: usize) -> SocSpec {
+        let n = nodes.clamp(2, 8);
+        let devices = (0..n)
+            .map(|k| DeviceSpec {
+                name: format!("MCU node {k} (M7-class)"),
+                kind: DeviceKind::CpuCluster,
+                cores: 1,
+                throughput: Throughput {
+                    f32_gmacs: 0.05,
+                    f16_gmacs: 0.05, // emulated via F32, like the A53
+                    quint8_gmacs: 0.2,
+                },
+                active_power_w: 0.25,
+                kernel_overhead_us: 40.0,
+                supported: vec![DType::F32, DType::F16, DType::QUInt8],
+                ram_bytes: Some(SocSpec::MCU_RAM_BYTES),
+            })
+            .collect();
+        let links = (0..n - 1)
+            .map(|k| LinkSpec {
+                a: DeviceId(k),
+                b: DeviceId(k + 1),
+                link: Link::Network {
+                    bandwidth_mbps: 100.0,
+                    base_latency_us: 500.0,
+                    mtu_bytes: 1500,
+                },
+            })
+            .collect();
+        SocSpec {
+            name: format!("MCU mesh ({n} nodes)"),
+            devices,
+            links,
+            memory: MemorySpec {
+                // Per-node SRAM bandwidth; there is no shared DRAM.
+                bandwidth_gbps: 1.2,
+                dram_pj_per_byte: 25.0,
+            },
+            overheads: Overheads {
+                // No GPU on the mesh; issue/wait/map still price any
+                // hypothetical accelerator attach.
+                gpu_issue_us: 50.0,
+                gpu_wait_us: 50.0,
+                map_us: 20.0,
+                cpu_dispatch_us: 15.0,
+            },
+            static_power_w: 0.05,
+        }
     }
 
     /// A fleet-perturbed copy of this SoC: device `d`'s compute
@@ -249,9 +351,121 @@ impl SocSpec {
         spec
     }
 
+    /// Per-node working memory of [`SocSpec::mcu_mesh`], bytes. Sized so
+    /// real CNN layers overflow a single node (forcing cross-node
+    /// splits) while fractional parts still fit.
+    pub const MCU_RAM_BYTES: u64 = 192 * 1024;
+
     /// The device table.
     pub fn device(&self, id: DeviceId) -> Result<&DeviceSpec, SocError> {
         self.devices.get(id.0).ok_or(SocError::UnknownDevice(id))
+    }
+
+    /// True when any link of the spec is a network link (the spec has
+    /// non-trivial transfer costs and link fault domains). Legacy
+    /// shared-memory specs — including any with an empty link table —
+    /// return false.
+    pub fn has_network_links(&self) -> bool {
+        self.links.iter().any(|l| l.link.is_network())
+    }
+
+    /// The link joining `a` and `b` directly, if any. With an empty
+    /// link table every device pair (and every device with itself)
+    /// shares memory.
+    pub fn link_between(&self, a: DeviceId, b: DeviceId) -> Option<Link> {
+        if a == b {
+            return Some(Link::SharedMemory);
+        }
+        if self.links.is_empty() {
+            if a.0 < self.devices.len() && b.0 < self.devices.len() {
+                return Some(Link::SharedMemory);
+            }
+            return None;
+        }
+        self.links.iter().find(|l| l.joins(a, b)).map(|l| l.link)
+    }
+
+    /// The index (into [`SocSpec::links`]) of the link joining `a` and
+    /// `b`, if the table lists one.
+    pub fn link_index(&self, a: DeviceId, b: DeviceId) -> Option<usize> {
+        self.links.iter().position(|l| l.joins(a, b))
+    }
+
+    /// The shortest route from `from` to `to` as link indices, skipping
+    /// the links listed in `down` (a partition under repair). BFS over
+    /// the link table, deterministic in table order. With an empty link
+    /// table every pair is directly joined (the empty route); `None`
+    /// means `to` is unreachable — partitioned off or unknown.
+    pub fn route_avoiding(
+        &self,
+        from: DeviceId,
+        to: DeviceId,
+        down: &[usize],
+    ) -> Option<Vec<usize>> {
+        if from.0 >= self.devices.len() || to.0 >= self.devices.len() {
+            return None;
+        }
+        if from == to || self.links.is_empty() {
+            return Some(Vec::new());
+        }
+        // BFS; predecessor chain stores (device, link index used).
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.devices.len()];
+        let mut visited = vec![false; self.devices.len()];
+        visited[from.0] = true;
+        let mut frontier = std::collections::VecDeque::from([from]);
+        while let Some(d) = frontier.pop_front() {
+            for (j, l) in self.links.iter().enumerate() {
+                if down.contains(&j) {
+                    continue;
+                }
+                let Some(next) = l.other_end(d) else { continue };
+                if next.0 >= self.devices.len() || visited[next.0] {
+                    continue;
+                }
+                visited[next.0] = true;
+                prev[next.0] = Some((d.0, j));
+                if next == to {
+                    let mut route = Vec::new();
+                    let mut cur = to.0;
+                    while let Some((p, link)) = prev[cur] {
+                        route.push(link);
+                        cur = p;
+                    }
+                    route.reverse();
+                    return Some(route);
+                }
+                frontier.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// [`SocSpec::route_avoiding`] with every link up.
+    pub fn route(&self, from: DeviceId, to: DeviceId) -> Option<Vec<usize>> {
+        self.route_avoiding(from, to, &[])
+    }
+
+    /// Every device reachable from `root` with the links in `down` cut,
+    /// in id order (`root` included). The surviving connected subset a
+    /// partitioned mesh degrades to.
+    pub fn reachable_from(&self, root: DeviceId, down: &[usize]) -> Vec<DeviceId> {
+        self.device_ids()
+            .into_iter()
+            .filter(|&d| self.route_avoiding(root, d, down).is_some())
+            .collect()
+    }
+
+    /// The span of moving `bytes` from `from` to `to` hop-by-hop along
+    /// the shortest route (store-and-forward). Zero over shared memory;
+    /// `None` when no route exists.
+    pub fn transfer_span(&self, from: DeviceId, to: DeviceId, bytes: u64) -> Option<SimSpan> {
+        let route = self.route(from, to)?;
+        Some(
+            route
+                .iter()
+                .map(|&j| self.links[j].link.transfer_span(bytes))
+                .sum(),
+        )
     }
 
     /// All device ids.
@@ -449,6 +663,76 @@ mod tests {
         // Degenerate factors clamp instead of zeroing the roofline.
         let dead = base.with_device_speeds(&[0.0]);
         assert!(dead.devices[0].throughput.f32_gmacs > 0.0);
+    }
+
+    #[test]
+    fn empty_link_table_is_all_pairs_shared_memory() {
+        let soc = SocSpec::exynos_7420();
+        assert!(!soc.has_network_links());
+        assert_eq!(
+            soc.link_between(soc.cpu(), soc.gpu()),
+            Some(Link::SharedMemory)
+        );
+        assert_eq!(soc.route(soc.cpu(), soc.gpu()), Some(vec![]));
+        assert_eq!(
+            soc.transfer_span(soc.cpu(), soc.gpu(), 1 << 20),
+            Some(SimSpan::ZERO)
+        );
+        assert_eq!(soc.reachable_from(soc.cpu(), &[]), soc.device_ids());
+        // Unknown devices are not silently reachable.
+        assert_eq!(soc.link_between(DeviceId(9), soc.cpu()), None);
+        assert_eq!(soc.route(soc.cpu(), DeviceId(9)), None);
+    }
+
+    #[test]
+    fn mesh_routes_hop_by_hop_and_partitions() {
+        let soc = SocSpec::mcu_mesh(4);
+        assert!(soc.has_network_links());
+        assert_eq!(soc.route(DeviceId(0), DeviceId(3)), Some(vec![0, 1, 2]));
+        // Store-and-forward: three identical hops cost 3x one hop.
+        let one = soc.transfer_span(DeviceId(0), DeviceId(1), 10_000).unwrap();
+        let three = soc.transfer_span(DeviceId(0), DeviceId(3), 10_000).unwrap();
+        assert_eq!(three, one * 3u64);
+        assert!(one > SimSpan::ZERO);
+        // Cutting the middle link partitions {0,1} from {2,3}.
+        assert_eq!(soc.route_avoiding(DeviceId(0), DeviceId(2), &[1]), None);
+        assert_eq!(
+            soc.reachable_from(DeviceId(0), &[1]),
+            vec![DeviceId(0), DeviceId(1)]
+        );
+        assert_eq!(
+            soc.reachable_from(DeviceId(3), &[1]),
+            vec![DeviceId(2), DeviceId(3)]
+        );
+    }
+
+    #[test]
+    fn big_little_exposes_two_cpu_clusters_on_shared_memory() {
+        let soc = SocSpec::big_little();
+        assert_eq!(soc.devices.len(), 3);
+        let cpus = soc
+            .devices
+            .iter()
+            .filter(|d| d.kind == DeviceKind::CpuCluster)
+            .count();
+        assert_eq!(cpus, 2);
+        assert!(!soc.has_network_links());
+        // The host is still the big cluster (first CPU in id order).
+        assert_eq!(soc.cpu(), DeviceId(0));
+        assert!(soc.devices[0].throughput.quint8_gmacs > soc.devices[1].throughput.quint8_gmacs);
+    }
+
+    #[test]
+    fn mcu_nodes_are_ram_constrained() {
+        let soc = SocSpec::mcu_mesh(3);
+        assert_eq!(soc.devices.len(), 3);
+        for d in &soc.devices {
+            assert_eq!(d.ram_bytes, Some(SocSpec::MCU_RAM_BYTES));
+            assert!(!d.fits_in_ram(SocSpec::MCU_RAM_BYTES + 1));
+        }
+        // Node counts clamp to the supported range.
+        assert_eq!(SocSpec::mcu_mesh(1).devices.len(), 2);
+        assert_eq!(SocSpec::mcu_mesh(99).devices.len(), 8);
     }
 
     #[test]
