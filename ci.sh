@@ -125,12 +125,42 @@ cargo run --release --offline -p ubench --bin repro -- \
   "--out=$smoke_mesh" --baseline=BENCH_mesh.json >/dev/null
 test -s "$smoke_mesh"
 
+echo "==> incremental-vs-scratch planning equivalence gate (zoo x SoCs x mesh x drift)"
+# An Exact-policy PlannerSession must replan byte-identically to a
+# from-scratch plan_with_drift under seeded drift/fault walks, on every
+# zoo net, both evaluated SoCs, the NPU variant, and the MCU mesh — and
+# the QUInt8 outputs of the cached plan must match the scratch plan's.
+cargo test -q --offline -p ulayer --test plan_equivalence >/dev/null
+
+echo "==> repro plan smoke (drift-keyed cache hit rate + equivalence + baseline schema)"
+# Seeded calm stream over both SoCs. The subcommand exits non-zero if
+# any frame's incremental replan diverges from the scratch planner or
+# the cache hit rate falls below the gate. Wall timings vary by host,
+# so the checked-in BENCH_plan.json baseline is gated on document
+# structure only.
+smoke_plan="$(mktemp -t ulayer-smoke-plan.XXXXXX.json)"
+trap 'rm -f "$smoke_trace" "$smoke_measure" "$smoke_fleet" "$smoke_mesh" "$smoke_plan"' EXIT
+cargo run --release --offline -p ubench --bin repro -- \
+  plan squeezenet --miniature --frames=64 --seed=42 --drift=calm \
+  --min-hit-rate=0.9 "--out=$smoke_plan" --baseline=BENCH_plan.json >/dev/null
+test -s "$smoke_plan"
+
+echo "==> repro fleet plan-cache gate (calm 64-device fleet, hit rate >= 90%)"
+# With no storm the per-instance drift keys settle, so the modeled plan
+# cache must serve at least 90% of frames from cache; the subcommand
+# exits non-zero below the gate or on any planner accounting leak.
+cargo run --release --offline -p ubench --bin repro -- \
+  fleet squeezenet --miniature --devices=64 --frames=32 --storm=none \
+  --seed=42 --plan-cache=on --min-hit-rate=0.9 >/dev/null
+
 echo "==> repro CLI rejection smoke (typed errors exit non-zero)"
 # The hardened parser must refuse unknown flags and malformed values on
 # every subcommand with exit code 2, never a panic or a silent default.
 for bad_args in "fleet --bogus-flag" "fleet --storm=hurricane" \
   "serve --queue=0" "measure --kernel-path=warp" "fleet resnet99" \
-  "mesh --link-fault=cosmic-ray" "mesh --nodes=1" "mesh squeezenet"; do
+  "mesh --link-fault=cosmic-ray" "mesh --nodes=1" "mesh squeezenet" \
+  "plan --drift=maelstrom" "plan --frames=0" "plan resnet99" \
+  "fleet --plan-cache=maybe" "fleet --min-hit-rate=-0.5"; do
   if cargo run --release --offline -q -p ubench --bin repro -- \
     $bad_args >/dev/null 2>&1; then
     echo "ci.sh: repro $bad_args should have failed" >&2

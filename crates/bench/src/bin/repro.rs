@@ -110,6 +110,7 @@ fn main() {
         Some("measure") => return measure_cmd(&args[1..]),
         Some("fleet") => return fleet_cmd(&args[1..]),
         Some("mesh") => return mesh_cmd(&args[1..]),
+        Some("plan") => return plan_cmd(&args[1..]),
         _ => {}
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
@@ -130,7 +131,7 @@ fn main() {
     ];
     if !known.contains(&what) {
         eprintln!(
-            "repro: {}\nusage: repro [{}|trace|passes|faults|serve|measure|fleet|mesh] | repro --json <dir> [--with-fig10]",
+            "repro: {}\nusage: repro [{}|trace|passes|faults|serve|measure|fleet|mesh|plan] | repro --json <dir> [--with-fig10]",
             cli::CliError::UnknownSubcommand { given: what.into() },
             known.join("|")
         );
@@ -491,6 +492,15 @@ fn serve(args: &[String]) {
             opt_ms(r.latency_percentile(0.99)),
         ]);
         print!("{}", t.render());
+        let ps = &rep.planner;
+        println!(
+            "planner: {} probes, {} hit / {} miss (hit rate {:.1}%), {:.3} ms wall",
+            ps.frames,
+            ps.cache_hits,
+            ps.cache_misses,
+            ps.hit_rate() * 100.0,
+            ps.wall_ns as f64 / 1e6
+        );
         if let Err(e) = r.check_invariants() {
             violations.push(format!("{} / {}: {e}", rep.soc, rep.network));
         }
@@ -859,6 +869,8 @@ fn fleet_cmd(args: &[String]) {
     let deadline_ms = p.f64_of("--deadline").unwrap_or(0.0);
     let queue = p.usize_of("--queue").unwrap_or(8);
     let fuzz_orders = p.usize_of("--fuzz-orders").unwrap_or(2);
+    let plan_cache = p.str_of("--plan-cache").unwrap_or("on") == "on";
+    let min_hit_rate = p.f64_of("--min-hit-rate");
     let out_path = p.str_of("--out").unwrap_or("BENCH_fleet.json").to_string();
     let baseline: Option<String> = p.str_of("--baseline").map(str::to_string);
 
@@ -878,6 +890,7 @@ fn fleet_cmd(args: &[String]) {
         queue,
         seed,
         fuzz_orders,
+        plan_cache,
     )
     .unwrap_or_else(|e| {
         eprintln!("fleet run failed: {e}");
@@ -946,10 +959,26 @@ fn fleet_cmd(args: &[String]) {
         r.weight_bytes, r.weight_copies, r.naive_weight_bytes
     );
     println!("fleet energy: {:.3} J", r.energy_j);
+    println!(
+        "planner: cache {}, {} hit / {} miss (hit rate {:.1}%), {:.3} ms modeled planning",
+        if r.plan_cache_enabled { "on" } else { "off" },
+        r.plan_hits,
+        r.plan_misses,
+        r.plan_hit_rate() * 100.0,
+        r.planning.as_millis_f64()
+    );
 
     let mut violations = Vec::new();
     if let Err(e) = r.check_invariants() {
         violations.push(format!("fleet invariant: {e}"));
+    }
+    if let Some(min) = min_hit_rate {
+        if r.plan_hit_rate() < min {
+            violations.push(format!(
+                "plan-cache hit rate {:.3} below the --min-hit-rate gate {min}",
+                r.plan_hit_rate()
+            ));
+        }
     }
     if rep.fuzz_mismatches.is_empty() {
         println!(
@@ -1092,6 +1121,15 @@ fn mesh_cmd(args: &[String]) {
         "\npartition: {} frames arrived with a link down, {} of them degraded to a surviving-subset rung",
         r.frames_during_partition, r.partition_degraded
     );
+    let ps = &rep.planner;
+    println!(
+        "planner: {} probes, {} hit / {} miss (hit rate {:.1}%), {:.3} ms wall",
+        ps.frames,
+        ps.cache_hits,
+        ps.cache_misses,
+        ps.hit_rate() * 100.0,
+        ps.wall_ns as f64 / 1e6
+    );
 
     let mut violations = Vec::new();
     if let Err(e) = r.check_invariants() {
@@ -1202,6 +1240,16 @@ fn mesh_json(rep: &figures::MeshScenarioReport, fault: &str) -> ubench::Json {
         ),
         ("bit_identical", Json::Bool(rep.bit_identical)),
         (
+            "planner",
+            Json::obj(vec![
+                ("probes", Json::n(rep.planner.frames as f64)),
+                ("hits", Json::n(rep.planner.cache_hits as f64)),
+                ("misses", Json::n(rep.planner.cache_misses as f64)),
+                ("hit_rate", Json::n(rep.planner.hit_rate())),
+                ("wall_ms", Json::n(rep.planner.wall_ns as f64 / 1e6)),
+            ]),
+        ),
+        (
             "invariants",
             Json::s(match rep.report.check_invariants() {
                 Ok(()) => "ok".to_string(),
@@ -1233,6 +1281,8 @@ fn check_mesh_schema(doc: &str) -> Result<(), &'static str> {
         "\"rung_occupancy\"",
         "\"latency\"",
         "\"bit_identical\"",
+        "\"planner\"",
+        "\"hit_rate\"",
         "\"invariants\"",
     ] {
         if !doc.contains(marker) {
@@ -1320,6 +1370,19 @@ fn fleet_json(rep: &figures::FleetStormReport, storm: &str) -> ubench::Json {
         ),
         ("energy_j", Json::n(r.energy_j)),
         (
+            "planner",
+            Json::obj(vec![
+                (
+                    "cache",
+                    Json::s(if r.plan_cache_enabled { "on" } else { "off" }),
+                ),
+                ("hits", Json::n(r.plan_hits as f64)),
+                ("misses", Json::n(r.plan_misses as f64)),
+                ("hit_rate", Json::n(r.plan_hit_rate())),
+                ("planning_ms", Json::n(r.planning.as_millis_f64())),
+            ]),
+        ),
+        (
             "weights",
             Json::obj(vec![
                 ("bytes", Json::n(r.weight_bytes as f64)),
@@ -1371,10 +1434,194 @@ fn check_fleet_schema(doc: &str) -> Result<(), &'static str> {
         "\"rung_occupancy\"",
         "\"latency\"",
         "\"energy_j\"",
+        "\"planner\"",
+        "\"hit_rate\"",
+        "\"planning_ms\"",
         "\"weights\"",
         "\"copies\"",
         "\"fuzz\"",
         "\"invariants\"",
+    ] {
+        if !doc.contains(marker) {
+            return Err(marker);
+        }
+    }
+    Ok(())
+}
+
+/// `repro plan [net] [--frames=N] [--drift=calm|throttle|loss|oscillate]
+/// [--seed=N] [--min-hit-rate=X] [--miniature] [--out=FILE]
+/// [--baseline=FILE]`: drives a drift-keyed planner session over a
+/// frame stream on both SoCs, cross-checks every incremental replan
+/// against a from-scratch plan (byte-identical or exit non-zero), and
+/// reports cache hit rates and planner time vs. the always-scratch
+/// ablation. Writes `BENCH_plan.json`.
+fn plan_cmd(args: &[String]) {
+    let p = parse_or_exit("plan", args);
+    let model = model_arg("plan", &p, unn::ModelId::SqueezeNet);
+    let miniature = p.switch("--miniature");
+    let frames = p.usize_of("--frames").unwrap_or(64);
+    let seed = p.u64_of("--seed").unwrap_or(42);
+    let drift = p.str_of("--drift").unwrap_or("calm").to_string();
+    let min_hit_rate = p.f64_of("--min-hit-rate");
+    let out_path = p.str_of("--out").unwrap_or("BENCH_plan.json").to_string();
+    let baseline: Option<String> = p.str_of("--baseline").map(str::to_string);
+
+    heading(&format!(
+        "Planner cache: uLayer {} over {frames} frames of `{drift}` drift (seed {seed})",
+        model.name(),
+    ));
+    let reports = figures::plan_experiment(model, &drift, miniature, frames, seed);
+    let mut violations = Vec::new();
+    let mut t = Table::new(&[
+        "SoC",
+        "Frames",
+        "Hit/Miss",
+        "Hit rate",
+        "Incr/Scratch",
+        "Re-enum/Copied",
+        "Planner (ms)",
+        "Scratch arm (ms)",
+    ]);
+    for rep in &reports {
+        let s = &rep.stats;
+        t.row(vec![
+            rep.soc.clone(),
+            s.frames.to_string(),
+            format!("{}/{}", s.cache_hits, s.cache_misses),
+            format!("{:.1}%", s.hit_rate() * 100.0),
+            format!("{}/{}", s.incremental_replans, s.scratch_plans),
+            format!("{}/{}", s.layers_reenumerated, s.layers_copied),
+            format!("{:.3}", s.wall_ns as f64 / 1e6),
+            format!("{:.3}", rep.scratch_wall_ms),
+        ]);
+        if !rep.equivalence_failures.is_empty() {
+            violations.push(format!(
+                "{}: incremental plans diverged from scratch at frames {:?}",
+                rep.soc, rep.equivalence_failures
+            ));
+        }
+        if let Some(min) = min_hit_rate {
+            if s.hit_rate() < min {
+                violations.push(format!(
+                    "{}: hit rate {:.3} below the --min-hit-rate gate {min}",
+                    rep.soc,
+                    s.hit_rate()
+                ));
+            }
+        }
+    }
+    print!("{}", t.render());
+    println!("\nequivalence: every exact-policy frame cross-checked against a from-scratch plan");
+
+    let json = plan_json(&reports, &drift, seed);
+    if let Err(e) = std::fs::write(&out_path, json.render()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(doc) => {
+                if let Err(missing) = check_plan_schema(&doc) {
+                    eprintln!("baseline {path} fails the schema check: missing {missing}");
+                    std::process::exit(1);
+                }
+                println!("baseline {path}: schema ok");
+            }
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("\n(a cache hit skips partitioning entirely; a drift-key miss replans only the");
+    println!(" layers whose cost margin the drift change could have flipped)");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("PLAN VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Schema tag of the planner document (`BENCH_plan.json`).
+const PLAN_SCHEMA: &str = "ulayer-plan/v1";
+
+/// The machine-readable planner document.
+fn plan_json(reports: &[figures::PlanExperimentReport], drift: &str, seed: u64) -> ubench::Json {
+    use ubench::Json;
+    Json::obj(vec![
+        ("schema", Json::s(PLAN_SCHEMA)),
+        (
+            "net",
+            Json::s(
+                reports
+                    .first()
+                    .map(|r| r.network.clone())
+                    .unwrap_or_default(),
+            ),
+        ),
+        ("drift", Json::s(drift)),
+        ("seed", Json::n(seed as f64)),
+        (
+            "socs",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|rep| {
+                        let s = &rep.stats;
+                        Json::obj(vec![
+                            ("soc", Json::s(rep.soc.clone())),
+                            ("frames", Json::n(s.frames as f64)),
+                            ("hits", Json::n(s.cache_hits as f64)),
+                            ("misses", Json::n(s.cache_misses as f64)),
+                            ("hit_rate", Json::n(s.hit_rate())),
+                            ("incremental", Json::n(s.incremental_replans as f64)),
+                            ("scratch", Json::n(s.scratch_plans as f64)),
+                            ("layers_reenumerated", Json::n(s.layers_reenumerated as f64)),
+                            ("layers_copied", Json::n(s.layers_copied as f64)),
+                            ("evictions", Json::n(s.evictions as f64)),
+                            ("planner_wall_ms", Json::n(s.wall_ns as f64 / 1e6)),
+                            ("planning_modeled_ms", Json::n(rep.planning_modeled_ms)),
+                            ("scratch_wall_ms", Json::n(rep.scratch_wall_ms)),
+                            (
+                                "equivalent",
+                                Json::Bool(rep.equivalence_failures.is_empty()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Checks that `doc` carries the planner schema tag and every required
+/// key. Returns the first missing marker.
+fn check_plan_schema(doc: &str) -> Result<(), &'static str> {
+    if !doc.contains("\"schema\":\"ulayer-plan/v1\"") {
+        return Err("\"schema\":\"ulayer-plan/v1\"");
+    }
+    for marker in [
+        "\"net\"",
+        "\"drift\"",
+        "\"seed\"",
+        "\"socs\"",
+        "\"frames\"",
+        "\"hits\"",
+        "\"misses\"",
+        "\"hit_rate\"",
+        "\"incremental\"",
+        "\"scratch\"",
+        "\"layers_reenumerated\"",
+        "\"layers_copied\"",
+        "\"planner_wall_ms\"",
+        "\"planning_modeled_ms\"",
+        "\"scratch_wall_ms\"",
+        "\"equivalent\"",
     ] {
         if !doc.contains(marker) {
             return Err(marker);

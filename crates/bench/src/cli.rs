@@ -47,6 +47,14 @@ pub const LINK_FAULTS: &[&str] = &["none", "drop", "delay", "jitter", "flap", "p
 /// Kernel-path choices (`--kernel-path=`).
 pub const KERNEL_PATHS: &[&str] = &["auto", "scalar", "simd"];
 
+/// On/off toggles (`--plan-cache=`).
+pub const ONOFF: &[&str] = &["on", "off"];
+
+/// Drift scenarios of the `plan` subcommand (`--drift=`): how the
+/// per-frame `DriftAdapter` state evolves while the planner session
+/// replans the stream.
+pub const DRIFTS: &[&str] = &["calm", "throttle", "loss", "oscillate"];
+
 /// What a flag's value must look like.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlagKind {
@@ -142,6 +150,19 @@ pub const FLEET_FLAGS: &[FlagSpec] = &[
     flag("--rate", FlagKind::F64NonNeg),
     flag("--deadline", FlagKind::F64NonNeg),
     flag("--fuzz-orders", FlagKind::UsizeMin(0)),
+    flag("--plan-cache", FlagKind::OneOf(ONOFF)),
+    flag("--min-hit-rate", FlagKind::F64NonNeg),
+    flag("--out", FlagKind::Str),
+    flag("--baseline", FlagKind::Str),
+];
+
+/// `repro plan` flags.
+pub const PLAN_FLAGS: &[FlagSpec] = &[
+    flag("--miniature", FlagKind::Switch),
+    flag("--frames", FlagKind::UsizeMin(1)),
+    flag("--seed", FlagKind::U64),
+    flag("--drift", FlagKind::OneOf(DRIFTS)),
+    flag("--min-hit-rate", FlagKind::F64NonNeg),
     flag("--out", FlagKind::Str),
     flag("--baseline", FlagKind::Str),
 ];
@@ -170,6 +191,7 @@ pub const SUBCOMMANDS: &[(&str, &[FlagSpec])] = &[
     ("measure", MEASURE_FLAGS),
     ("fleet", FLEET_FLAGS),
     ("mesh", MESH_FLAGS),
+    ("plan", PLAN_FLAGS),
 ];
 
 /// The flag table of a subcommand, if it has one.

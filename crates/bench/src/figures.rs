@@ -679,6 +679,9 @@ pub struct ServeScenarioReport {
     pub rungs: Vec<(String, f64)>,
     /// The serving outcome (frame accounting, percentiles, metrics).
     pub report: uruntime::ServeReport,
+    /// Planner-session stats: the ladder is planned once and every
+    /// subsequent per-frame probe hits the drift-keyed cache.
+    pub planner: ulayer::PlannerStats,
 }
 
 /// Serves `frames` seeded arrivals of `model` through the μLayer-emitted
@@ -710,7 +713,16 @@ pub fn serve_overload(
                 model.build()
             };
             let rt = ULayer::new(spec.clone()).expect("ulayer");
-            let ladder = rt.degradation_ladder(&g, None).expect("ladder");
+            let mut planner = ulayer::PlannerSession::new(&rt, ulayer::ReusePolicy::Bucketed);
+            let ladder = planner.ladder(&g, None).expect("ladder");
+            // Each arriving frame consults the planner for the current
+            // ladder; with calm drift every probe after the first is a
+            // cache hit, so the planner stats record the steady-state
+            // cost a real server would pay.
+            for _ in 1..frames.max(1) {
+                planner.ladder(&g, None).expect("ladder probe");
+            }
+            let planner = *planner.stats();
             let full = uruntime::execute_plan(&spec, &g, &ladder[0].plan)
                 .expect("full rung")
                 .latency;
@@ -744,6 +756,7 @@ pub fn serve_overload(
                 deadline_ms: deadline.as_secs_f64() * 1e3,
                 rungs,
                 report,
+                planner,
             }
         })
         .collect()
@@ -790,6 +803,7 @@ pub fn fleet_storm(
     queue: usize,
     seed: u64,
     fuzz_orders: usize,
+    plan_cache: bool,
 ) -> Result<FleetStormReport, String> {
     use simcore::{SimSpan, TieOrder};
     use uruntime::{FleetCohort, FleetConfig, FleetNetwork, InstanceAdapter};
@@ -822,6 +836,7 @@ pub fn fleet_storm(
         deadline: SimSpan::from_secs_f64(deadline_ms / 1e3),
         queue_capacity: queue,
         order: TieOrder::Fifo,
+        plan_cache,
         ..FleetConfig::default()
     };
     let adapter = || -> Box<dyn InstanceAdapter> { Box::new(ulayer::DriftAdapter::new()) };
@@ -905,6 +920,9 @@ pub struct MeshScenarioReport {
     /// Whether every rung's quantized output matched the single-device
     /// QUInt8 reference bit for bit.
     pub bit_identical: bool,
+    /// Planner-session stats (subset-rung ladder planned once, then
+    /// served from the drift-keyed cache).
+    pub planner: ulayer::PlannerStats,
 }
 
 /// Builds the mesh workload: a compact CNN whose hot conv layers hold
@@ -977,7 +995,15 @@ pub fn mesh_scenario(
     let g = mesh_workload_graph();
     let rt = ULayer::with_config(spec.clone(), ULayerConfig::channel_distribution_only())
         .map_err(|e| e.to_string())?;
-    let ladder = rt.degradation_ladder(&g, None).map_err(|e| e.to_string())?;
+    let mut planner = ulayer::PlannerSession::new(&rt, ulayer::ReusePolicy::Bucketed);
+    let ladder = planner.ladder(&g, None).map_err(|e| e.to_string())?;
+    // Per-frame planner probes, as in `serve_overload`: the subset-rung
+    // ladder (the expensive mesh partition search) is planned once and
+    // reused planner-free for the rest of the calm stream.
+    for _ in 1..frames.max(1) {
+        planner.ladder(&g, None).map_err(|e| e.to_string())?;
+    }
+    let planner = *planner.stats();
 
     let full_run = uruntime::execute_plan(&spec, &g, &ladder[0].plan).map_err(|e| e.to_string())?;
     let full = full_run.latency;
@@ -1067,7 +1093,145 @@ pub fn mesh_scenario(
         rungs,
         report,
         bit_identical,
+        planner,
     })
+}
+
+/// One SoC's planner-cache outcome under a seeded drift scenario.
+#[derive(Clone, Debug)]
+pub struct PlanExperimentReport {
+    /// SoC name.
+    pub soc: String,
+    /// Network name.
+    pub network: String,
+    /// Drift scenario name (`calm`, `throttle`, `loss`, `oscillate`).
+    pub drift: String,
+    /// Frames planned through the session.
+    pub frames: usize,
+    /// Cache-on (bucketed-reuse) session stats: hits, misses,
+    /// incremental replans, layer re-enumeration counts, wall time.
+    pub stats: ulayer::PlannerStats,
+    /// Total modeled planning time of the cache-on arm (deterministic
+    /// [`ulayer::planning_span`] charges), milliseconds.
+    pub planning_modeled_ms: f64,
+    /// Wall-clock of planning every frame from scratch (the
+    /// `--plan-cache=off` ablation), milliseconds.
+    pub scratch_wall_ms: f64,
+    /// Frames whose exact-policy session plan diverged from the
+    /// from-scratch plan (must stay empty — the equivalence contract).
+    pub equivalence_failures: Vec<usize>,
+}
+
+/// Evolves `adapter` one frame along the named drift scenario.
+fn drive_drift(
+    adapter: &mut ulayer::DriftAdapter,
+    spec: &SocSpec,
+    drift: &str,
+    frame: usize,
+    frames: usize,
+    seed: u64,
+) {
+    use simcore::SimSpan;
+    let gpu = spec.gpu();
+    let predicted = SimSpan::from_millis(10);
+    match drift {
+        // The cost model stays right: no observations, empty drift key.
+        "calm" => {}
+        // A sustained 2.5x GPU slowdown starting a third of the way in:
+        // the EWMA walks across a few log buckets, then settles.
+        "throttle" => {
+            if frame >= frames / 3 {
+                adapter.observe(gpu, usoc::WorkClass::Gemm, predicted, predicted * 2.5f64);
+            }
+        }
+        // Hard GPU loss at the midpoint: one regime change, one new key.
+        "loss" => {
+            if frame == frames / 2 {
+                adapter.mark_lost(gpu);
+            }
+        }
+        // Jitter inside one hysteresis band: the quantized key must not
+        // flap, so all post-warmup frames hit.
+        "oscillate" => {
+            let phase = (frame as u64 + seed) % 2;
+            let ratio = if phase == 0 { 1.0 } else { 1.1 };
+            adapter.observe(gpu, usoc::WorkClass::Gemm, predicted, predicted * ratio);
+        }
+        other => unreachable!("drift scenario `{other}` validated at parse"),
+    }
+    adapter.finish_frame();
+}
+
+/// A plan's identity witness: placements, branch mappings, and the
+/// predicted serial latency, Debug-rendered. Two reports are considered
+/// byte-identical iff these match.
+fn plan_fingerprint(report: &ulayer::PlanReport) -> String {
+    format!(
+        "{:?}|{:?}|{:?}",
+        report.plan.placements, report.branch_mappings, report.predicted_serial_latency
+    )
+}
+
+/// Plans `frames` frames of `model` through a drift-keyed planner
+/// session on both evaluated SoCs while the drift scenario evolves,
+/// and cross-checks every exact-policy plan against a from-scratch
+/// plan (the incremental-equivalence contract).
+///
+/// Three arms per SoC: a bucketed-reuse session (the reported cache
+/// stats), an exact-policy session (every returned plan must be
+/// byte-identical to `plan_with_drift` under the same adapter state),
+/// and a from-scratch `plan_with_drift` per frame (the
+/// `--plan-cache=off` wall-clock ablation).
+pub fn plan_experiment(
+    model: ModelId,
+    drift: &str,
+    miniature: bool,
+    frames: usize,
+    seed: u64,
+) -> Vec<PlanExperimentReport> {
+    SocSpec::evaluated()
+        .into_iter()
+        .map(|spec| {
+            let g = if miniature {
+                model.build_miniature()
+            } else {
+                model.build()
+            };
+            let rt = ULayer::new(spec.clone()).expect("ulayer");
+            let mut bucketed = ulayer::PlannerSession::new(&rt, ulayer::ReusePolicy::Bucketed);
+            let mut exact = ulayer::PlannerSession::new(&rt, ulayer::ReusePolicy::Exact);
+            let mut adapter = ulayer::DriftAdapter::new();
+            let mut planning_modeled = simcore::SimSpan::ZERO;
+            let mut scratch_wall = std::time::Duration::ZERO;
+            let mut equivalence_failures = Vec::new();
+            for frame in 0..frames {
+                drive_drift(&mut adapter, &spec, drift, frame, frames, seed);
+                let planned = bucketed
+                    .plan_frame(&g, Some(&adapter))
+                    .expect("bucketed plan");
+                planning_modeled += planned.planning;
+                let incremental = exact.plan_frame(&g, Some(&adapter)).expect("exact plan");
+                let t0 = std::time::Instant::now();
+                let scratch = rt
+                    .plan_with_drift(&g, Some(&adapter))
+                    .expect("scratch plan");
+                scratch_wall += t0.elapsed();
+                if plan_fingerprint(&incremental.report) != plan_fingerprint(&scratch) {
+                    equivalence_failures.push(frame);
+                }
+            }
+            PlanExperimentReport {
+                soc: spec.name.clone(),
+                network: model.name().to_string(),
+                drift: drift.to_string(),
+                frames,
+                stats: *bucketed.stats(),
+                planning_modeled_ms: planning_modeled.as_secs_f64() * 1e3,
+                scratch_wall_ms: scratch_wall.as_secs_f64() * 1e3,
+                equivalence_failures,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

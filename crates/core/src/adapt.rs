@@ -151,6 +151,30 @@ impl DriftAdapter {
             .map(|(_, f)| *f)
             .fold(1.0, f64::max)
     }
+
+    /// A canonical snapshot of every correction the partitioner would
+    /// see for `devices`: `((device, class), factor)` in device-major,
+    /// [`WorkClass::ALL`]-minor order. Unobserved keys appear as 1.0
+    /// and lost devices as their pin, exactly like
+    /// [`DriftAdapter::factor`] — so two adapters with equal snapshots
+    /// steer the partitioner identically, which is what the plan cache
+    /// keys and the incremental replanner's change detection rely on.
+    pub fn factor_snapshot(&self, devices: &[DeviceId]) -> Vec<((usize, WorkClass), f64)> {
+        let mut out = Vec::with_capacity(devices.len() * WorkClass::ALL.len());
+        for &d in devices {
+            for &class in &WorkClass::ALL {
+                out.push(((d.0, class), self.factor(d, class)));
+            }
+        }
+        out
+    }
+
+    /// The lost-device set, ascending.
+    pub fn lost_snapshot(&self) -> Vec<usize> {
+        let mut lost: Vec<usize> = self.lost.iter().copied().collect();
+        lost.sort_unstable();
+        lost
+    }
 }
 
 /// The fleet simulator's per-instance adaptation seam
@@ -221,6 +245,15 @@ pub struct AdaptiveStreamReport {
     pub deadline_missed: u64,
     /// Sum of frame latencies (the stream's virtual clock).
     pub total_latency: SimSpan,
+    /// Planner accounting: cache hits, incremental replans, and layer
+    /// copy/re-enumeration counts across the stream (PR 10). Planning
+    /// is charged on its own ledger — frame latencies above are pure
+    /// execution, as before.
+    pub planner: crate::plancache::PlannerStats,
+    /// Sum of modeled per-frame planning spans
+    /// ([`crate::plancache::planning_span`]) — the stream's
+    /// [`uruntime::OverheadClass::Planning`] total.
+    pub planning_total: SimSpan,
 }
 
 /// Mean accelerator share over the distributable layers of `plan`.
@@ -273,6 +306,12 @@ pub fn run_adaptive_stream(
     deadline: Option<SimSpan>,
 ) -> Result<AdaptiveStreamReport, ULayerError> {
     let mut adapter = DriftAdapter::new();
+    // Exact reuse: every plan the session hands back is byte-identical
+    // to `plan_with_drift` under the same adapter state, so the stream
+    // behaves exactly as before — it just stops paying full enumeration
+    // on frames where the drift state repeats or barely moves.
+    let mut planner =
+        crate::plancache::PlannerSession::new(rt, crate::plancache::ReusePolicy::Exact);
     let mut report = AdaptiveStreamReport {
         frames: Vec::with_capacity(frames),
         injected: 0,
@@ -281,13 +320,21 @@ pub fn run_adaptive_stream(
         degraded_frames: 0,
         deadline_missed: 0,
         total_latency: SimSpan::ZERO,
+        planner: crate::plancache::PlannerStats::default(),
+        planning_total: SimSpan::ZERO,
     };
     let mut cursor = SimTime::ZERO;
     for k in 0..frames {
-        let planned = rt.plan_with_drift(graph, Some(&adapter))?;
+        let planned = planner.plan_frame(graph, Some(&adapter))?;
+        report.planning_total += planned.planning;
         let frame_faults = faults.shifted_by(cursor);
-        let (result, fr) =
-            execute_plan_with_faults(rt.spec(), graph, &planned.plan, &frame_faults, policy)?;
+        let (result, fr) = execute_plan_with_faults(
+            rt.spec(),
+            graph,
+            &planned.report.plan,
+            &frame_faults,
+            policy,
+        )?;
 
         // Feed every realized kernel back into the adapter.
         for rec in result.trace.records() {
@@ -309,7 +356,7 @@ pub fn run_adaptive_stream(
         }
         adapter.finish_frame();
 
-        let share = accel_share(rt.spec(), graph, &planned.plan);
+        let share = accel_share(rt.spec(), graph, &planned.report.plan);
         let missed = deadline.is_some_and(|d| result.latency > d);
         report.frames.push(FrameOutcome {
             frame: k,
@@ -332,6 +379,7 @@ pub fn run_adaptive_stream(
         report.total_latency += result.latency;
         cursor += result.latency;
     }
+    report.planner = *planner.stats();
     Ok(report)
 }
 

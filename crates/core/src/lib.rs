@@ -40,6 +40,7 @@ pub mod config;
 pub mod error;
 pub mod ladder;
 pub mod partitioner;
+pub mod plancache;
 pub mod planning;
 pub mod predictor;
 pub mod predictor_eval;
@@ -51,7 +52,11 @@ pub use adapt::{
 pub use branch::{BranchDistributionPass, BranchMapping};
 pub use config::ULayerConfig;
 pub use error::ULayerError;
-pub use partitioner::PartitionPass;
+pub use partitioner::{CostTables, PartitionPass, PlacementChoice, SingleCostEntry};
+pub use plancache::{
+    graph_digest, planning_span, ArtifactKind, DriftSnapshot, PlanCache, PlanKey, PlanSource,
+    PlannedFrame, PlannerSession, PlannerStats, ReusePolicy,
+};
 pub use planning::{PlanContext, PlanDraft, PlanPass, PlanPassReport, PlanPassRunner};
 pub use predictor::{FitReport, FittedModel, GroupFit, LatencyPredictor, MeasuredSample};
 pub use predictor_eval::{evaluate_predictor, DeviceAccuracy, PredictorReport};

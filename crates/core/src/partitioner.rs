@@ -79,16 +79,30 @@ impl<'a> LayerCoster<'a> {
         in_shape: &Shape,
         out_shape: &Shape,
     ) -> Option<SimSpan> {
+        self.single_cost_from(
+            device,
+            self.single_cost_entry(device, kind, in_shape, out_shape),
+        )
+    }
+
+    /// The drift-independent part of [`Self::single_cost`]: feasibility
+    /// plus the raw kernel and fixed (host + transfer) spans. `None`
+    /// means infeasible — and feasibility never depends on drift, so an
+    /// entry built once stays valid for every drift state. This is the
+    /// table [`CostTables`] hoists behind the graph/topology digest.
+    pub fn single_cost_entry(
+        &self,
+        device: DeviceId,
+        kind: &LayerKind,
+        in_shape: &Shape,
+        out_shape: &Shape,
+    ) -> Option<SingleCostEntry> {
         let dtypes = device_dtypes(self.spec, device, self.cfg);
         let work = usoc::layer_work(kind, in_shape, out_shape, dtypes, 1.0);
         if !self.spec.devices[device.0].fits_in_ram(work.total_bytes()) {
             return None;
         }
-        let kernel = self.corrected(
-            device,
-            work.class,
-            self.predictor.predict(device, &work).ok()?,
-        );
+        let kernel = self.predictor.predict(device, &work).ok()?;
         let host = match self.spec.devices[device.0].kind {
             DeviceKind::CpuCluster => self.spec.cpu_dispatch_span(),
             DeviceKind::Gpu | DeviceKind::Npu => {
@@ -102,7 +116,24 @@ impl<'a> LayerCoster<'a> {
         } else {
             SimSpan::ZERO
         };
-        Some(kernel + host + transfer)
+        Some(SingleCostEntry {
+            class: work.class,
+            kernel,
+            fixed: host + transfer,
+        })
+    }
+
+    /// Applies the current drift state to a hoisted entry. Bit-exact
+    /// with [`Self::single_cost`]: span addition is integer-nanosecond
+    /// and associative, and the correction multiplies only the kernel
+    /// term in both paths.
+    pub(crate) fn single_cost_from(
+        &self,
+        device: DeviceId,
+        entry: Option<SingleCostEntry>,
+    ) -> Option<SimSpan> {
+        let e = entry?;
+        Some(self.corrected(device, e.class, e.kernel) + e.fixed)
     }
 
     /// Predicted latency of a channel-wise split across `parts`
@@ -180,16 +211,56 @@ impl<'a> LayerCoster<'a> {
         in_shape: &Shape,
         out_shape: &Shape,
     ) -> Result<(NodePlacement, SimSpan), ULayerError> {
-        let mut best: Option<(NodePlacement, SimSpan)> = None;
-        let mut consider = |placement: NodePlacement, cost: SimSpan| {
-            if best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
-                best = Some((placement, cost));
+        self.best_placement_detailed_over(devices, kind, in_shape, out_shape, None)
+            .map(|c| (c.placement, c.cost))
+    }
+
+    /// [`Self::best_placement_over`] that additionally records the
+    /// decision margin (runner-up cost) the incremental replanner
+    /// needs. `singles`, when provided, is a hoisted
+    /// [`SingleCostEntry`] row indexed like `devices` (see
+    /// [`CostTables`]); it must have been built for the same
+    /// `(graph, spec, config, devices)` — entries are drift-independent
+    /// so any drift state is fine.
+    pub fn best_placement_detailed_over(
+        &self,
+        devices: &[DeviceId],
+        kind: &LayerKind,
+        in_shape: &Shape,
+        out_shape: &Shape,
+        singles: Option<&[Option<SingleCostEntry>]>,
+    ) -> Result<PlacementChoice, ULayerError> {
+        debug_assert!(
+            singles.is_none_or(|s| s.len() == devices.len()),
+            "singles row shape mismatch"
+        );
+        let single_at = |i: usize, device: DeviceId| -> Option<SimSpan> {
+            match singles {
+                Some(rows) => self.single_cost_from(device, rows[i]),
+                None => self.single_cost(device, kind, in_shape, out_shape),
             }
+        };
+        // Selection keeps the strict first-wins order of the legacy
+        // enumeration AND tracks the best non-chosen cost: whenever the
+        // leader changes, the dethroned leader's cost is the new
+        // runner-up bound (it was cheaper than every earlier loser).
+        let mut best: Option<(NodePlacement, SimSpan)> = None;
+        let mut runner_up: Option<SimSpan> = None;
+        let mut consider = |placement: NodePlacement, cost: SimSpan| match &best {
+            Some((_, c)) => {
+                if cost < *c {
+                    runner_up = Some(*c);
+                    best = Some((placement, cost));
+                } else if runner_up.map(|r| cost < r).unwrap_or(true) {
+                    runner_up = Some(cost);
+                }
+            }
+            None => best = Some((placement, cost)),
         };
 
         // Single-device candidates.
-        for &device in devices {
-            if let Some(cost) = self.single_cost(device, kind, in_shape, out_shape) {
+        for (i, &device) in devices.iter().enumerate() {
+            if let Some(cost) = single_at(i, device) {
                 consider(
                     NodePlacement::Single {
                         device,
@@ -201,6 +272,7 @@ impl<'a> LayerCoster<'a> {
         }
 
         // Channel-wise split candidates.
+        let mut drift_shaped = false;
         let host = devices
             .iter()
             .copied()
@@ -208,10 +280,14 @@ impl<'a> LayerCoster<'a> {
             .or_else(|| devices.first().copied());
         if self.cfg.channel_distribution && kind.is_distributable() {
             if let Some(host) = host {
-                let partners: Vec<DeviceId> =
-                    devices.iter().copied().filter(|&d| d != host).collect();
+                let partners: Vec<(usize, DeviceId)> = devices
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, d)| d != host)
+                    .collect();
                 // Two-way host+partner splits at the configured p values.
-                for &partner in &partners {
+                for &(_, partner) in &partners {
                     for &p in &self.cfg.p_candidates {
                         let parts = [(host, p), (partner, 1.0 - p)];
                         if let Some(cost) = self.split_cost(&parts, kind, in_shape, out_shape) {
@@ -231,24 +307,32 @@ impl<'a> LayerCoster<'a> {
                 }
                 // N-way split with throughput-proportional shares (NPU
                 // extension): shares proportional to predicted speed.
+                // The share vector itself is a function of the
+                // drift-corrected single costs, so any layer that
+                // reaches this enumeration is *drift-shaped*: the
+                // incremental replanner must re-enumerate it whenever a
+                // relevant factor moves (copying the cached fractions
+                // would not be byte-identical to a scratch plan).
                 if partners.len() >= 2 {
-                    let devices: Vec<DeviceId> = std::iter::once(host)
+                    drift_shaped = true;
+                    let host_index = devices
+                        .iter()
+                        .position(|&d| d == host)
+                        .expect("host drawn from devices");
+                    let members: Vec<(usize, DeviceId)> = std::iter::once((host_index, host))
                         .chain(partners.iter().copied())
                         .collect();
-                    let speeds: Option<Vec<f64>> = devices
+                    let speeds: Option<Vec<f64>> = members
                         .iter()
-                        .map(|&d| {
-                            self.single_cost(d, kind, in_shape, out_shape)
-                                .map(|c| 1.0 / c.as_secs_f64().max(1e-12))
-                        })
+                        .map(|&(i, d)| single_at(i, d).map(|c| 1.0 / c.as_secs_f64().max(1e-12)))
                         .collect();
                     if let Some(speeds) = speeds {
                         let total: f64 = speeds.iter().sum();
                         if total > 0.0 {
-                            let mut parts: Vec<(DeviceId, f64)> = devices
+                            let mut parts: Vec<(DeviceId, f64)> = members
                                 .iter()
                                 .zip(&speeds)
-                                .map(|(&d, &s)| (d, s / total))
+                                .map(|(&(_, d), &s)| (d, s / total))
                                 .collect();
                             // Re-normalize exactly.
                             let sum: f64 = parts.iter().map(|p| p.1).sum();
@@ -278,12 +362,108 @@ impl<'a> LayerCoster<'a> {
             }
         }
 
-        best.ok_or_else(|| {
-            ULayerError::Plan(format!(
+        match best {
+            Some((placement, cost)) => Ok(PlacementChoice {
+                placement,
+                cost,
+                runner_up,
+                drift_shaped,
+            }),
+            None => Err(ULayerError::Plan(format!(
                 "no feasible placement for {} layer",
                 kind.op_name()
-            ))
+            ))),
+        }
+    }
+}
+
+/// One layer's planning decision plus what the incremental replanner
+/// needs to decide whether the decision can survive a drift update
+/// without re-enumeration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementChoice {
+    /// The winning placement.
+    pub placement: NodePlacement,
+    /// Its predicted cost under the drift state it was planned with.
+    pub cost: SimSpan,
+    /// The cheapest candidate that was *not* chosen, under the same
+    /// drift state. `None` when the chosen placement was the only
+    /// feasible candidate — feasibility is drift-independent, so such a
+    /// layer can never flip.
+    pub runner_up: Option<SimSpan>,
+    /// True when the throughput-proportional n-way candidate was
+    /// enumerated for this layer: its split fractions are themselves a
+    /// function of drift, so the candidate *set* moves with the drift
+    /// state and a cached decision cannot be margin-checked.
+    pub drift_shaped: bool,
+}
+
+/// The drift-independent parts of one `(layer, device)` single-cost
+/// evaluation: `cost(drift) = kernel × factor(device, class) + fixed`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SingleCostEntry {
+    /// Work class (selects the drift factor).
+    pub class: usoc::WorkClass,
+    /// Uncorrected predicted kernel span.
+    pub kernel: SimSpan,
+    /// Host-side management + network round-trip spans.
+    pub fixed: SimSpan,
+}
+
+/// Hoisted per-layer cost tables for one `(graph, spec, config,
+/// device-subset)` tuple. Everything in here is drift-independent —
+/// shapes from `infer_shapes` and the [`SingleCostEntry`] grid — so a
+/// planner session builds the tables once behind the same digests the
+/// plan cache keys on and reuses them for every replan, instead of
+/// re-deriving them per frame (the cost-table rebuild fix).
+#[derive(Clone, Debug)]
+pub struct CostTables {
+    /// The device subset the tables were built over, in subset order.
+    pub devices: Vec<DeviceId>,
+    /// Inferred output shape per node.
+    pub shapes: Vec<Shape>,
+    /// `singles[node][i]` is the entry for `devices[i]`, `None` when
+    /// the single placement is infeasible there.
+    singles: Vec<Vec<Option<SingleCostEntry>>>,
+}
+
+impl CostTables {
+    /// Builds the tables. Drift never participates, so the result is
+    /// valid for every drift state over the same inputs.
+    pub fn build(
+        spec: &SocSpec,
+        predictor: &LatencyPredictor,
+        cfg: &ULayerConfig,
+        graph: &Graph,
+        devices: &[DeviceId],
+    ) -> Result<CostTables, ULayerError> {
+        let shapes = graph.infer_shapes()?;
+        let coster = LayerCoster {
+            spec,
+            predictor,
+            cfg,
+            drift: None,
+        };
+        let mut singles = Vec::with_capacity(graph.len());
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let in_shape = graph.node_input_shape(NodeId(i), &shapes);
+            singles.push(
+                devices
+                    .iter()
+                    .map(|&d| coster.single_cost_entry(d, &node.kind, in_shape, &shapes[i]))
+                    .collect(),
+            );
+        }
+        Ok(CostTables {
+            devices: devices.to_vec(),
+            shapes,
+            singles,
         })
+    }
+
+    /// The hoisted single-cost row for `node`.
+    pub fn singles_row(&self, node: usize) -> &[Option<SingleCostEntry>] {
+        &self.singles[node]
     }
 }
 
@@ -322,23 +502,54 @@ pub fn partition_over(
     devices: &[DeviceId],
     drift: Option<&DriftAdapter>,
 ) -> Result<(Vec<NodePlacement>, Vec<SimSpan>), ULayerError> {
-    let shapes = graph.infer_shapes()?;
+    let choices = partition_over_detailed(spec, predictor, cfg, graph, devices, drift, None)?;
+    Ok(choices.into_iter().map(|c| (c.placement, c.cost)).unzip())
+}
+
+/// [`partition_over`] returning full [`PlacementChoice`]s (decision
+/// margins included) and optionally reusing hoisted [`CostTables`].
+/// When `tables` is given it must have been built for the same
+/// `(graph, spec, config, devices)`; the output is bit-identical with
+/// and without tables.
+pub fn partition_over_detailed(
+    spec: &SocSpec,
+    predictor: &LatencyPredictor,
+    cfg: &ULayerConfig,
+    graph: &Graph,
+    devices: &[DeviceId],
+    drift: Option<&DriftAdapter>,
+    tables: Option<&CostTables>,
+) -> Result<Vec<PlacementChoice>, ULayerError> {
+    debug_assert!(
+        tables.is_none_or(|t| t.devices == devices),
+        "cost tables were built for a different device subset"
+    );
+    let owned_shapes;
+    let shapes = match tables {
+        Some(t) => &t.shapes,
+        None => {
+            owned_shapes = graph.infer_shapes()?;
+            &owned_shapes
+        }
+    };
     let coster = LayerCoster {
         spec,
         predictor,
         cfg,
         drift,
     };
-    let mut placements = Vec::with_capacity(graph.len());
-    let mut costs = Vec::with_capacity(graph.len());
+    let mut choices = Vec::with_capacity(graph.len());
     for (i, node) in graph.nodes().iter().enumerate() {
-        let in_shape = graph.node_input_shape(NodeId(i), &shapes);
-        let (placement, cost) =
-            coster.best_placement_over(devices, &node.kind, in_shape, &shapes[i])?;
-        placements.push(placement);
-        costs.push(cost);
+        let in_shape = graph.node_input_shape(NodeId(i), shapes);
+        choices.push(coster.best_placement_detailed_over(
+            devices,
+            &node.kind,
+            in_shape,
+            &shapes[i],
+            tables.map(|t| t.singles_row(i)),
+        )?);
     }
-    Ok((placements, costs))
+    Ok(choices)
 }
 
 /// The channel-distribution stage of the planning pipeline: places every

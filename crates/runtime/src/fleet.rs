@@ -29,6 +29,16 @@
 //!   [`InstanceAdapter`] from a factory; one device's throttle
 //!   inflates only its own corrections (the `crates/core` isolation
 //!   test pins this down against `DriftAdapter`).
+//! - **Planning as overhead.** Each instance carries a modeled
+//!   drift-keyed plan cache: before every dispatch the instance's
+//!   adapter corrections are quantized into a
+//!   [`simcore::DriftKeyQuantizer`] key and probed against a small
+//!   per-instance LRU. A hit charges [`FLEET_PLAN_HIT_NS`]; a miss
+//!   charges a scratch-replan span proportional to the network depth —
+//!   both delay the frame's dispatch-ready time, so planner cost is
+//!   part of the served latency, not free. `--plan-cache=off` makes
+//!   every frame a scratch plan (the ablation the CI hit-rate gate
+//!   compares against).
 //! - **Schedule-order fuzzing.** The event core runs under a
 //!   [`TieOrder`]: FIFO by default, seeded-shuffled for fuzz runs.
 //!   Instances are causally independent and aggregation folds in
@@ -49,8 +59,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use simcore::{
-    ArrivalKind, ArrivalProcess, EventQueue, FaultPlan, FleetScenario, ResourceId, RetryPolicy,
-    SimSpan, SimTime, TieOrder,
+    ArrivalKind, ArrivalProcess, DriftKeyQuantizer, EventQueue, FaultPlan, FleetScenario,
+    ResourceId, RetryPolicy, SimSpan, SimTime, TieOrder,
 };
 use testkit::rng::fnv1a;
 use testkit::Rng;
@@ -59,6 +69,16 @@ use usoc::{DeviceId, SocSpec};
 
 use crate::engine::{execute_plan, RunError, RunResult};
 use crate::serve::{nearest_rank, LadderRung};
+
+/// Modeled host time to fetch a cached plan for one frame. Mirrors the
+/// planner-session span model in `crates/core` so fleet numbers and
+/// single-stream numbers attribute planning on the same scale.
+pub const FLEET_PLAN_HIT_NS: u64 = 1_000;
+/// Modeled fixed cost of one from-scratch replan (cost-table probe plus
+/// pass-runner overhead).
+pub const FLEET_PLAN_MISS_BASE_NS: u64 = 8_000;
+/// Modeled per-layer cost of one from-scratch replan.
+pub const FLEET_PLAN_MISS_LAYER_NS: u64 = 4_000;
 
 /// Per-instance drift-adaptation seam. `ulayer::DriftAdapter`
 /// implements this in `crates/core` (this crate sits below the
@@ -160,6 +180,8 @@ pub struct FleetCohort {
     pub spec: SocSpec,
     /// Device index of the GPU (the storm target).
     pub gpu: usize,
+    /// Layers in the served graph (scales the modeled replan span).
+    pub layers: usize,
     /// Realized rungs, fidelity order.
     pub rungs: Vec<FleetRung>,
 }
@@ -198,6 +220,7 @@ impl FleetCohort {
         Ok(FleetCohort {
             soc: spec.name.clone(),
             gpu: spec.gpu().0,
+            layers: graph.nodes().len(),
             spec: spec.clone(),
             rungs,
         })
@@ -234,6 +257,13 @@ pub struct FleetConfig {
     pub max_attempts: usize,
     /// Same-timestamp delivery order of the fleet event core.
     pub order: TieOrder,
+    /// Modeled per-instance plan cache: `true` reuses plans keyed on
+    /// quantized drift, `false` replans every frame from scratch (the
+    /// ablation arm).
+    pub plan_cache: bool,
+    /// LRU capacity of each instance's plan cache (drift regimes held
+    /// live at once).
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for FleetConfig {
@@ -249,6 +279,8 @@ impl Default for FleetConfig {
             perturb: 0.15,
             max_attempts: 3,
             order: TieOrder::Fifo,
+            plan_cache: true,
+            plan_cache_capacity: 8,
         }
     }
 }
@@ -302,6 +334,14 @@ pub struct InstanceSummary {
     /// Executed frames whose *realized* finish overran the deadline
     /// (admission predicted they would fit; faults said otherwise).
     pub missed: u64,
+    /// Plan-cache hits across the instance's planned (non-rejected)
+    /// frames.
+    pub plan_hits: u64,
+    /// Plan-cache misses (scratch replans). `plan_hits + plan_misses`
+    /// equals `offered - rejected` exactly.
+    pub plan_misses: u64,
+    /// Total modeled planner time charged before dispatches.
+    pub planning: SimSpan,
     /// Peak admission-queue depth observed.
     pub queue_peak: usize,
     /// True when the instance's GPU was lost.
@@ -355,6 +395,15 @@ pub struct FleetReport {
     pub missed: u64,
     /// Instances whose GPU was lost.
     pub gpu_lost_devices: u64,
+    /// Whether the modeled per-instance plan cache was enabled.
+    pub plan_cache_enabled: bool,
+    /// Fleet-wide plan-cache hits.
+    pub plan_hits: u64,
+    /// Fleet-wide scratch replans; `plan_hits + plan_misses ==
+    /// offered - rejected` ([`FleetReport::check_invariants`]).
+    pub plan_misses: u64,
+    /// Fleet-wide modeled planner time.
+    pub planning: SimSpan,
     /// Executed frames per rung label.
     pub rung_occupancy: BTreeMap<String, u64>,
     /// All executed-frame latencies, sorted ascending.
@@ -381,6 +430,18 @@ impl FleetReport {
     /// when the whole fleet shed everything.
     pub fn latency_percentile(&self, q: f64) -> Option<SimSpan> {
         nearest_rank(&self.latencies, q)
+    }
+
+    /// Fraction of planned frames served from the plan cache (0.0 when
+    /// nothing was planned). A calm fleet should sit near 1.0 — the
+    /// `repro fleet --min-hit-rate` gate pins that down in CI.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let planned = self.plan_hits + self.plan_misses;
+        if planned == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / planned as f64
+        }
     }
 
     /// Checks the fleet invariants, returning the first violation:
@@ -446,7 +507,22 @@ impl FleetReport {
         if self.naive_weight_bytes != self.weight_bytes * self.fleet_size as u64 {
             return Err("naive weight accounting is inconsistent".into());
         }
-        let mut sums = [0u64; 9];
+        if self.plan_hits + self.plan_misses != self.offered - self.rejected {
+            return Err(format!(
+                "planner accounting leaks: hits {} + misses {} != planned frames {}",
+                self.plan_hits,
+                self.plan_misses,
+                self.offered - self.rejected
+            ));
+        }
+        if !self.plan_cache_enabled && self.plan_hits != 0 {
+            return Err(format!(
+                "plan cache disabled but {} hits recorded",
+                self.plan_hits
+            ));
+        }
+        let mut planning = SimSpan::ZERO;
+        let mut sums = [0u64; 11];
         for s in &self.per_instance {
             if s.completed + s.degraded + s.shed != s.offered {
                 return Err(format!(
@@ -467,9 +543,12 @@ impl FleetReport {
                 s.fallbacks,
                 s.throttled,
                 s.missed,
+                s.plan_hits,
+                s.plan_misses,
             ]) {
                 *acc += v;
             }
+            planning += s.planning;
         }
         let totals = [
             self.offered,
@@ -481,10 +560,19 @@ impl FleetReport {
             self.fallbacks,
             self.throttled,
             self.missed,
+            self.plan_hits,
+            self.plan_misses,
         ];
         if sums != totals {
             return Err(format!(
                 "per-instance sums {sums:?} disagree with fleet totals {totals:?}"
+            ));
+        }
+        if planning != self.planning {
+            return Err(format!(
+                "per-instance planning sums to {}ns, fleet total says {}ns",
+                planning.as_nanos(),
+                self.planning.as_nanos()
             ));
         }
         Ok(())
@@ -501,7 +589,7 @@ impl FleetReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "fleet/v1 net={} scenario={} size={} frames={} seed={}",
+            "fleet/v2 net={} scenario={} size={} frames={} seed={}",
             self.net, self.scenario, self.fleet_size, self.frames_per_device, self.seed
         );
         let _ = writeln!(
@@ -515,10 +603,19 @@ impl FleetReport {
             self.offered, self.completed, self.degraded, self.shed, self.rejected,
             self.retries, self.fallbacks, self.throttled, self.missed, self.gpu_lost_devices
         );
+        let _ = writeln!(
+            out,
+            "plan cache={} hits={} misses={} rate={:.9} planning={}ns",
+            if self.plan_cache_enabled { "on" } else { "off" },
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_hit_rate(),
+            self.planning.as_nanos()
+        );
         for (label, count) in &self.rung_occupancy {
             let _ = writeln!(out, "rung {label}={count}");
         }
-        for (name, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999)] {
+        for (name, q) in simcore::stats::SLO_QUANTILES {
             match self.latency_percentile(q) {
                 Some(p) => {
                     let _ = writeln!(out, "{name}={}ns", p.as_nanos());
@@ -546,10 +643,10 @@ impl FleetReport {
         for s in &self.per_instance {
             let _ = writeln!(
                 out,
-                "inst {} cohort={} o={} c={} d={} s={} rej={} ret={} fb={} thr={} miss={} peak={} lost={} gc={:.9e} e={:.9e}",
+                "inst {} cohort={} o={} c={} d={} s={} rej={} ret={} fb={} thr={} miss={} ph={} pm={} pl={}ns peak={} lost={} gc={:.9e} e={:.9e}",
                 s.instance, s.cohort, s.offered, s.completed, s.degraded, s.shed, s.rejected,
-                s.retries, s.fallbacks, s.throttled, s.missed, s.queue_peak, s.gpu_lost,
-                s.gpu_correction, s.energy_j
+                s.retries, s.fallbacks, s.throttled, s.missed, s.plan_hits, s.plan_misses,
+                s.planning.as_nanos(), s.queue_peak, s.gpu_lost, s.gpu_correction, s.energy_j
             );
         }
         out
@@ -572,6 +669,14 @@ struct InstRun {
     starts: Vec<SimTime>,
     /// Per-instance GPU dispatch ordinal (transient-fault coordinate).
     gpu_ord: usize,
+    /// Drift-key quantizer over device-index slots (hysteresis state
+    /// lives across frames, like a real planning session's).
+    quantizer: DriftKeyQuantizer,
+    /// Plan-cache LRU of drift keys, most-recent last.
+    plan_lru: Vec<Vec<(u64, i32)>>,
+    plan_hits: u64,
+    plan_misses: u64,
+    planning: SimSpan,
     offered: u64,
     completed: u64,
     degraded: u64,
@@ -677,6 +782,11 @@ pub fn run_fleet_with_faults(
             "fleet: queue capacity and max attempts must be >= 1".into(),
         ));
     }
+    if cfg.plan_cache && cfg.plan_cache_capacity == 0 {
+        return Err(RunError::MalformedPlan(
+            "fleet: plan cache capacity must be >= 1 when the cache is on".into(),
+        ));
+    }
     let full_max = cohorts
         .iter()
         .map(|c| c.rungs[0].latency)
@@ -731,6 +841,11 @@ pub fn run_fleet_with_faults(
             prev_dispatch: SimTime::ZERO,
             starts: Vec::new(),
             gpu_ord: 0,
+            quantizer: DriftKeyQuantizer::default(),
+            plan_lru: Vec::new(),
+            plan_hits: 0,
+            plan_misses: 0,
+            planning: SimSpan::ZERO,
             offered: 0,
             completed: 0,
             degraded: 0,
@@ -787,6 +902,10 @@ pub fn run_fleet_with_faults(
         throttled: 0,
         missed: 0,
         gpu_lost_devices: 0,
+        plan_cache_enabled: cfg.plan_cache,
+        plan_hits: 0,
+        plan_misses: 0,
+        planning: SimSpan::ZERO,
         rung_occupancy: BTreeMap::new(),
         latencies: Vec::new(),
         queue_capacity: cfg.queue_capacity,
@@ -816,6 +935,9 @@ pub fn run_fleet_with_faults(
         totals.fallbacks += inst.fallbacks;
         totals.throttled += inst.throttled;
         totals.missed += inst.missed;
+        totals.plan_hits += inst.plan_hits;
+        totals.plan_misses += inst.plan_misses;
+        totals.planning += inst.planning;
         totals.queue_peak = totals.queue_peak.max(inst.queue_peak);
         totals.energy_j += inst.energy_j;
         let gpu_lost = inst.adapter.is_lost(DeviceId(cohort.gpu));
@@ -832,6 +954,9 @@ pub fn run_fleet_with_faults(
             fallbacks: inst.fallbacks,
             throttled: inst.throttled,
             missed: inst.missed,
+            plan_hits: inst.plan_hits,
+            plan_misses: inst.plan_misses,
+            planning: inst.planning,
             queue_peak: inst.queue_peak,
             gpu_lost,
             gpu_correction: inst.adapter.correction(DeviceId(cohort.gpu)),
@@ -876,7 +1001,47 @@ fn dispatch_frame(
         return;
     }
 
-    let ready = t.max(inst.prev_dispatch);
+    // Plan the frame before it can dispatch: quantize the adapter's
+    // current corrections into a drift key and probe the instance's
+    // plan cache. Hit or miss, the modeled planner span pushes the
+    // dispatch-ready instant back — planning is served latency here,
+    // exactly as `OverheadClass::Planning` charges it in the engine.
+    let factors: Vec<(u64, f64)> = (0..inst.device_free.len())
+        .map(|d| {
+            (
+                d as u64,
+                inst.adapter.correction(DeviceId(d)).clamp(1e-3, 1e6),
+            )
+        })
+        .collect();
+    let key = inst.quantizer.snapshot_key(&factors);
+    let hit = cfg.plan_cache
+        && match inst.plan_lru.iter().position(|k| *k == key) {
+            Some(pos) => {
+                let k = inst.plan_lru.remove(pos);
+                inst.plan_lru.push(k);
+                true
+            }
+            None => {
+                inst.plan_lru.push(key);
+                if inst.plan_lru.len() > cfg.plan_cache_capacity {
+                    inst.plan_lru.remove(0);
+                }
+                false
+            }
+        };
+    let plan_span = if hit {
+        inst.plan_hits += 1;
+        SimSpan::from_nanos(FLEET_PLAN_HIT_NS)
+    } else {
+        inst.plan_misses += 1;
+        SimSpan::from_nanos(
+            FLEET_PLAN_MISS_BASE_NS + FLEET_PLAN_MISS_LAYER_NS * cohort.layers as u64,
+        )
+    };
+    inst.planning += plan_span;
+
+    let ready = t.max(inst.prev_dispatch) + plan_span;
     let deadline_at = t + deadline;
     let mut chosen: Option<(usize, SimTime)> = None;
     for (r, rung) in cohort.rungs.iter().enumerate() {
@@ -1223,10 +1388,98 @@ mod tests {
                 max_attempts: 0,
                 ..FleetConfig::default()
             },
+            FleetConfig {
+                plan_cache: true,
+                plan_cache_capacity: 0,
+                ..FleetConfig::default()
+            },
         ] {
             assert!(run_fleet(&net, &cohorts, None, &cfg, &unit_adapter).is_err());
         }
         assert!(run_fleet(&net, &[], None, &FleetConfig::default(), &unit_adapter).is_err());
+    }
+
+    #[test]
+    fn calm_fleet_serves_plans_from_the_cache() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let cfg = FleetConfig {
+            devices: 64,
+            frames: 32,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&net, &cohorts, None, &cfg, &unit_adapter).expect("fleet");
+        report.check_invariants().expect("invariants");
+        assert_eq!(
+            report.plan_hits + report.plan_misses,
+            report.offered - report.rejected
+        );
+        assert!(
+            report.plan_hit_rate() >= 0.9,
+            "calm fleet hit rate {:.3} below 0.9 ({} hits / {} misses)",
+            report.plan_hit_rate(),
+            report.plan_hits,
+            report.plan_misses
+        );
+        assert!(report.planning > SimSpan::ZERO);
+    }
+
+    #[test]
+    fn disabling_the_plan_cache_replans_every_frame() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let on = FleetConfig {
+            devices: 24,
+            frames: 16,
+            ..FleetConfig::default()
+        };
+        let off = FleetConfig {
+            plan_cache: false,
+            ..on.clone()
+        };
+        let cached = run_fleet(&net, &cohorts, None, &on, &unit_adapter).expect("on");
+        let scratch = run_fleet(&net, &cohorts, None, &off, &unit_adapter).expect("off");
+        scratch.check_invariants().expect("invariants");
+        assert_eq!(scratch.plan_hits, 0);
+        assert_eq!(scratch.plan_misses, scratch.offered - scratch.rejected);
+        // The ablation pays strictly more planner time per planned frame.
+        assert!(
+            scratch.planning.as_nanos() * (cached.plan_hits + cached.plan_misses)
+                > cached.planning.as_nanos() * (scratch.plan_hits + scratch.plan_misses),
+            "scratch planning {}ns over {} frames is not worse than cached {}ns over {}",
+            scratch.planning.as_nanos(),
+            scratch.plan_misses,
+            cached.planning.as_nanos(),
+            cached.plan_hits + cached.plan_misses
+        );
+    }
+
+    #[test]
+    fn storms_churn_the_plan_cache_but_accounting_stays_exact() {
+        let net = mini_net();
+        let cohorts = cohorts(&net);
+        let cfg = FleetConfig {
+            devices: 32,
+            frames: 16,
+            ..FleetConfig::default()
+        };
+        let calm = run_fleet(&net, &cohorts, None, &cfg, &unit_adapter).expect("calm");
+        let storm = run_fleet(
+            &net,
+            &cohorts,
+            Some(FleetScenario::RollingGpuLoss),
+            &cfg,
+            &|| Box::new(UnitAdapter::default()) as Box<dyn InstanceAdapter>,
+        )
+        .expect("storm");
+        storm.check_invariants().expect("invariants");
+        // Losses move corrections, so the storm forces extra replans.
+        assert!(
+            storm.plan_misses > calm.plan_misses,
+            "storm misses {} not above calm {}",
+            storm.plan_misses,
+            calm.plan_misses
+        );
     }
 
     #[test]

@@ -53,13 +53,17 @@ pub enum OverheadClass {
     /// Serial network-link occupancy moving tensors between devices
     /// (store-and-forward, one task per hop).
     Transfer,
+    /// Planner time: partitioning / replanning charged on the host
+    /// before a frame's work is dispatched (the plan cache makes this
+    /// small in steady state; cache misses pay the full span).
+    Planning,
     /// No task scheduled.
     Idle,
 }
 
 impl OverheadClass {
     /// Number of classes (array dimension for per-class totals).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every class, in display order.
     pub const ALL: [OverheadClass; OverheadClass::COUNT] = [
@@ -72,6 +76,7 @@ impl OverheadClass {
         OverheadClass::Arrival,
         OverheadClass::Fallback,
         OverheadClass::Transfer,
+        OverheadClass::Planning,
         OverheadClass::Idle,
     ];
 
@@ -87,6 +92,7 @@ impl OverheadClass {
             OverheadClass::Arrival => "arrival",
             OverheadClass::Fallback => "fallback",
             OverheadClass::Transfer => "transfer",
+            OverheadClass::Planning => "planning",
             OverheadClass::Idle => "idle",
         }
     }

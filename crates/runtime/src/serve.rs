@@ -130,19 +130,9 @@ pub struct ServeReport {
     pub metrics: MetricsRegistry,
 }
 
-/// Nearest-rank percentile over an ascending-sorted latency list: rank
-/// `⌈q · n⌉` (clamped to `[1, n]`), one-indexed, so every reported value
-/// is an actual sample. Returns `None` for an empty list — an all-shed
-/// stream has no completion latencies, and reporting 0 ms would read as
-/// an impossibly *healthy* tail instead of a dead one.
-pub fn nearest_rank(sorted: &[SimSpan], q: f64) -> Option<SimSpan> {
-    if sorted.is_empty() {
-        return None;
-    }
-    let n = sorted.len();
-    let rank = ((n as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
-    Some(sorted[rank.clamp(1, n) - 1])
-}
+/// Nearest-rank percentile (shared rollup logic lives in
+/// [`simcore::stats`]; re-exported here for the existing callers).
+pub use simcore::stats::nearest_rank;
 
 impl ServeReport {
     /// Nearest-rank percentile of executed-frame latency (`q` in 0..=1);
@@ -444,13 +434,9 @@ pub(crate) fn fill_serve_metrics(report: &mut ServeReport, ladder: &[LadderRung]
     // Latency gauges are only meaningful when something completed; an
     // all-shed stream deliberately leaves them unset rather than
     // reporting a healthy-looking 0 ms tail.
-    for (key, q) in [
-        ("serve.latency_p50_ms", 0.50),
-        ("serve.latency_p95_ms", 0.95),
-        ("serve.latency_p99_ms", 0.99),
-    ] {
-        if let Some(p) = report.latency_percentile(q) {
-            m.gauge(key, p.as_millis_f64());
+    for (name, p) in simcore::stats::LatencyRollup::of(&report.latencies).entries() {
+        if let Some(p) = p {
+            m.gauge(&format!("serve.latency_{name}_ms"), p.as_millis_f64());
         }
     }
     m.gauge("serve.energy_j", energy_j);
@@ -470,54 +456,20 @@ pub(crate) fn fill_serve_metrics(report: &mut ServeReport, ladder: &[LadderRung]
 mod tests {
     use super::*;
 
-    fn spans(ms: &[u64]) -> Vec<SimSpan> {
-        ms.iter().map(|&v| SimSpan::from_millis(v)).collect()
-    }
-
     #[test]
-    fn nearest_rank_empty_is_none_at_every_quantile() {
-        for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(nearest_rank(&[], q), None, "q = {q}");
-        }
-    }
-
-    #[test]
-    fn nearest_rank_single_sample_is_every_quantile() {
-        let s = spans(&[7]);
-        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+    fn serve_percentiles_delegate_to_the_shared_rollup() {
+        // The quantile math itself is tested in `simcore::stats`; this
+        // pins the delegation (and the all-shed `None` contract).
+        let latencies: Vec<SimSpan> = [1u64, 2, 3, 5, 8]
+            .iter()
+            .map(|&v| SimSpan::from_millis(v))
+            .collect();
+        for (_, q) in simcore::stats::SLO_QUANTILES {
             assert_eq!(
-                nearest_rank(&s, q),
-                Some(SimSpan::from_millis(7)),
-                "q = {q}"
+                nearest_rank(&latencies, q),
+                simcore::stats::nearest_rank(&latencies, q)
             );
         }
-    }
-
-    #[test]
-    fn nearest_rank_two_samples() {
-        let s = spans(&[10, 20]);
-        // rank = ceil(2q) clamped to [1, 2]: q <= 0.5 -> first sample,
-        // q > 0.5 -> second.
-        assert_eq!(nearest_rank(&s, 0.0), Some(SimSpan::from_millis(10)));
-        assert_eq!(nearest_rank(&s, 0.50), Some(SimSpan::from_millis(10)));
-        assert_eq!(nearest_rank(&s, 0.51), Some(SimSpan::from_millis(20)));
-        assert_eq!(nearest_rank(&s, 0.99), Some(SimSpan::from_millis(20)));
-        assert_eq!(nearest_rank(&s, 1.0), Some(SimSpan::from_millis(20)));
-    }
-
-    #[test]
-    fn nearest_rank_is_an_actual_sample_and_monotone_in_q() {
-        let s = spans(&[1, 2, 3, 5, 8, 13, 21]);
-        let mut prev = SimSpan::ZERO;
-        for i in 0..=100 {
-            let q = i as f64 / 100.0;
-            let p = nearest_rank(&s, q).unwrap();
-            assert!(s.contains(&p), "q = {q} returned a non-sample {p:?}");
-            assert!(p >= prev, "percentile not monotone at q = {q}");
-            prev = p;
-        }
-        // Out-of-range quantiles clamp instead of indexing out of bounds.
-        assert_eq!(nearest_rank(&s, -1.0), Some(SimSpan::from_millis(1)));
-        assert_eq!(nearest_rank(&s, 2.0), Some(SimSpan::from_millis(21)));
+        assert_eq!(nearest_rank(&[], 0.5), None);
     }
 }

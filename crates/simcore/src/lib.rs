@@ -20,20 +20,24 @@
 pub mod arrivals;
 pub mod chrome;
 pub mod dag;
+pub mod driftkey;
 pub mod event;
 pub mod faults;
 pub mod resource;
+pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use arrivals::{ArrivalKind, ArrivalProcess};
 pub use chrome::{validate_chrome_trace, ChromeTraceSummary, JsonValue, OverlayEvent, TraceArg};
 pub use dag::{SchedStats, ScheduleError, TaskGraph, TaskId, TaskSpec};
+pub use driftkey::DriftKeyQuantizer;
 pub use event::{EventQueue, TieOrder};
 pub use faults::{
     AttemptOutcome, AttemptRecord, DeviceLoss, FaultLog, FaultPlan, FleetScenario,
     LinkFaultScenario, RetryPolicy, Scenario, ThrottleWindow, TransientFault,
 };
 pub use resource::{BusyInterval, ResourceId, ResourcePool, Timeline};
+pub use stats::{nearest_rank, LatencyRollup, SLO_QUANTILES};
 pub use time::{SimSpan, SimTime};
 pub use trace::{GanttOptions, TaskRecord, Trace};

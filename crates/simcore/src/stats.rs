@@ -1,0 +1,149 @@
+//! Shared latency-statistics helpers.
+//!
+//! The serve, mesh, and fleet reports all summarize executed-frame
+//! latencies with nearest-rank percentiles; before this module each
+//! report carried its own copy of the rank arithmetic, which let the
+//! three rollups drift apart. [`nearest_rank`] is the single
+//! definition, and [`LatencyRollup`] is the shared SLO summary built
+//! from it (the quantile set every report and digest prints).
+
+use crate::time::SimSpan;
+
+/// The quantiles every report summarizes, display order. Shared so the
+/// serve metrics, fleet digest, and mesh rollup cannot disagree on
+/// which percentiles "the SLO set" means.
+pub const SLO_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999)];
+
+/// Nearest-rank percentile over an **ascending-sorted** sample list:
+/// the smallest sample such that at least `q` of the distribution is at
+/// or below it (rank `⌈n·q⌉`, clamped to `[1, n]`). Returns `None` for
+/// an empty sample set — an all-shed run has no latency to report, and
+/// the callers render that explicitly rather than inventing a zero.
+pub fn nearest_rank(sorted: &[SimSpan], q: f64) -> Option<SimSpan> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let rank = ((n as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+/// The SLO percentile rollup of one sorted latency list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyRollup {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Nearest-rank p50, `None` when there are no samples.
+    pub p50: Option<SimSpan>,
+    /// See `p50`.
+    pub p95: Option<SimSpan>,
+    /// See `p50`.
+    pub p99: Option<SimSpan>,
+    /// See `p50`.
+    pub p999: Option<SimSpan>,
+}
+
+impl LatencyRollup {
+    /// Builds the rollup from an ascending-sorted latency list.
+    pub fn of(sorted: &[SimSpan]) -> LatencyRollup {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "latency list must be sorted"
+        );
+        LatencyRollup {
+            samples: sorted.len(),
+            p50: nearest_rank(sorted, 0.50),
+            p95: nearest_rank(sorted, 0.95),
+            p99: nearest_rank(sorted, 0.99),
+            p999: nearest_rank(sorted, 0.999),
+        }
+    }
+
+    /// The rollup as `(name, value)` pairs in [`SLO_QUANTILES`] order.
+    pub fn entries(&self) -> [(&'static str, Option<SimSpan>); 4] {
+        [
+            ("p50", self.p50),
+            ("p95", self.p95),
+            ("p99", self.p99),
+            ("p999", self.p999),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimSpan {
+        SimSpan::from_millis(v)
+    }
+
+    #[test]
+    fn nearest_rank_empty_is_none_at_every_quantile() {
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&[], q), None, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_single_sample_is_every_quantile() {
+        let s = [ms(7)];
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(nearest_rank(&s, q), Some(ms(7)), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_two_samples() {
+        let s = [ms(10), ms(20)];
+        assert_eq!(nearest_rank(&s, 0.0), Some(ms(10)));
+        assert_eq!(nearest_rank(&s, 0.50), Some(ms(10)));
+        assert_eq!(nearest_rank(&s, 0.51), Some(ms(20)));
+        assert_eq!(nearest_rank(&s, 0.99), Some(ms(20)));
+        assert_eq!(nearest_rank(&s, 1.0), Some(ms(20)));
+    }
+
+    #[test]
+    fn nearest_rank_is_an_actual_sample_and_monotone_in_q() {
+        let s: Vec<SimSpan> = (1..=21).map(ms).collect();
+        let mut prev = SimSpan::ZERO;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let p = nearest_rank(&s, q).unwrap();
+            assert!(s.contains(&p), "q = {q} picked a non-sample {p:?}");
+            assert!(p >= prev, "percentiles must be monotone in q");
+            prev = p;
+        }
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(nearest_rank(&s, -1.0), Some(ms(1)));
+        assert_eq!(nearest_rank(&s, 2.0), Some(ms(21)));
+    }
+
+    #[test]
+    fn rollup_matches_direct_nearest_rank_calls() {
+        let s: Vec<SimSpan> = (1..=100).map(ms).collect();
+        let r = LatencyRollup::of(&s);
+        assert_eq!(r.samples, 100);
+        for (name, q) in SLO_QUANTILES {
+            let direct = nearest_rank(&s, q);
+            let rolled = r
+                .entries()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap();
+            assert_eq!(rolled, direct, "{name}");
+        }
+        assert_eq!(r.p50, Some(ms(50)));
+        assert_eq!(r.p95, Some(ms(95)));
+        assert_eq!(r.p99, Some(ms(99)));
+        assert_eq!(r.p999, Some(ms(100)));
+    }
+
+    #[test]
+    fn rollup_of_empty_reports_no_percentiles() {
+        let r = LatencyRollup::of(&[]);
+        assert_eq!(r.samples, 0);
+        assert!(r.entries().iter().all(|(_, v)| v.is_none()));
+    }
+}

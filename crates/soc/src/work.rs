@@ -34,6 +34,27 @@ pub enum WorkClass {
 }
 
 impl WorkClass {
+    /// Every class in canonical order — the iteration order drift
+    /// snapshots and plan-cache keys use, so two independently built
+    /// snapshots of the same state serialize identically.
+    pub const ALL: [WorkClass; 7] = [
+        WorkClass::Gemm,
+        WorkClass::Pointwise,
+        WorkClass::Depthwise,
+        WorkClass::Pool,
+        WorkClass::Elementwise,
+        WorkClass::Norm,
+        WorkClass::Copy,
+    ];
+
+    /// This class's position in [`WorkClass::ALL`].
+    pub fn index(self) -> usize {
+        WorkClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("every class is in ALL")
+    }
+
     /// Fraction of the device's effective GEMM throughput this class
     /// achieves (GEMM is the calibration anchor).
     pub fn efficiency(self) -> f64 {
